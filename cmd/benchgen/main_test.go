@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/valve"
+)
+
+func TestRunGeneratesFiles(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-out", dir, "S1", "S2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"S1", "S2"} {
+		f, err := os.Open(filepath.Join(dir, name+".json"))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		d, err := valve.Read(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: emitted design unreadable: %v", name, err)
+		}
+		if d.Name != name {
+			t.Errorf("%s: name %q", name, d.Name)
+		}
+	}
+	if !strings.Contains(out.String(), "12x12") {
+		t.Errorf("summary missing S1 size:\n%s", out.String())
+	}
+}
+
+func TestRunAllDesignsSummary(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-out", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"Chip1", "Chip2", "S1", "S2", "S3", "S4", "S5"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("summary missing %s", name)
+		}
+		if _, err := os.Stat(filepath.Join(dir, name+".json")); err != nil {
+			t.Errorf("%s.json not written", name)
+		}
+	}
+}
+
+func TestRunUnknownDesign(t *testing.T) {
+	if err := run([]string{"-out", t.TempDir(), "bogus"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown design must error")
+	}
+}
+
+func TestRunBadDirectory(t *testing.T) {
+	if err := run([]string{"-out", "/nonexistent/nested/dir", "S1"}, &bytes.Buffer{}); err == nil {
+		t.Error("unwritable directory must error")
+	}
+}

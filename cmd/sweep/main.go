@@ -1,0 +1,151 @@
+// Command sweep runs parameter ablations of the PACOR flow on a benchmark
+// design: the selection weight λ (Eq. 2-3), the length-matching threshold δ,
+// the per-cluster candidate budget, and the negotiation iteration bound γ.
+//
+// Usage:
+//
+//	sweep -bench S5 -param lambda|delta|candidates|gamma [-csv out.csv]
+//
+// Each row reports matched clusters, matched/total channel length,
+// completion, and runtime for one parameter value.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"repro/internal/bench"
+	"repro/internal/pacor"
+	"repro/internal/valve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+type point struct {
+	label string
+	res   *pacor.Result
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	benchFlag := fs.String("bench", "S5", "benchmark design to sweep on")
+	paramFlag := fs.String("param", "lambda", "parameter: lambda, delta, candidates, gamma")
+	csvFlag := fs.String("csv", "", "write rows as CSV to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d, err := bench.Generate(*benchFlag)
+	if err != nil {
+		return err
+	}
+	pts, err := sweep(d, *paramFlag)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "sweep of %s on %s (%d multi-valve clusters)\n\n",
+		*paramFlag, d.Name, len(d.LMClusters))
+	fmt.Fprintf(stdout, "%-12s %-9s %-12s %-10s %-7s %s\n",
+		*paramFlag, "matched", "matchedLen", "totalLen", "compl", "runtime")
+	for _, p := range pts {
+		fmt.Fprintf(stdout, "%-12s %-9d %-12d %-10d %-7.0f %v\n",
+			p.label, p.res.MatchedClusters, p.res.MatchedLen, p.res.TotalLen,
+			100*p.res.CompletionRate(), p.res.Runtime.Round(1e6))
+	}
+	if *csvFlag != "" {
+		if err := writeCSV(*csvFlag, *paramFlag, pts); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "\nwrote %s\n", *csvFlag)
+	}
+	return nil
+}
+
+// sweep runs the flow across the chosen parameter's range.
+func sweep(d *valve.Design, param string) ([]point, error) {
+	var pts []point
+	runOne := func(label string, dd *valve.Design, params pacor.Params) error {
+		res, err := pacor.Route(dd, params)
+		if err != nil {
+			return err
+		}
+		if err := pacor.Verify(dd, res); err != nil {
+			return fmt.Errorf("%s=%s: %w", param, label, err)
+		}
+		pts = append(pts, point{label: label, res: res})
+		return nil
+	}
+	switch param {
+	case "lambda":
+		for _, l := range []float64{0, 0.1, 0.3, 0.5, 0.9} {
+			params := pacor.DefaultParams()
+			params.Lambda = l
+			if err := runOne(fmt.Sprintf("%.1f", l), d, params); err != nil {
+				return nil, err
+			}
+		}
+	case "delta":
+		for _, delta := range []int{0, 1, 2, 4, 8} {
+			dd := *d
+			dd.Delta = delta
+			if err := runOne(strconv.Itoa(delta), &dd, pacor.DefaultParams()); err != nil {
+				return nil, err
+			}
+		}
+	case "candidates":
+		for _, mc := range []int{1, 2, 4, 6, 10} {
+			params := pacor.DefaultParams()
+			params.MaxCandidates = mc
+			if err := runOne(strconv.Itoa(mc), d, params); err != nil {
+				return nil, err
+			}
+		}
+	case "gamma":
+		for _, g := range []int{1, 2, 5, 10, 20} {
+			params := pacor.DefaultParams()
+			params.Negotiate.Gamma = g
+			if err := runOne(strconv.Itoa(g), d, params); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, fmt.Errorf("unknown parameter %q", param)
+	}
+	return pts, nil
+}
+
+func writeCSV(path, param string, pts []point) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{param, "matched", "matched_length", "total_length",
+		"completion", "runtime_ms"}); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if err := w.Write([]string{
+			p.label,
+			strconv.Itoa(p.res.MatchedClusters),
+			strconv.Itoa(p.res.MatchedLen),
+			strconv.Itoa(p.res.TotalLen),
+			fmt.Sprintf("%.3f", p.res.CompletionRate()),
+			fmt.Sprintf("%.2f", float64(p.res.Runtime.Microseconds())/1000),
+		}); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}

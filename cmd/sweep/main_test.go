@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func TestSweepDelta(t *testing.T) {
+	d, err := bench.Generate("S3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := sweep(d, "delta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 {
+		t.Fatalf("points = %d, want 5", len(pts))
+	}
+	// Larger delta changes detour targets and hence the routing order, so
+	// per-step monotonicity is not guaranteed — but the loosest threshold
+	// must match at least as many clusters as the tightest, and completion
+	// holds throughout.
+	for _, p := range pts {
+		if p.res.CompletionRate() != 1 {
+			t.Errorf("delta=%s: completion %.2f", p.label, p.res.CompletionRate())
+		}
+	}
+	if last, first := pts[len(pts)-1].res.MatchedClusters, pts[0].res.MatchedClusters; last < first {
+		t.Errorf("delta=%s matched %d < delta=%s matched %d",
+			pts[len(pts)-1].label, last, pts[0].label, first)
+	}
+}
+
+func TestSweepLambdaAndCandidates(t *testing.T) {
+	d, err := bench.Generate("S2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, param := range []string{"lambda", "candidates", "gamma"} {
+		pts, err := sweep(d, param)
+		if err != nil {
+			t.Fatalf("%s: %v", param, err)
+		}
+		if len(pts) != 5 {
+			t.Errorf("%s: %d points", param, len(pts))
+		}
+	}
+	if _, err := sweep(d, "bogus"); err == nil {
+		t.Error("unknown parameter must error")
+	}
+}
+
+func TestRunWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sweep.csv")
+	var out bytes.Buffer
+	if err := run([]string{"-bench", "S1", "-param", "delta", "-csv", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "sweep of delta on S1") {
+		t.Errorf("header missing:\n%s", out.String())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 6 {
+		t.Fatalf("csv rows = %d, want 6", len(recs))
+	}
+	if _, err := strconv.Atoi(recs[1][1]); err != nil {
+		t.Errorf("matched column not numeric: %v", recs[1])
+	}
+}
+
+func TestRunUnknownBench(t *testing.T) {
+	if err := run([]string{"-bench", "nope"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown benchmark must error")
+	}
+}

@@ -1,0 +1,105 @@
+// Command table2 regenerates the paper's Table 2: the three flow variants
+// (w/o Sel, Detour First, PACOR) run on every Table 1 benchmark, reporting
+// matched clusters, matched channel length, total channel length, runtime,
+// and the routing completion rate.
+//
+// Usage:
+//
+//	table2 [-designs Chip1,S3,...] [-verify] [-csv out.csv]
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/pacor"
+	"repro/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "table2:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("table2", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	designsFlag := fs.String("designs", "", "comma-separated design names (default: all)")
+	verify := fs.Bool("verify", true, "verify design rules of every solution")
+	csvFlag := fs.String("csv", "", "also write the raw rows as CSV to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	names := bench.Names()
+	if *designsFlag != "" {
+		names = strings.Split(*designsFlag, ",")
+	}
+	modes := []pacor.Mode{pacor.ModeWithoutSelection, pacor.ModeDetourFirst, pacor.ModePACOR}
+	var rows []report.Row
+	for _, name := range names {
+		d, err := bench.Generate(name)
+		if err != nil {
+			return err
+		}
+		for _, mode := range modes {
+			params := pacor.DefaultParams()
+			params.Mode = mode
+			res, err := pacor.Route(d, params)
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", name, mode, err)
+			}
+			if *verify {
+				if err := pacor.Verify(d, res); err != nil {
+					return fmt.Errorf("%s/%s: verification failed: %w", name, mode, err)
+				}
+			}
+			rows = append(rows, report.Row{Design: name, Mode: mode, Result: res})
+		}
+	}
+	fmt.Fprint(stdout, report.Table2(rows))
+	if *csvFlag != "" {
+		if err := writeCSV(*csvFlag, rows); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *csvFlag)
+	}
+	return nil
+}
+
+func writeCSV(path string, rows []report.Row) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{
+		"design", "mode", "clusters", "matched", "matched_length",
+		"total_length", "routed_valves", "total_valves", "runtime_ms",
+	}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		res := r.Result
+		if err := w.Write([]string{
+			r.Design, r.Mode.String(),
+			strconv.Itoa(res.MultiClusters), strconv.Itoa(res.MatchedClusters),
+			strconv.Itoa(res.MatchedLen), strconv.Itoa(res.TotalLen),
+			strconv.Itoa(res.RoutedValves), strconv.Itoa(res.TotalValves),
+			fmt.Sprintf("%.2f", float64(res.Runtime.Microseconds())/1000),
+		}); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}

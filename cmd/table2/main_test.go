@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSmallDesigns(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-designs", "S1,S2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"S1", "S2", "Avg (normalized):", "100%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t2.csv")
+	var out bytes.Buffer
+	if err := run([]string{"-designs", "S1", "-csv", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 { // header + 3 modes
+		t.Fatalf("csv rows = %d, want 4", len(recs))
+	}
+	if recs[0][0] != "design" || recs[1][0] != "S1" {
+		t.Errorf("csv content wrong: %v", recs[:2])
+	}
+}
+
+func TestRunUnknownDesign(t *testing.T) {
+	if err := run([]string{"-designs", "bogus"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown design must error")
+	}
+}

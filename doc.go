@@ -1,0 +1,17 @@
+// Package repro is a from-scratch Go reproduction of "PACOR: Practical
+// Control-Layer Routing Flow with Length-Matching Constraint for Flow-Based
+// Microfluidic Biochips" (Yao, Ho, Cai — DAC 2015).
+//
+// The public surface lives in the internal packages (this repository is a
+// self-contained research artifact, not an importable library API):
+//
+//   - internal/pacor is the flow entry point: pacor.Route(design, params).
+//   - internal/valve defines the Design input model and its JSON format.
+//   - internal/bench regenerates the paper's Table 1 benchmarks.
+//   - cmd/pacor, cmd/benchgen, and cmd/table2 are the command-line tools.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-versus-measured comparison. The root-level
+// test files hold the integration tests and the benchmark harness that
+// regenerate every table and figure of the paper's evaluation.
+package repro

@@ -1,0 +1,55 @@
+// Ablation: run the three flow variants of Table 2 (w/o Sel, Detour First,
+// PACOR) on a custom synthetic chip and print the comparison, demonstrating
+// what the candidate-selection and final-stage-detouring design choices buy.
+//
+// Run with:
+//
+//	go run ./examples/ablation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bench"
+	"repro/internal/pacor"
+	"repro/internal/report"
+)
+
+func main() {
+	// A custom mid-size instance, denser than S3 but smaller than S5.
+	spec := bench.Spec{
+		Name: "ablation-48", W: 48, H: 48,
+		Valves: 24, Pins: 120, Obs: 40,
+		ClusterSizes: []int{4, 4, 3, 3, 2, 2, 2},
+		Window:       12,
+		Seed:         5151,
+	}
+	d, err := bench.GenerateSpec(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("design %s: %dx%d, %d valves, %d LM clusters, %d obstacles\n\n",
+		d.Name, d.W, d.H, len(d.Valves), len(d.LMClusters), len(d.Obstacles))
+
+	var rows []report.Row
+	for _, mode := range []pacor.Mode{
+		pacor.ModeWithoutSelection, pacor.ModeDetourFirst, pacor.ModePACOR,
+	} {
+		params := pacor.DefaultParams()
+		params.Mode = mode
+		res, err := pacor.Route(d, params)
+		if err != nil {
+			log.Fatalf("%s: %v", mode, err)
+		}
+		if err := pacor.Verify(d, res); err != nil {
+			log.Fatalf("%s: verification failed: %v", mode, err)
+		}
+		rows = append(rows, report.Row{Design: d.Name, Mode: mode, Result: res})
+	}
+	fmt.Print(report.Table2(rows))
+	fmt.Println("\nReading the ablation: 'w/o Sel' drops the MWCP candidate-tree")
+	fmt.Println("selection (worse overlaps -> fewer matched clusters, longer wires);")
+	fmt.Println("'Detour First' matches lengths before escape routing (detours consume")
+	fmt.Println("space early and can strand matching); PACOR runs the full flow.")
+}

@@ -1,0 +1,124 @@
+// Multiplexer control bank: the canonical mVLSI structure from the paper's
+// introduction. A binary multiplexer addressing n flow channels needs
+// 2*log2(n) control lines; each line actuates a rank of valves that must
+// switch simultaneously, so every rank is a length-matching cluster. This
+// example builds an 8-channel multiplexer (6 control ranks), routes it with
+// PACOR, and checks that every rank is length-matched.
+//
+// Run with:
+//
+//	go run ./examples/multiplexer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/geom"
+	"repro/internal/pacor"
+	"repro/internal/render"
+	"repro/internal/valve"
+)
+
+const (
+	channels = 8 // flow channels being multiplexed
+	bits     = 3 // log2(channels)
+)
+
+func main() {
+	d := buildMultiplexer()
+	res, err := pacor.Route(d, pacor.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("multiplexer: %d flow channels, %d control ranks (%d valves)\n",
+		channels, 2*bits, len(d.Valves))
+	fmt.Printf("routed %d/%d valves, %d/%d ranks length-matched, total channel length %d\n",
+		res.RoutedValves, res.TotalValves, res.MatchedClusters, res.MultiClusters, res.TotalLen)
+	for _, c := range res.Clusters {
+		if c.LM {
+			status := "MATCHED"
+			if !c.Matched {
+				status = "unmatched"
+			}
+			fmt.Printf("  rank %d (%d valves): %s, lengths %v\n",
+				c.ID, len(c.Valves), status, c.FullLens)
+		}
+	}
+	if err := pacor.Verify(d, res); err != nil {
+		log.Fatal("verification failed: ", err)
+	}
+	fmt.Println("\nV valve   * rank channel   ~ escape   @ pin")
+	fmt.Print(render.Result(d, res))
+}
+
+// buildMultiplexer lays out the valve matrix: flow channels run vertically
+// at fixed columns; control rank r (bit b, polarity p) has a valve on every
+// flow channel whose address bit b equals p. A rank's valves all share one
+// activation sequence (the address schedule), and each rank is one
+// length-matching cluster.
+func buildMultiplexer() *valve.Design {
+	const (
+		colPitch = 7 // spacing between flow channels
+		rowPitch = 6 // spacing between control ranks
+		marginX  = 8
+		marginY  = 6
+	)
+	w := marginX*2 + (channels-1)*colPitch
+	h := marginY*2 + (2*bits-1)*rowPitch
+	d := &valve.Design{Name: "multiplexer", W: w, H: h, Delta: 1}
+
+	// The address schedule: at time step t, channel (t mod channels) is
+	// selected. Rank (b, p) is OPEN at step t iff bit b of the selected
+	// address equals p (a closed valve pinches the flow channel).
+	steps := channels
+	rankSeq := func(bit, pol int) valve.Seq {
+		sq := make(valve.Seq, steps)
+		for t := 0; t < steps; t++ {
+			if (t>>bit)&1 == pol {
+				sq[t] = valve.Open
+			} else {
+				sq[t] = valve.Closed
+			}
+		}
+		return sq
+	}
+
+	id := 0
+	for b := 0; b < bits; b++ {
+		for p := 0; p < 2; p++ {
+			rank := 2*b + p
+			y := marginY + rank*rowPitch
+			var cluster []int
+			sq := rankSeq(b, p)
+			for ch := 0; ch < channels; ch++ {
+				if (ch>>b)&1 != p {
+					continue // this rank does not pinch this channel
+				}
+				// Offset alternate valves by one row so DME merging segments
+				// are non-degenerate arcs.
+				yy := y
+				if ch%2 == 1 {
+					yy++
+				}
+				d.Valves = append(d.Valves, valve.Valve{
+					ID:  id,
+					Pos: geom.Pt{X: marginX + ch*colPitch, Y: yy},
+					Seq: sq,
+				})
+				cluster = append(cluster, id)
+				id++
+			}
+			d.LMClusters = append(d.LMClusters, cluster)
+		}
+	}
+	// Candidate pins along the left and right edges (the chip's flow ports
+	// occupy top and bottom in this scenario).
+	for y := 1; y < h-1; y++ {
+		d.Pins = append(d.Pins, geom.Pt{X: 0, Y: y}, geom.Pt{X: w - 1, Y: y})
+	}
+	if err := d.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	return d
+}

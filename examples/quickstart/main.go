@@ -1,0 +1,81 @@
+// Quickstart: build a small control-layer design in code, route it with the
+// full PACOR flow, and inspect the result.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/geom"
+	"repro/internal/pacor"
+	"repro/internal/render"
+	"repro/internal/valve"
+)
+
+func main() {
+	// A 24x24 chip with one 4-valve length-matching cluster (a mixer whose
+	// valves must actuate simultaneously), one synchronized pair, and two
+	// independent valves.
+	seq := func(s string) valve.Seq {
+		q, err := valve.ParseSeq(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return q
+	}
+	d := &valve.Design{
+		Name: "quickstart",
+		W:    24, H: 24,
+		Delta: 1, // channel lengths within a cluster may differ by at most 1
+		Valves: []valve.Valve{
+			// The mixer cluster: all share the switching pattern 0101X.
+			{ID: 0, Pos: geom.Pt{X: 5, Y: 5}, Seq: seq("0101X")},
+			{ID: 1, Pos: geom.Pt{X: 11, Y: 8}, Seq: seq("0101X")},
+			{ID: 2, Pos: geom.Pt{X: 5, Y: 13}, Seq: seq("01011")},
+			{ID: 3, Pos: geom.Pt{X: 11, Y: 16}, Seq: seq("0101X")},
+			// A synchronized valve pair elsewhere on the chip.
+			{ID: 4, Pos: geom.Pt{X: 17, Y: 6}, Seq: seq("00110")},
+			{ID: 5, Pos: geom.Pt{X: 20, Y: 12}, Seq: seq("00110")},
+			// Two independent valves with their own switching patterns.
+			{ID: 6, Pos: geom.Pt{X: 17, Y: 18}, Seq: seq("11000")},
+			{ID: 7, Pos: geom.Pt{X: 8, Y: 20}, Seq: seq("10101")},
+		},
+		Obstacles: []geom.Pt{
+			{X: 14, Y: 10}, {X: 14, Y: 11}, {X: 14, Y: 12}, {X: 14, Y: 13},
+		},
+		// Valves 0-3 and 4-5 carry the length-matching constraint.
+		LMClusters: [][]int{{0, 1, 2, 3}, {4, 5}},
+	}
+	// Candidate control pins every other boundary cell.
+	for x := 1; x < 23; x += 2 {
+		d.Pins = append(d.Pins, geom.Pt{X: x, Y: 0}, geom.Pt{X: x, Y: 23})
+	}
+	for y := 1; y < 23; y += 2 {
+		d.Pins = append(d.Pins, geom.Pt{X: 0, Y: y}, geom.Pt{X: 23, Y: y})
+	}
+	if err := d.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := pacor.Route(d, pacor.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("routed %d/%d valves, %d/%d clusters length-matched, total channel length %d\n",
+		res.RoutedValves, res.TotalValves, res.MatchedClusters, res.MultiClusters, res.TotalLen)
+	for _, c := range res.Clusters {
+		if c.LM {
+			fmt.Printf("cluster %d: matched=%v channel lengths to tap %v (delta <= %d)\n",
+				c.ID, c.Matched, c.FullLens, d.Delta)
+		}
+	}
+	if err := pacor.Verify(d, res); err != nil {
+		log.Fatal("verification failed: ", err)
+	}
+	fmt.Println("\nV valve   * cluster channel   ~ escape channel   @ control pin   # obstacle")
+	fmt.Print(render.Result(d, res))
+}

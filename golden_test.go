@@ -1,0 +1,34 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/pacor"
+)
+
+// TestGoldenS1 pins the exact S1 outcome: the flow is fully deterministic,
+// so any change to these numbers is a behavioral change that should be
+// deliberate (update the constants alongside EXPERIMENTS.md when it is).
+func TestGoldenS1(t *testing.T) {
+	d, err := bench.Generate("S1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pacor.Route(d, pacor.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pacor.Verify(d, res); err != nil {
+		t.Fatal(err)
+	}
+	if res.MultiClusters != 2 || res.MatchedClusters != 2 {
+		t.Errorf("clusters %d/%d, want 2/2 matched", res.MatchedClusters, res.MultiClusters)
+	}
+	if res.MatchedLen != 17 || res.TotalLen != 20 {
+		t.Errorf("lengths %d/%d, want 17/20", res.MatchedLen, res.TotalLen)
+	}
+	if res.CompletionRate() != 1 {
+		t.Errorf("completion %.2f", res.CompletionRate())
+	}
+}

@@ -1,0 +1,250 @@
+// Package actuation synthesizes valve activation sequences from a scheduled
+// bioassay — the upstream substrate the paper's problem formulation assumes
+// ("the activation sequences ... are obtained by the resource binding and
+// scheduling process", Section 2, after Minhass et al.). A bioassay is a DAG
+// of fluidic operations (mix, transport, wash, ...) bound to chip units;
+// each unit actuates a set of valves with a unit-specific phase pattern.
+// List scheduling serializes the operations onto the units, and the
+// resulting timeline is projected onto each valve as a "0-1-X" sequence:
+// the valve is driven while its unit is busy and don't-care otherwise.
+//
+// The output plugs directly into valve.Design: sequences of equal length,
+// one per valve, with the pairwise compatibility structure that the
+// clustering stage consumes.
+package actuation
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/valve"
+)
+
+// Unit is a functional unit on the chip (mixer, pump, multiplexer rank...)
+// actuating a fixed set of valves.
+type Unit struct {
+	Name   string
+	Valves []int // valve IDs driven by this unit
+	// Phases is the unit's actuation pattern per busy time step: Phases[k]
+	// gives the open/closed state of each of the unit's valves during the
+	// k-th step of an operation running on this unit. Every row must have
+	// len(Valves) entries. A mixer, e.g., cycles its three pump valves.
+	Phases [][]valve.Status
+}
+
+// Op is one fluidic operation of the bioassay.
+type Op struct {
+	Name string
+	Unit int   // index into the Units slice
+	Dur  int   // duration in time steps (must be >= 1)
+	Deps []int // indices of operations that must complete first
+}
+
+// Assay is a scheduled bioassay specification.
+type Assay struct {
+	Units  []Unit
+	Ops    []Op
+	Valves int // total number of valves on the chip
+}
+
+// Schedule is the synthesis result.
+type Schedule struct {
+	// Start[i] is the start step of operation i; the makespan is Steps.
+	Start []int
+	Steps int
+	// Seqs[v] is valve v's activation sequence over the whole schedule.
+	Seqs []valve.Seq
+}
+
+// Validate checks structural sanity of the assay.
+func (a *Assay) Validate() error {
+	if a.Valves <= 0 {
+		return fmt.Errorf("actuation: no valves")
+	}
+	for ui, u := range a.Units {
+		if len(u.Valves) == 0 {
+			return fmt.Errorf("actuation: unit %d (%s) drives no valves", ui, u.Name)
+		}
+		for _, v := range u.Valves {
+			if v < 0 || v >= a.Valves {
+				return fmt.Errorf("actuation: unit %d references valve %d (have %d)", ui, v, a.Valves)
+			}
+		}
+		if len(u.Phases) == 0 {
+			return fmt.Errorf("actuation: unit %d (%s) has no phases", ui, u.Name)
+		}
+		for pi, ph := range u.Phases {
+			if len(ph) != len(u.Valves) {
+				return fmt.Errorf("actuation: unit %d phase %d has %d states, want %d",
+					ui, pi, len(ph), len(u.Valves))
+			}
+			for _, st := range ph {
+				if !st.Valid() {
+					return fmt.Errorf("actuation: unit %d phase %d has invalid status", ui, pi)
+				}
+			}
+		}
+	}
+	for oi, op := range a.Ops {
+		if op.Unit < 0 || op.Unit >= len(a.Units) {
+			return fmt.Errorf("actuation: op %d (%s) uses unknown unit %d", oi, op.Name, op.Unit)
+		}
+		if op.Dur < 1 {
+			return fmt.Errorf("actuation: op %d (%s) has duration %d", oi, op.Name, op.Dur)
+		}
+		for _, dep := range op.Deps {
+			if dep < 0 || dep >= len(a.Ops) {
+				return fmt.Errorf("actuation: op %d depends on unknown op %d", oi, dep)
+			}
+		}
+	}
+	if cycle(a.Ops) {
+		return fmt.Errorf("actuation: dependency cycle")
+	}
+	return nil
+}
+
+func cycle(ops []Op) bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, len(ops))
+	var visit func(int) bool
+	visit = func(i int) bool {
+		color[i] = gray
+		for _, d := range ops[i].Deps {
+			switch color[d] {
+			case gray:
+				return true
+			case white:
+				if visit(d) {
+					return true
+				}
+			}
+		}
+		color[i] = black
+		return false
+	}
+	for i := range ops {
+		if color[i] == white && visit(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// Synthesize list-schedules the assay (earliest-start, ties by operation
+// index) and projects the timeline onto per-valve activation sequences.
+// Valves not driven by any unit, and steps where a valve's unit is idle,
+// are don't-care.
+func Synthesize(a *Assay) (*Schedule, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(a.Ops)
+	start := make([]int, n)
+	done := make([]bool, n)
+	unitFree := make([]int, len(a.Units))
+	opEnd := make([]int, n)
+
+	// Process in topological waves, earliest-ready first, deterministic by
+	// index among ties.
+	remaining := n
+	for remaining > 0 {
+		best := -1
+		bestStart := 0
+		for i := 0; i < n; i++ {
+			if done[i] {
+				continue
+			}
+			ready := true
+			est := 0
+			for _, d := range a.Ops[i].Deps {
+				if !done[d] {
+					ready = false
+					break
+				}
+				if opEnd[d] > est {
+					est = opEnd[d]
+				}
+			}
+			if !ready {
+				continue
+			}
+			if t := unitFree[a.Ops[i].Unit]; t > est {
+				est = t
+			}
+			if best == -1 || est < bestStart {
+				best = i
+				bestStart = est
+			}
+		}
+		if best == -1 {
+			return nil, fmt.Errorf("actuation: scheduling deadlock (cycle?)")
+		}
+		start[best] = bestStart
+		opEnd[best] = bestStart + a.Ops[best].Dur
+		unitFree[a.Ops[best].Unit] = opEnd[best]
+		done[best] = true
+		remaining--
+	}
+	steps := 0
+	for i := range a.Ops {
+		if opEnd[i] > steps {
+			steps = opEnd[i]
+		}
+	}
+	if steps == 0 {
+		steps = 1
+	}
+
+	seqs := make([]valve.Seq, a.Valves)
+	for v := range seqs {
+		sq := make(valve.Seq, steps)
+		for t := range sq {
+			sq[t] = valve.DontC
+		}
+		seqs[v] = sq
+	}
+	for i, op := range a.Ops {
+		u := a.Units[op.Unit]
+		for t := 0; t < op.Dur; t++ {
+			phase := u.Phases[t%len(u.Phases)]
+			for k, v := range u.Valves {
+				seqs[v][start[i]+t] = phase[k]
+			}
+		}
+	}
+	return &Schedule{Start: start, Steps: steps, Seqs: seqs}, nil
+}
+
+// LMClusters derives the natural length-matching clusters from the assay:
+// every unit whose valves must switch in lockstep (two or more valves with
+// pairwise-compatible sequences) becomes one cluster. Units whose sequences
+// came out incompatible (overlapping multi-unit valves) are skipped.
+func LMClusters(a *Assay, s *Schedule) [][]int {
+	var out [][]int
+	for _, u := range a.Units {
+		if len(u.Valves) < 2 {
+			continue
+		}
+		ok := true
+		for i := 0; i < len(u.Valves) && ok; i++ {
+			for j := i + 1; j < len(u.Valves); j++ {
+				if !s.Seqs[u.Valves[i]].Compatible(s.Seqs[u.Valves[j]]) {
+					ok = false
+					break
+				}
+			}
+		}
+		if !ok {
+			continue
+		}
+		c := append([]int(nil), u.Valves...)
+		sort.Ints(c)
+		out = append(out, c)
+	}
+	return out
+}

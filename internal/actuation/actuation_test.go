@@ -1,0 +1,220 @@
+package actuation
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/valve"
+)
+
+// geomPt aliases geom.Pt for the test helper below.
+type geomPt = geom.Pt
+
+// twoMixerAssay: two 3-valve mixers plus a shared transport valve.
+func twoMixerAssay() *Assay {
+	mixPhases := [][]valve.Status{
+		{valve.Closed, valve.Open, valve.Open},
+		{valve.Open, valve.Closed, valve.Open},
+		{valve.Open, valve.Open, valve.Closed},
+	}
+	return &Assay{
+		Valves: 7,
+		Units: []Unit{
+			{Name: "mixer0", Valves: []int{0, 1, 2}, Phases: mixPhases},
+			{Name: "mixer1", Valves: []int{3, 4, 5}, Phases: mixPhases},
+			{Name: "trans", Valves: []int{6}, Phases: [][]valve.Status{{valve.Open}}},
+		},
+		Ops: []Op{
+			{Name: "mixA", Unit: 0, Dur: 6},
+			{Name: "mixB", Unit: 1, Dur: 6},
+			{Name: "move", Unit: 2, Dur: 2, Deps: []int{0, 1}},
+			{Name: "mixC", Unit: 0, Dur: 3, Deps: []int{2}},
+		},
+	}
+}
+
+func TestSynthesizeSchedule(t *testing.T) {
+	a := twoMixerAssay()
+	s, err := Synthesize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// mixA and mixB run in parallel from 0; move starts at 6; mixC at 8.
+	if s.Start[0] != 0 || s.Start[1] != 0 {
+		t.Errorf("parallel mixes start at %d,%d, want 0,0", s.Start[0], s.Start[1])
+	}
+	if s.Start[2] != 6 {
+		t.Errorf("move starts at %d, want 6", s.Start[2])
+	}
+	if s.Start[3] != 8 {
+		t.Errorf("mixC starts at %d, want 8", s.Start[3])
+	}
+	if s.Steps != 11 {
+		t.Errorf("makespan = %d, want 11", s.Steps)
+	}
+	for v, sq := range s.Seqs {
+		if len(sq) != s.Steps {
+			t.Errorf("valve %d sequence length %d, want %d", v, len(sq), s.Steps)
+		}
+	}
+}
+
+func TestSynthesizeSequences(t *testing.T) {
+	s, err := Synthesize(twoMixerAssay())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// During mixA (steps 0-5), valve 0 follows the mixer phase pattern:
+	// closed at phase 0, open otherwise.
+	want := []valve.Status{
+		valve.Closed, valve.Open, valve.Open, valve.Closed, valve.Open, valve.Open,
+	}
+	for tstep, w := range want {
+		if s.Seqs[0][tstep] != w {
+			t.Errorf("valve 0 step %d = %c, want %c", tstep, s.Seqs[0][tstep], w)
+		}
+	}
+	// While mixer0 is idle (steps 6-7), its valves are don't-care.
+	if s.Seqs[0][6] != valve.DontC || s.Seqs[0][7] != valve.DontC {
+		t.Error("idle unit valves must be don't-care")
+	}
+	// The transport valve is don't-care until step 6, open for 6-7.
+	if s.Seqs[6][0] != valve.DontC {
+		t.Error("undriven steps must be don't-care")
+	}
+	if s.Seqs[6][6] != valve.Open || s.Seqs[6][7] != valve.Open {
+		t.Error("transport valve must be open during move")
+	}
+}
+
+func TestLMClusters(t *testing.T) {
+	a := twoMixerAssay()
+	s, err := Synthesize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters := LMClusters(a, s)
+	// Mixer valves within a unit are NOT pairwise compatible (the rotating
+	// phase pattern drives them differently), so no clusters emerge here.
+	for _, c := range clusters {
+		for i := 0; i < len(c); i++ {
+			for j := i + 1; j < len(c); j++ {
+				if !s.Seqs[c[i]].Compatible(s.Seqs[c[j]]) {
+					t.Errorf("cluster %v members %d,%d incompatible", c, c[i], c[j])
+				}
+			}
+		}
+	}
+	// A lockstep unit (all valves share one state per phase) must cluster.
+	lock := &Assay{
+		Valves: 3,
+		Units: []Unit{{
+			Name: "gate", Valves: []int{0, 1, 2},
+			Phases: [][]valve.Status{
+				{valve.Closed, valve.Closed, valve.Closed},
+				{valve.Open, valve.Open, valve.Open},
+			},
+		}},
+		Ops: []Op{{Name: "gate", Unit: 0, Dur: 4}},
+	}
+	ls, err := Synthesize(lock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc := LMClusters(lock, ls)
+	if len(lc) != 1 || len(lc[0]) != 3 {
+		t.Fatalf("lockstep unit should give one 3-valve cluster, got %v", lc)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	base := twoMixerAssay()
+	mutations := []struct {
+		name string
+		mut  func(*Assay)
+	}{
+		{"no valves", func(a *Assay) { a.Valves = 0 }},
+		{"empty unit", func(a *Assay) { a.Units[0].Valves = nil }},
+		{"bad valve ref", func(a *Assay) { a.Units[0].Valves = []int{99} }},
+		{"no phases", func(a *Assay) { a.Units[0].Phases = nil }},
+		{"ragged phase", func(a *Assay) { a.Units[0].Phases[0] = a.Units[0].Phases[0][:1] }},
+		{"bad status", func(a *Assay) { a.Units[0].Phases[0][0] = valve.Status('z') }},
+		{"bad unit ref", func(a *Assay) { a.Ops[0].Unit = 9 }},
+		{"zero duration", func(a *Assay) { a.Ops[0].Dur = 0 }},
+		{"bad dep", func(a *Assay) { a.Ops[0].Deps = []int{42} }},
+		{"cycle", func(a *Assay) { a.Ops[0].Deps = []int{3} }},
+	}
+	for _, m := range mutations {
+		a := twoMixerAssay()
+		m.mut(a)
+		if err := a.Validate(); err == nil {
+			t.Errorf("%s: expected error", m.name)
+		}
+	}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("base assay invalid: %v", err)
+	}
+}
+
+func TestSynthesizeSerializesUnitConflicts(t *testing.T) {
+	// Two independent ops on the same unit must not overlap.
+	a := &Assay{
+		Valves: 1,
+		Units:  []Unit{{Name: "u", Valves: []int{0}, Phases: [][]valve.Status{{valve.Closed}}}},
+		Ops: []Op{
+			{Name: "a", Unit: 0, Dur: 3},
+			{Name: "b", Unit: 0, Dur: 3},
+		},
+	}
+	s, err := Synthesize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Steps != 6 {
+		t.Errorf("makespan = %d, want 6 (serialized)", s.Steps)
+	}
+	if s.Start[0] == s.Start[1] {
+		t.Error("same-unit ops overlap")
+	}
+	// The valve is closed throughout (driven by both ops back to back).
+	for tstep := 0; tstep < 6; tstep++ {
+		if s.Seqs[0][tstep] != valve.Closed {
+			t.Errorf("step %d = %c, want 1", tstep, s.Seqs[0][tstep])
+		}
+	}
+}
+
+func TestSynthesizeFeedsDesign(t *testing.T) {
+	// The synthesized sequences must satisfy valve.Design validation.
+	lock := &Assay{
+		Valves: 4,
+		Units: []Unit{
+			{Name: "g1", Valves: []int{0, 1}, Phases: [][]valve.Status{
+				{valve.Closed, valve.Closed}, {valve.Open, valve.Open}}},
+			{Name: "g2", Valves: []int{2, 3}, Phases: [][]valve.Status{
+				{valve.Open, valve.Open}, {valve.Closed, valve.Closed}}},
+		},
+		Ops: []Op{
+			{Name: "p1", Unit: 0, Dur: 4},
+			{Name: "p2", Unit: 1, Dur: 4},
+		},
+	}
+	s, err := Synthesize(lock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &valve.Design{Name: "synth", W: 20, H: 20, Delta: 1,
+		LMClusters: LMClusters(lock, s)}
+	pos := [][2]int{{4, 4}, {8, 6}, {4, 12}, {8, 14}}
+	for v, sq := range s.Seqs {
+		d.Valves = append(d.Valves, valve.Valve{ID: v,
+			Pos: pt(pos[v][0], pos[v][1]), Seq: sq})
+	}
+	d.Pins = append(d.Pins, pt(0, 5), pt(19, 5), pt(0, 15), pt(19, 15))
+	if err := d.Validate(); err != nil {
+		t.Fatalf("synthesized design invalid: %v", err)
+	}
+}
+
+// pt is a test helper for geometry literals.
+func pt(x, y int) geomPt { return geomPt{X: x, Y: y} }

@@ -1,0 +1,87 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/pacor"
+	"repro/internal/valve"
+)
+
+func TestBaselineRoutesSmallDesigns(t *testing.T) {
+	for _, name := range []string{"S1", "S2", "S3", "S4"} {
+		d, err := bench.Generate(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Route(d)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := pacor.Verify(d, res); err != nil {
+			t.Errorf("%s: baseline violates design rules: %v", name, err)
+		}
+		if res.CompletionRate() < 0.8 {
+			t.Errorf("%s: baseline completion %.2f unexpectedly low", name, res.CompletionRate())
+		}
+	}
+}
+
+func TestPACORDominatesBaselineOnMatching(t *testing.T) {
+	totalBase, totalPacor := 0, 0
+	for _, name := range []string{"S2", "S3", "S4", "S5"} {
+		d, err := bench.Generate(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := Route(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := pacor.Route(d, pacor.DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalBase += base.MatchedClusters
+		totalPacor += p.MatchedClusters
+		if base.MatchedClusters > p.MatchedClusters {
+			t.Errorf("%s: baseline matched %d > PACOR %d", name, base.MatchedClusters, p.MatchedClusters)
+		}
+	}
+	t.Logf("matched clusters: baseline %d, PACOR %d", totalBase, totalPacor)
+	if totalPacor <= totalBase {
+		t.Errorf("PACOR (%d) must match strictly more clusters than the baseline (%d) overall",
+			totalPacor, totalBase)
+	}
+}
+
+func TestBaselineReportsSpreads(t *testing.T) {
+	d, err := bench.Generate("S3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Route(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawLens := false
+	for _, c := range res.Clusters {
+		if c.LM && c.Routed && len(c.FullLens) > 0 {
+			sawLens = true
+			for _, l := range c.FullLens {
+				if l < 0 {
+					t.Errorf("cluster %d: disconnected valve distance", c.ID)
+				}
+			}
+		}
+	}
+	if !sawLens {
+		t.Error("baseline should report channel distances for LM clusters")
+	}
+}
+
+func TestBaselineInvalidDesign(t *testing.T) {
+	if _, err := Route(&valve.Design{Name: "bad", W: 0, H: 4}); err == nil {
+		t.Error("invalid design must error")
+	}
+}

@@ -1,0 +1,347 @@
+// Package bench provides deterministic generators for the paper's seven
+// benchmark designs (Table 1). The paper's two real biochips (Chip1, Chip2)
+// were never published, so synthetic stand-ins are generated with exactly
+// the published parameters — grid size, valve count, candidate control pin
+// count, obstructed cell count — and Table 2's cluster structure (Chip2
+// carries only 2-valve clusters, as the paper notes). The synthesized
+// testcases S1-S5 are regenerated the same way. Generation is fully
+// deterministic (fixed seed per design) so every experiment is repeatable.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/valve"
+)
+
+// Spec describes one benchmark design: the Table 1 row plus the multi-valve
+// cluster structure implied by Table 2.
+type Spec struct {
+	Name   string
+	W, H   int
+	Valves int
+	Pins   int
+	Obs    int
+	// ClusterSizes lists the sizes of the length-matching clusters
+	// (len(ClusterSizes) is Table 2's "#Clusters"); remaining valves are
+	// singletons.
+	ClusterSizes []int
+	// Window is the placement radius for a cluster's valves.
+	Window int
+	Seed   int64
+}
+
+// Specs are the seven benchmarks of Table 1.
+var Specs = []Spec{
+	{Name: "Chip1", W: 179, H: 413, Valves: 176, Pins: 556, Obs: 1800,
+		ClusterSizes: sizes(12, 4, 12, 3, 16, 2), Window: 22, Seed: 1001},
+	{Name: "Chip2", W: 231, H: 265, Valves: 56, Pins: 495, Obs: 1863,
+		ClusterSizes: sizes(22, 2), Window: 18, Seed: 1002},
+	{Name: "S1", W: 12, H: 12, Valves: 5, Pins: 14, Obs: 9,
+		ClusterSizes: sizes(2, 2), Window: 4, Seed: 1011},
+	{Name: "S2", W: 22, H: 22, Valves: 10, Pins: 40, Obs: 54,
+		ClusterSizes: sizes(2, 3), Window: 6, Seed: 1012},
+	{Name: "S3", W: 52, H: 52, Valves: 15, Pins: 93, Obs: 0,
+		ClusterSizes: sizes(1, 3, 4, 2), Window: 10, Seed: 1013},
+	{Name: "S4", W: 72, H: 72, Valves: 20, Pins: 139, Obs: 27,
+		ClusterSizes: sizes(1, 4, 2, 3, 4, 2), Window: 12, Seed: 1014},
+	{Name: "S5", W: 152, H: 152, Valves: 40, Pins: 306, Obs: 135,
+		ClusterSizes: sizes(2, 4, 4, 3, 7, 2), Window: 16, Seed: 1015},
+}
+
+// sizes expands (count, size) pairs: sizes(2,4, 1,3) = [4,4,3].
+func sizes(pairs ...int) []int {
+	var out []int
+	for i := 0; i+1 < len(pairs); i += 2 {
+		for k := 0; k < pairs[i]; k++ {
+			out = append(out, pairs[i+1])
+		}
+	}
+	return out
+}
+
+// Names lists the benchmark names in Table 1 order.
+func Names() []string {
+	out := make([]string, len(Specs))
+	for i, s := range Specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Generate builds the named benchmark design. Beyond the seven Table 1
+// names, "ChipM" builds the structured multiplexed-biochip composite.
+func Generate(name string) (*valve.Design, error) {
+	if name == "ChipM" {
+		return ChipM()
+	}
+	for _, s := range Specs {
+		if s.Name == name {
+			return GenerateSpec(s)
+		}
+	}
+	return nil, fmt.Errorf("bench: unknown design %q", name)
+}
+
+// GenerateSpec builds a design from an arbitrary spec (exported so tests and
+// examples can create custom workloads).
+func GenerateSpec(s Spec) (*valve.Design, error) {
+	total := 0
+	for _, sz := range s.ClusterSizes {
+		if sz < 2 {
+			return nil, fmt.Errorf("bench: cluster size %d < 2", sz)
+		}
+		total += sz
+	}
+	if total > s.Valves {
+		return nil, fmt.Errorf("bench: cluster sizes need %d valves, spec has %d", total, s.Valves)
+	}
+	perimeter := 2*(s.W+s.H) - 4
+	if s.Pins > perimeter {
+		return nil, fmt.Errorf("bench: %d pins exceed perimeter %d", s.Pins, perimeter)
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	d := &valve.Design{Name: s.Name, W: s.W, H: s.H, Delta: 1}
+
+	occupied := make(map[geom.Pt]bool)
+	in := func(p geom.Pt, margin int) bool {
+		return p.X >= margin && p.X < s.W-margin && p.Y >= margin && p.Y < s.H-margin
+	}
+
+	// Obstacles: small rectangular blobs trimmed to the exact cell count,
+	// kept off the two-cell boundary ring so pins stay reachable.
+	obsCells := make([]geom.Pt, 0, s.Obs)
+	for len(obsCells) < s.Obs {
+		w := 1 + rng.Intn(4)
+		h := 1 + rng.Intn(4)
+		x := 2 + rng.Intn(maxInt(1, s.W-4-w))
+		y := 2 + rng.Intn(maxInt(1, s.H-4-h))
+		for dy := 0; dy < h && len(obsCells) < s.Obs; dy++ {
+			for dx := 0; dx < w && len(obsCells) < s.Obs; dx++ {
+				p := geom.Pt{X: x + dx, Y: y + dy}
+				if !occupied[p] && in(p, 2) {
+					occupied[p] = true
+					obsCells = append(obsCells, p)
+				}
+			}
+		}
+	}
+	d.Obstacles = obsCells
+
+	// Valve placement helper: free cell with clearance from everything
+	// placed so far (obstacles and valves).
+	clear := func(p geom.Pt, spacing int) bool {
+		if !in(p, 2) {
+			return false
+		}
+		for dx := -spacing; dx <= spacing; dx++ {
+			for dy := -spacing; dy <= spacing; dy++ {
+				if geom.Abs(dx)+geom.Abs(dy) <= spacing &&
+					occupied[geom.Pt{X: p.X + dx, Y: p.Y + dy}] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	place := func(spacing int, inWindow *geom.Rect) (geom.Pt, error) {
+		for try := 0; try < 20000; try++ {
+			var p geom.Pt
+			if inWindow != nil {
+				p = geom.Pt{
+					X: inWindow.MinX + rng.Intn(maxInt(1, inWindow.Width())),
+					Y: inWindow.MinY + rng.Intn(maxInt(1, inWindow.Height())),
+				}
+			} else {
+				p = geom.Pt{X: rng.Intn(s.W), Y: rng.Intn(s.H)}
+			}
+			if clear(p, spacing) {
+				occupied[p] = true
+				return p, nil
+			}
+		}
+		return geom.Pt{}, fmt.Errorf("bench: cannot place valve (design %s too dense)", s.Name)
+	}
+
+	// Cluster valves: members near a shared center, with odd diagonal-ish
+	// offsets so DME merging segments are non-degenerate.
+	nClusters := len(s.ClusterSizes)
+	singles := s.Valves - total
+	codeBits := codeLen(nClusters + singles)
+	seqLen := codeBits + 2 // two trailing don't-care-able padding steps
+
+	// Cluster centers keep a minimum separation so cluster trees do not pile
+	// into one pocket and strangle each other's escape corridors (real
+	// biochips spread their functional units the same way) — except that
+	// every third cluster is placed deliberately adjacent to its
+	// predecessor, creating the overlapping-candidate-tree contention that
+	// the paper's MWCP selection stage (Section 4.2) is designed to resolve.
+	minCenterDist := s.Window + s.Window/2
+	var centers []geom.Pt
+
+	valveID := 0
+	codeIdx := 0
+	for ci, sz := range s.ClusterSizes {
+		var cluster []int
+		interleave := ci%2 == 1 && len(centers) > 0
+		for try := 0; ; try++ {
+			if try >= 2000 {
+				return nil, fmt.Errorf("bench: cannot place cluster %d in %s", ci, s.Name)
+			}
+			var center geom.Pt
+			if interleave && try < 1000 {
+				prev := centers[len(centers)-1]
+				center = geom.Pt{
+					X: prev.X - s.Window/2 + rng.Intn(s.Window+1),
+					Y: prev.Y - s.Window/2 + rng.Intn(s.Window+1),
+				}
+				if center.X < 3 || center.X >= s.W-3 || center.Y < 3 || center.Y >= s.H-3 {
+					continue
+				}
+			} else {
+				center = geom.Pt{
+					X: 3 + rng.Intn(maxInt(1, s.W-6)),
+					Y: 3 + rng.Intn(maxInt(1, s.H-6)),
+				}
+				if try < 1500 { // relax the spacing only as a last resort
+					tooClose := false
+					for _, c := range centers {
+						if geom.Dist(c, center) < minCenterDist {
+							tooClose = true
+							break
+						}
+					}
+					if tooClose {
+						continue
+					}
+				}
+			}
+			win := geom.Rect{
+				MinX: maxInt(2, center.X-s.Window), MinY: maxInt(2, center.Y-s.Window),
+				MaxX: minInt(s.W-3, center.X+s.Window), MaxY: minInt(s.H-3, center.Y+s.Window),
+			}
+			pts := make([]geom.Pt, 0, sz)
+			ok := true
+			for k := 0; k < sz; k++ {
+				p, err := place(3, &win)
+				if err != nil {
+					ok = false
+					break
+				}
+				pts = append(pts, p)
+			}
+			if !ok {
+				for _, p := range pts {
+					delete(occupied, p)
+				}
+				continue
+			}
+			centers = append(centers, center)
+			base := codeSeq(codeIdx, codeBits, seqLen)
+			for k, p := range pts {
+				sq := append(valve.Seq(nil), base...)
+				// Exercise don't-care merging on padding steps.
+				if k%2 == 1 {
+					sq[codeBits+k%2] = valve.DontC
+				}
+				d.Valves = append(d.Valves, valve.Valve{ID: valveID, Pos: p, Seq: sq})
+				cluster = append(cluster, valveID)
+				valveID++
+			}
+			break
+		}
+		codeIdx++
+		d.LMClusters = append(d.LMClusters, cluster)
+	}
+	// Singleton valves, each with a unique code.
+	for k := 0; k < singles; k++ {
+		p, err := place(3, nil)
+		if err != nil {
+			return nil, err
+		}
+		d.Valves = append(d.Valves, valve.Valve{
+			ID: valveID, Pos: p, Seq: codeSeq(codeIdx, codeBits, seqLen)})
+		valveID++
+		codeIdx++
+	}
+
+	// Pins: evenly spaced along the perimeter.
+	d.Pins = perimeterPins(s.W, s.H, s.Pins)
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("bench: generated %s invalid: %w", s.Name, err)
+	}
+	return d, nil
+}
+
+// codeLen returns the number of bits to give n entities distinct codes.
+func codeLen(n int) int {
+	b := 1
+	for (1 << b) < n {
+		b++
+	}
+	return b
+}
+
+// codeSeq encodes idx as a 0/1 activation sequence of seqLen steps (the
+// first bits distinct per cluster, padding zeros after).
+func codeSeq(idx, bits, seqLen int) valve.Seq {
+	sq := make(valve.Seq, seqLen)
+	for i := 0; i < seqLen; i++ {
+		sq[i] = valve.Open
+	}
+	for b := 0; b < bits; b++ {
+		if idx&(1<<b) != 0 {
+			sq[b] = valve.Closed
+		}
+	}
+	return sq
+}
+
+// perimeterPins returns n pins evenly spread over the chip boundary.
+func perimeterPins(w, h, n int) []geom.Pt {
+	var ring []geom.Pt
+	for x := 0; x < w; x++ {
+		ring = append(ring, geom.Pt{X: x, Y: 0})
+	}
+	for y := 1; y < h; y++ {
+		ring = append(ring, geom.Pt{X: w - 1, Y: y})
+	}
+	for x := w - 2; x >= 0; x-- {
+		ring = append(ring, geom.Pt{X: x, Y: h - 1})
+	}
+	for y := h - 2; y >= 1; y-- {
+		ring = append(ring, geom.Pt{X: 0, Y: y})
+	}
+	pins := make([]geom.Pt, 0, n)
+	for i := 0; i < n; i++ {
+		pins = append(pins, ring[i*len(ring)/n])
+	}
+	return pins
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// StressSpec is a beyond-the-paper scalability workload: a chip with more
+// and larger length-matching clusters than any Table 1 design, used by the
+// scale tests and benchmarks to demonstrate headroom past the published
+// sizes.
+func StressSpec() Spec {
+	return Spec{
+		Name: "Stress", W: 256, H: 256, Valves: 96, Pins: 400, Obs: 500,
+		ClusterSizes: sizes(6, 4, 8, 3, 10, 2), Window: 18, Seed: 9001,
+	}
+}

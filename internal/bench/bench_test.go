@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// TestTable1Parameters asserts the generated designs reproduce Table 1's
+// published parameters exactly.
+func TestTable1Parameters(t *testing.T) {
+	want := map[string][4]int{ // W*H encoded as [W, H, valves... ]
+		"Chip1": {179, 413, 176, 1800},
+		"Chip2": {231, 265, 56, 1863},
+		"S1":    {12, 12, 5, 9},
+		"S2":    {22, 22, 10, 54},
+		"S3":    {52, 52, 15, 0},
+		"S4":    {72, 72, 20, 27},
+		"S5":    {152, 152, 40, 135},
+	}
+	pins := map[string]int{
+		"Chip1": 556, "Chip2": 495, "S1": 14, "S2": 40, "S3": 93, "S4": 139, "S5": 306,
+	}
+	for _, name := range Names() {
+		d, err := Generate(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		w := want[name]
+		if d.W != w[0] || d.H != w[1] {
+			t.Errorf("%s: size %dx%d, want %dx%d", name, d.W, d.H, w[0], w[1])
+		}
+		if len(d.Valves) != w[2] {
+			t.Errorf("%s: %d valves, want %d", name, len(d.Valves), w[2])
+		}
+		if len(d.Obstacles) != w[3] {
+			t.Errorf("%s: %d obstacles, want %d", name, len(d.Obstacles), w[3])
+		}
+		if len(d.Pins) != pins[name] {
+			t.Errorf("%s: %d pins, want %d", name, len(d.Pins), pins[name])
+		}
+		if d.Delta != 1 {
+			t.Errorf("%s: delta %d, want 1 (paper's setting)", name, d.Delta)
+		}
+	}
+}
+
+// TestTable2ClusterCounts asserts the multi-valve cluster counts match
+// Table 2's "#Clusters" column after the clustering stage.
+func TestTable2ClusterCounts(t *testing.T) {
+	want := map[string]int{
+		"Chip1": 40, "Chip2": 22, "S1": 2, "S2": 2, "S3": 5, "S4": 7, "S5": 13,
+	}
+	for _, name := range Names() {
+		d, err := Generate(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := len(d.LMClusters); got != want[name] {
+			t.Errorf("%s: %d LM clusters, want %d", name, got, want[name])
+		}
+		part := cluster.Partition(d)
+		if got := part.MultiValve(); got != want[name] {
+			t.Errorf("%s: clustering yields %d multi-valve clusters, want %d",
+				name, got, want[name])
+		}
+		if !cluster.Verify(d, part) {
+			t.Errorf("%s: invalid partition", name)
+		}
+	}
+}
+
+// TestChip2PairsOnly checks the paper's remark that Chip2 has only 2-valve
+// clusters.
+func TestChip2PairsOnly(t *testing.T) {
+	d, err := Generate("Chip2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range d.LMClusters {
+		if len(c) != 2 {
+			t.Errorf("Chip2 cluster %d has %d valves, want 2", i, len(c))
+		}
+	}
+}
+
+// TestDeterministic verifies generation is reproducible.
+func TestDeterministic(t *testing.T) {
+	a, err := Generate("S3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate("S3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Valves) != len(b.Valves) {
+		t.Fatal("valve count differs")
+	}
+	for i := range a.Valves {
+		if a.Valves[i].Pos != b.Valves[i].Pos || a.Valves[i].Seq.String() != b.Valves[i].Seq.String() {
+			t.Fatalf("valve %d differs between runs", i)
+		}
+	}
+}
+
+// TestClusterCompatibility: LM cluster members must be pairwise compatible,
+// and valves of different clusters incompatible (unique codes).
+func TestClusterCompatibility(t *testing.T) {
+	d, err := Generate("S5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci, c := range d.LMClusters {
+		for i := 0; i < len(c); i++ {
+			for j := i + 1; j < len(c); j++ {
+				if !d.Valves[c[i]].Compatible(d.Valves[c[j]]) {
+					t.Errorf("cluster %d: valves %d,%d incompatible", ci, c[i], c[j])
+				}
+			}
+		}
+	}
+	// Cross-cluster: first member of each cluster pairwise incompatible.
+	for a := 0; a < len(d.LMClusters); a++ {
+		for b := a + 1; b < len(d.LMClusters); b++ {
+			va, vb := d.LMClusters[a][0], d.LMClusters[b][0]
+			if d.Valves[va].Compatible(d.Valves[vb]) {
+				t.Errorf("clusters %d and %d compatible (codes collide)", a, b)
+			}
+		}
+	}
+}
+
+func TestGenerateUnknown(t *testing.T) {
+	if _, err := Generate("nope"); err == nil {
+		t.Error("unknown design must error")
+	}
+}
+
+func TestGenerateSpecErrors(t *testing.T) {
+	if _, err := GenerateSpec(Spec{Name: "x", W: 10, H: 10, Valves: 1,
+		ClusterSizes: []int{2}, Pins: 4, Seed: 1}); err == nil {
+		t.Error("cluster larger than valve count must error")
+	}
+	if _, err := GenerateSpec(Spec{Name: "x", W: 5, H: 5, Valves: 1,
+		Pins: 500, Seed: 1}); err == nil {
+		t.Error("too many pins must error")
+	}
+	if _, err := GenerateSpec(Spec{Name: "x", W: 10, H: 10, Valves: 3,
+		ClusterSizes: []int{1}, Pins: 4, Seed: 1}); err == nil {
+		t.Error("cluster size 1 must error")
+	}
+}

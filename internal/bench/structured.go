@@ -1,0 +1,210 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/valve"
+)
+
+// UnitKind identifies a functional-unit template, the building blocks real
+// mVLSI chips are composed of (Figure 1 of the paper; Thorsen et al.,
+// Unger et al.). Random scatter (GenerateSpec) reproduces Table 1's
+// statistics; structured composition reproduces how real control layers
+// actually look: valves in regular banks with per-unit synchronization.
+type UnitKind int
+
+// The unit templates.
+const (
+	// UnitMuxRank is one rank of a binary multiplexer: a row of valves that
+	// pinch alternating flow channels and must switch in lockstep (LM).
+	UnitMuxRank UnitKind = iota
+	// UnitMixer is a rotary mixer: three pump valves around a ring driven in
+	// a rotating phase pattern (not synchronized — no LM).
+	UnitMixer
+	// UnitChamberPair is a reaction chamber's inlet/outlet valve pair,
+	// opened together (LM).
+	UnitChamberPair
+	// UnitPumpRow is a 3-valve peristaltic pump (not LM).
+	UnitPumpRow
+)
+
+func (k UnitKind) String() string {
+	switch k {
+	case UnitMuxRank:
+		return "mux-rank"
+	case UnitMixer:
+		return "mixer"
+	case UnitChamberPair:
+		return "chamber-pair"
+	case UnitPumpRow:
+		return "pump-row"
+	}
+	return fmt.Sprintf("UnitKind(%d)", int(k))
+}
+
+// UnitPlacement positions one unit instance on the chip.
+type UnitPlacement struct {
+	Kind UnitKind
+	At   geom.Pt // anchor cell (top-left of the unit's footprint)
+	// Size scales the unit where meaningful (valves in a mux rank; ignored
+	// for fixed-size templates). Zero means the template default.
+	Size int
+}
+
+// unitValves returns the valve offsets of the template and whether the unit
+// carries the length-matching constraint. Offsets use slight diagonal
+// staggering so DME merging segments are non-degenerate.
+func unitValves(kind UnitKind, size int) (offsets []geom.Pt, lm bool) {
+	switch kind {
+	case UnitMuxRank:
+		if size <= 0 {
+			size = 4
+		}
+		for i := 0; i < size; i++ {
+			offsets = append(offsets, geom.Pt{X: i * 6, Y: (i % 2) * 1})
+		}
+		return offsets, true
+	case UnitMixer:
+		return []geom.Pt{{X: 0, Y: 0}, {X: 5, Y: 2}, {X: 2, Y: 5}}, false
+	case UnitChamberPair:
+		return []geom.Pt{{X: 0, Y: 0}, {X: 5, Y: 3}}, true
+	case UnitPumpRow:
+		return []geom.Pt{{X: 0, Y: 0}, {X: 4, Y: 1}, {X: 8, Y: 0}}, false
+	}
+	return nil, false
+}
+
+// StructuredSpec describes a chip composed of functional units.
+type StructuredSpec struct {
+	Name  string
+	W, H  int
+	Units []UnitPlacement
+	Pins  int
+	// Obs adds this many obstructed cells of flow-layer punch-through
+	// (placed deterministically away from units).
+	Obs  int
+	Seed int64
+}
+
+// GenerateStructured builds a design from unit templates: each unit's
+// valves share one activation code (with per-unit uniqueness across the
+// chip); LM units become length-matching clusters.
+func GenerateStructured(s StructuredSpec) (*valve.Design, error) {
+	if len(s.Units) == 0 {
+		return nil, fmt.Errorf("bench: structured design %q has no units", s.Name)
+	}
+	perimeter := 2*(s.W+s.H) - 4
+	if s.Pins > perimeter {
+		return nil, fmt.Errorf("bench: %d pins exceed perimeter %d", s.Pins, perimeter)
+	}
+	d := &valve.Design{Name: s.Name, W: s.W, H: s.H, Delta: 1}
+	rng := rand.New(rand.NewSource(s.Seed))
+
+	codeBits := codeLen(len(s.Units))
+	seqLen := codeBits + 2
+	occupied := map[geom.Pt]bool{}
+
+	valveID := 0
+	for ui, u := range s.Units {
+		offsets, lm := unitValves(u.Kind, u.Size)
+		if offsets == nil {
+			return nil, fmt.Errorf("bench: unit %d has unknown kind %v", ui, u.Kind)
+		}
+		base := codeSeq(ui, codeBits, seqLen)
+		var cluster []int
+		for k, off := range offsets {
+			p := u.At.Add(off)
+			if p.X < 2 || p.X >= s.W-2 || p.Y < 2 || p.Y >= s.H-2 {
+				return nil, fmt.Errorf("bench: unit %d (%v at %v) valve %v off the usable area",
+					ui, u.Kind, u.At, p)
+			}
+			if occupied[p] {
+				return nil, fmt.Errorf("bench: unit %d overlaps an earlier unit at %v", ui, p)
+			}
+			occupied[p] = true
+			sq := append(valve.Seq(nil), base...)
+			if !lm {
+				// Non-synchronized units drive members differently: rotate a
+				// closed phase through the padding positions so members stay
+				// compatible with nobody else but are NOT pairwise identical
+				// requirements... they must still be pairwise compatible to
+				// share a pin, so encode the rotation in don't-cares.
+				sq[codeBits+(k%2)] = valve.DontC
+			}
+			d.Valves = append(d.Valves, valve.Valve{ID: valveID, Pos: p, Seq: sq})
+			cluster = append(cluster, valveID)
+			valveID++
+		}
+		if lm && len(cluster) >= 2 {
+			d.LMClusters = append(d.LMClusters, cluster)
+		}
+	}
+	// Obstacles: deterministic scatter with clearance 2 from every valve.
+	clearOf := func(p geom.Pt) bool {
+		for dx := -2; dx <= 2; dx++ {
+			for dy := -2; dy <= 2; dy++ {
+				if geom.Abs(dx)+geom.Abs(dy) <= 2 && occupied[geom.Pt{X: p.X + dx, Y: p.Y + dy}] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for placed, tries := 0, 0; placed < s.Obs && tries < 50000; tries++ {
+		p := geom.Pt{X: 2 + rng.Intn(s.W-4), Y: 2 + rng.Intn(s.H-4)}
+		if clearOf(p) {
+			occupied[p] = true
+			d.Obstacles = append(d.Obstacles, p)
+			placed++
+		}
+	}
+	if len(d.Obstacles) < s.Obs {
+		return nil, fmt.Errorf("bench: could not place %d obstacles", s.Obs)
+	}
+	d.Pins = perimeterPins(s.W, s.H, s.Pins)
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("bench: structured %s invalid: %w", s.Name, err)
+	}
+	return d, nil
+}
+
+// ChipM returns a ready-made structured composite in the style of a real
+// multiplexed biochip: two 8-wide multiplexer banks (3 ranks each), four
+// mixers, four reaction chambers, and two pumps — 48 valves, 10 LM
+// clusters.
+func ChipM() (*valve.Design, error) {
+	var units []UnitPlacement
+	// Two mux banks, 3 ranks of 4 each, top of the chip.
+	for bank := 0; bank < 2; bank++ {
+		for rank := 0; rank < 3; rank++ {
+			units = append(units, UnitPlacement{
+				Kind: UnitMuxRank,
+				At:   geom.Pt{X: 8 + bank*48, Y: 6 + rank*8},
+				Size: 4,
+			})
+		}
+	}
+	// Mixers mid-chip.
+	for i := 0; i < 4; i++ {
+		units = append(units, UnitPlacement{
+			Kind: UnitMixer, At: geom.Pt{X: 10 + i*22, Y: 40},
+		})
+	}
+	// Chamber pairs below.
+	for i := 0; i < 4; i++ {
+		units = append(units, UnitPlacement{
+			Kind: UnitChamberPair, At: geom.Pt{X: 12 + i*22, Y: 58},
+		})
+	}
+	// Pumps at the bottom.
+	for i := 0; i < 2; i++ {
+		units = append(units, UnitPlacement{
+			Kind: UnitPumpRow, At: geom.Pt{X: 24 + i*40, Y: 74},
+		})
+	}
+	return GenerateStructured(StructuredSpec{
+		Name: "ChipM", W: 100, H: 88, Units: units, Pins: 220, Obs: 120, Seed: 4711,
+	})
+}

@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/geom"
+	"repro/internal/pacor"
+)
+
+func TestChipMStructure(t *testing.T) {
+	d, err := ChipM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 mux ranks (4 valves) + 4 mixers (3) + 4 chambers (2) + 2 pumps (3).
+	if got, want := len(d.Valves), 6*4+4*3+4*2+2*3; got != want {
+		t.Errorf("valves = %d, want %d", got, want)
+	}
+	// LM clusters: mux ranks + chamber pairs.
+	if got, want := len(d.LMClusters), 6+4; got != want {
+		t.Errorf("LM clusters = %d, want %d", got, want)
+	}
+	if len(d.Obstacles) != 120 || len(d.Pins) != 220 {
+		t.Errorf("obstacles %d pins %d", len(d.Obstacles), len(d.Pins))
+	}
+	part := cluster.Partition(d)
+	if !cluster.Verify(d, part) {
+		t.Error("invalid partition")
+	}
+}
+
+func TestChipMRoutes(t *testing.T) {
+	d, err := ChipM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pacor.Route(d, pacor.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pacor.Verify(d, res); err != nil {
+		t.Fatal(err)
+	}
+	if res.CompletionRate() != 1 {
+		t.Errorf("completion %.3f", res.CompletionRate())
+	}
+	// Structured banks route cleanly: expect most LM clusters matched.
+	if res.MatchedClusters < 8 {
+		t.Errorf("matched %d/10, want >= 8 on a regular layout", res.MatchedClusters)
+	}
+	t.Logf("ChipM: %d/%d matched, total length %d", res.MatchedClusters,
+		res.MultiClusters, res.TotalLen)
+}
+
+func TestGenerateStructuredErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		spec StructuredSpec
+	}{
+		{"no units", StructuredSpec{Name: "x", W: 20, H: 20, Pins: 10}},
+		{"off chip", StructuredSpec{Name: "x", W: 20, H: 20, Pins: 10,
+			Units: []UnitPlacement{{Kind: UnitMuxRank, At: geom.Pt{X: 15, Y: 5}}}}},
+		{"overlap", StructuredSpec{Name: "x", W: 40, H: 40, Pins: 10,
+			Units: []UnitPlacement{
+				{Kind: UnitMixer, At: geom.Pt{X: 10, Y: 10}},
+				{Kind: UnitMixer, At: geom.Pt{X: 10, Y: 10}},
+			}}},
+		{"too many pins", StructuredSpec{Name: "x", W: 10, H: 10, Pins: 500,
+			Units: []UnitPlacement{{Kind: UnitMixer, At: geom.Pt{X: 3, Y: 3}}}}},
+	}
+	for _, c := range cases {
+		if _, err := GenerateStructured(c.spec); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestUnitKindString(t *testing.T) {
+	for _, k := range []UnitKind{UnitMuxRank, UnitMixer, UnitChamberPair, UnitPumpRow} {
+		if k.String() == "" || k.String()[0] == 'U' {
+			t.Errorf("kind %d has no name", int(k))
+		}
+	}
+	if UnitKind(99).String() == "" {
+		t.Error("unknown kind should still stringify")
+	}
+}
+
+func TestStructuredDeterministic(t *testing.T) {
+	a, err := ChipM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ChipM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Valves {
+		if a.Valves[i].Pos != b.Valves[i].Pos {
+			t.Fatal("structured generation not deterministic")
+		}
+	}
+	for i := range a.Obstacles {
+		if a.Obstacles[i] != b.Obstacles[i] {
+			t.Fatal("obstacles not deterministic")
+		}
+	}
+}

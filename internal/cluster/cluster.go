@@ -1,0 +1,281 @@
+// Package cluster implements valve clustering for broadcast addressing (the
+// "Valve clustering" stage of Figure 2). Valves connected to the same
+// control pin must be pairwise compatible, so minimizing the number of
+// control pins is a minimum clique partition of the valve compatibility
+// graph — NP-complete [Garey & Johnson], so as in the paper a fast greedy
+// max-clique heuristic is used, with a local improvement pass.
+//
+// Pre-specified length-matching clusters are preserved verbatim: they arrive
+// from the designer, are validated upstream, and each becomes one cluster
+// with the LM flag set.
+package cluster
+
+import (
+	"sort"
+
+	"repro/internal/mwcp"
+	"repro/internal/valve"
+)
+
+// Cluster is a set of pairwise-compatible valves that will share one control
+// pin.
+type Cluster struct {
+	ID     int
+	Valves []int // valve IDs, sorted ascending
+	LM     bool  // carries the length-matching constraint
+}
+
+// Result is the output of the clustering stage.
+type Result struct {
+	Clusters []Cluster
+}
+
+// MultiValve returns the number of clusters with at least two valves — the
+// "#Clusters" column of Table 2.
+func (r *Result) MultiValve() int {
+	n := 0
+	for _, c := range r.Clusters {
+		if len(c.Valves) >= 2 {
+			n++
+		}
+	}
+	return n
+}
+
+// Partition clusters the design's valves. LM clusters are kept as given;
+// remaining valves are partitioned into as few pairwise-compatible clusters
+// as possible using repeated greedy maximum-clique extraction on the
+// compatibility graph.
+func Partition(d *valve.Design) *Result {
+	adj := d.CompatGraph()
+	n := len(d.Valves)
+	assigned := make([]bool, n)
+
+	res := &Result{}
+	for _, lm := range d.LMClusters {
+		ids := append([]int(nil), lm...)
+		sort.Ints(ids)
+		for _, id := range ids {
+			assigned[id] = true
+		}
+		res.Clusters = append(res.Clusters, Cluster{ID: len(res.Clusters), Valves: ids, LM: true})
+	}
+
+	free := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if !assigned[i] {
+			free = append(free, i)
+		}
+	}
+	for len(free) > 0 {
+		clique := greedyClique(free, adj)
+		clique = improveClique(clique, free, adj)
+		sort.Ints(clique)
+		res.Clusters = append(res.Clusters, Cluster{ID: len(res.Clusters), Valves: clique})
+		inClique := make(map[int]bool, len(clique))
+		for _, v := range clique {
+			inClique[v] = true
+		}
+		next := free[:0]
+		for _, v := range free {
+			if !inClique[v] {
+				next = append(next, v)
+			}
+		}
+		free = next
+	}
+	return res
+}
+
+// greedyClique extracts a maximal clique from cand: seed with the highest-
+// degree vertex (within cand), then repeatedly add the compatible vertex
+// with the largest remaining candidate degree.
+func greedyClique(cand []int, adj [][]bool) []int {
+	if len(cand) == 0 {
+		return nil
+	}
+	deg := make(map[int]int, len(cand))
+	for _, v := range cand {
+		for _, w := range cand {
+			if v != w && adj[v][w] {
+				deg[v]++
+			}
+		}
+	}
+	seed := cand[0]
+	for _, v := range cand[1:] {
+		if deg[v] > deg[seed] || (deg[v] == deg[seed] && v < seed) {
+			seed = v
+		}
+	}
+	clique := []int{seed}
+	pool := make([]int, 0, len(cand))
+	for _, v := range cand {
+		if v != seed && adj[seed][v] {
+			pool = append(pool, v)
+		}
+	}
+	for len(pool) > 0 {
+		// Pick the pool vertex with the largest degree within the pool.
+		best, bestDeg := -1, -1
+		for _, v := range pool {
+			dv := 0
+			for _, w := range pool {
+				if v != w && adj[v][w] {
+					dv++
+				}
+			}
+			if dv > bestDeg || (dv == bestDeg && (best == -1 || v < best)) {
+				best, bestDeg = v, dv
+			}
+		}
+		clique = append(clique, best)
+		next := pool[:0]
+		for _, v := range pool {
+			if v != best && adj[best][v] {
+				next = append(next, v)
+			}
+		}
+		pool = next
+	}
+	return clique
+}
+
+// improveClique tries single-vertex augmentation: any free vertex adjacent
+// to the whole clique joins it. (greedyClique already returns a maximal
+// clique within cand, but improveClique guards against ordering artifacts
+// and keeps the invariant explicit.)
+func improveClique(clique, cand []int, adj [][]bool) []int {
+	in := make(map[int]bool, len(clique))
+	for _, v := range clique {
+		in[v] = true
+	}
+	for _, v := range cand {
+		if in[v] {
+			continue
+		}
+		ok := true
+		for _, w := range clique {
+			if !adj[v][w] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			clique = append(clique, v)
+			in[v] = true
+		}
+	}
+	return clique
+}
+
+// Verify checks that every cluster in r is pairwise compatible in d and that
+// every valve appears in exactly one cluster. It returns false on any
+// violation; used by tests and by the flow's internal assertions.
+func Verify(d *valve.Design, r *Result) bool {
+	seen := make(map[int]bool)
+	for _, c := range r.Clusters {
+		for _, v := range c.Valves {
+			if v < 0 || v >= len(d.Valves) || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		for i, v := range c.Valves {
+			for _, w := range c.Valves[i+1:] {
+				if !d.Valves[v].Compatible(d.Valves[w]) {
+					return false
+				}
+			}
+		}
+	}
+	return len(seen) == len(d.Valves)
+}
+
+// Split partitions a cluster into two halves (used by de-clustering when a
+// cluster cannot be routed). Valves are split by position order to keep the
+// halves spatially coherent. Splitting a singleton returns it unchanged.
+func Split(d *valve.Design, c Cluster) []Cluster {
+	if len(c.Valves) <= 1 {
+		return []Cluster{c}
+	}
+	ids := append([]int(nil), c.Valves...)
+	sort.Slice(ids, func(i, j int) bool {
+		pi, pj := d.Valves[ids[i]].Pos, d.Valves[ids[j]].Pos
+		if pi.X != pj.X {
+			return pi.X < pj.X
+		}
+		if pi.Y != pj.Y {
+			return pi.Y < pj.Y
+		}
+		return ids[i] < ids[j]
+	})
+	mid := len(ids) / 2
+	a := append([]int(nil), ids[:mid]...)
+	b := append([]int(nil), ids[mid:]...)
+	sort.Ints(a)
+	sort.Ints(b)
+	return []Cluster{
+		{ID: c.ID, Valves: a, LM: false},
+		{ID: -1, Valves: b, LM: false},
+	}
+}
+
+// PartitionExact is the slower sibling of Partition: each extraction step
+// takes a true maximum clique of the remaining compatibility graph (via the
+// exact branch-and-bound in internal/mwcp) instead of the greedy clique.
+// Repeated maximum-clique extraction is still a heuristic for minimum clique
+// partition (the problem is NP-complete), but it never produces more
+// clusters than the greedy variant on the instances the flow sees. Intended
+// for small-to-medium valve counts.
+func PartitionExact(d *valve.Design) *Result {
+	adj := d.CompatGraph()
+	n := len(d.Valves)
+	assigned := make([]bool, n)
+
+	res := &Result{}
+	for _, lm := range d.LMClusters {
+		ids := append([]int(nil), lm...)
+		sort.Ints(ids)
+		for _, id := range ids {
+			assigned[id] = true
+		}
+		res.Clusters = append(res.Clusters, Cluster{ID: len(res.Clusters), Valves: ids, LM: true})
+	}
+	free := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if !assigned[i] {
+			free = append(free, i)
+		}
+	}
+	for len(free) > 0 {
+		// Build the subgraph over the free valves with unit weights.
+		g := mwcp.NewCliqueGraph(len(free))
+		for a := 0; a < len(free); a++ {
+			for b := a + 1; b < len(free); b++ {
+				if adj[free[a]][free[b]] {
+					g.AddEdge(a, b)
+				}
+			}
+		}
+		cliqueIdx, _ := mwcp.MaxWeightClique(g)
+		clique := make([]int, len(cliqueIdx))
+		for i, ci := range cliqueIdx {
+			clique[i] = free[ci]
+		}
+		sort.Ints(clique)
+		res.Clusters = append(res.Clusters, Cluster{ID: len(res.Clusters), Valves: clique})
+		inClique := make(map[int]bool, len(clique))
+		for _, v := range clique {
+			inClique[v] = true
+		}
+		next := free[:0]
+		for _, v := range free {
+			if !inClique[v] {
+				next = append(next, v)
+			}
+		}
+		free = next
+	}
+	return res
+}

@@ -1,0 +1,202 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/valve"
+)
+
+func seq(t *testing.T, s string) valve.Seq {
+	t.Helper()
+	q, err := valve.ParseSeq(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func design(t *testing.T, seqs []string, lm [][]int) *valve.Design {
+	t.Helper()
+	d := &valve.Design{Name: "t", W: 50, H: 50, Delta: 1, LMClusters: lm,
+		Pins: []geom.Pt{{X: 0, Y: 0}}}
+	for i, s := range seqs {
+		d.Valves = append(d.Valves, valve.Valve{
+			ID: i, Pos: geom.Pt{X: 1 + i, Y: 1 + (i*3)%40}, Seq: seq(t, s)})
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestPartitionAllCompatible(t *testing.T) {
+	d := design(t, []string{"0X0", "000", "0XX", "X00"}, nil)
+	r := Partition(d)
+	if len(r.Clusters) != 1 {
+		t.Fatalf("got %d clusters, want 1: %+v", len(r.Clusters), r.Clusters)
+	}
+	if !Verify(d, r) {
+		t.Error("Verify failed")
+	}
+}
+
+func TestPartitionAllIncompatible(t *testing.T) {
+	d := design(t, []string{"001", "010", "100", "111"}, nil)
+	r := Partition(d)
+	if len(r.Clusters) != 4 {
+		t.Fatalf("got %d clusters, want 4", len(r.Clusters))
+	}
+	if !Verify(d, r) {
+		t.Error("Verify failed")
+	}
+}
+
+func TestPartitionPreservesLM(t *testing.T) {
+	d := design(t, []string{"0X0", "000", "010", "0X0"}, [][]int{{0, 1}})
+	r := Partition(d)
+	if !r.Clusters[0].LM {
+		t.Fatal("first cluster must be the LM cluster")
+	}
+	if len(r.Clusters[0].Valves) != 2 || r.Clusters[0].Valves[0] != 0 || r.Clusters[0].Valves[1] != 1 {
+		t.Fatalf("LM cluster corrupted: %v", r.Clusters[0].Valves)
+	}
+	if !Verify(d, r) {
+		t.Error("Verify failed")
+	}
+	// Valves 2, 3 are both compatible with each other? "010" vs "0X0": yes.
+	total := 0
+	for _, c := range r.Clusters {
+		total += len(c.Valves)
+	}
+	if total != 4 {
+		t.Errorf("valves covered = %d, want 4", total)
+	}
+}
+
+func TestPartitionRandomInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	letters := []byte{'0', '1', 'X'}
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(20)
+		seqs := make([]string, n)
+		for i := range seqs {
+			b := make([]byte, 6)
+			for j := range b {
+				b[j] = letters[rng.Intn(3)]
+			}
+			seqs[i] = string(b)
+		}
+		d := design(t, seqs, nil)
+		r := Partition(d)
+		if !Verify(d, r) {
+			t.Fatalf("trial %d: invalid partition for %v", trial, seqs)
+		}
+	}
+}
+
+func TestPartitionMinimality(t *testing.T) {
+	// Two disjoint compatibility groups must give exactly two clusters.
+	d := design(t, []string{"00", "0X", "11", "X1"}, nil)
+	r := Partition(d)
+	if len(r.Clusters) != 2 {
+		t.Fatalf("got %d clusters, want 2: %+v", len(r.Clusters), r.Clusters)
+	}
+}
+
+func TestMultiValve(t *testing.T) {
+	r := &Result{Clusters: []Cluster{
+		{Valves: []int{0, 1}},
+		{Valves: []int{2}},
+		{Valves: []int{3, 4, 5}},
+	}}
+	if got := r.MultiValve(); got != 2 {
+		t.Errorf("MultiValve = %d, want 2", got)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	d := design(t, []string{"0", "0", "0", "0", "0"}, nil)
+	c := Cluster{ID: 3, Valves: []int{0, 1, 2, 3, 4}}
+	parts := Split(d, c)
+	if len(parts) != 2 {
+		t.Fatalf("Split returned %d parts", len(parts))
+	}
+	seen := map[int]bool{}
+	for _, p := range parts {
+		if p.LM {
+			t.Error("split parts must drop the LM flag")
+		}
+		for _, v := range p.Valves {
+			if seen[v] {
+				t.Errorf("valve %d duplicated", v)
+			}
+			seen[v] = true
+		}
+	}
+	if len(seen) != 5 {
+		t.Errorf("split lost valves: %v", seen)
+	}
+	single := Cluster{ID: 1, Valves: []int{2}}
+	if got := Split(d, single); len(got) != 1 || got[0].ID != 1 {
+		t.Error("singleton split should be identity")
+	}
+}
+
+func TestVerifyDetectsViolations(t *testing.T) {
+	d := design(t, []string{"01", "10"}, nil)
+	bad := &Result{Clusters: []Cluster{{Valves: []int{0, 1}}}}
+	if Verify(d, bad) {
+		t.Error("incompatible cluster accepted")
+	}
+	missing := &Result{Clusters: []Cluster{{Valves: []int{0}}}}
+	if Verify(d, missing) {
+		t.Error("partial cover accepted")
+	}
+	dup := &Result{Clusters: []Cluster{{Valves: []int{0}}, {Valves: []int{0, 1}}}}
+	if Verify(d, dup) {
+		t.Error("duplicate valve accepted")
+	}
+	oob := &Result{Clusters: []Cluster{{Valves: []int{0, 5}}}}
+	if Verify(d, oob) {
+		t.Error("out-of-range valve accepted")
+	}
+}
+
+func TestPartitionExactNeverWorseThanGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	letters := []byte{'0', '1', 'X'}
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(14)
+		seqs := make([]string, n)
+		for i := range seqs {
+			b := make([]byte, 5)
+			for j := range b {
+				b[j] = letters[rng.Intn(3)]
+			}
+			seqs[i] = string(b)
+		}
+		d := design(t, seqs, nil)
+		greedy := Partition(d)
+		exact := PartitionExact(d)
+		if !Verify(d, exact) {
+			t.Fatalf("trial %d: exact partition invalid", trial)
+		}
+		if len(exact.Clusters) > len(greedy.Clusters) {
+			t.Errorf("trial %d: exact %d clusters > greedy %d",
+				trial, len(exact.Clusters), len(greedy.Clusters))
+		}
+	}
+}
+
+func TestPartitionExactPreservesLM(t *testing.T) {
+	d := design(t, []string{"0X0", "000", "010", "0X0"}, [][]int{{0, 1}})
+	r := PartitionExact(d)
+	if !r.Clusters[0].LM || len(r.Clusters[0].Valves) != 2 {
+		t.Fatal("LM cluster not preserved")
+	}
+	if !Verify(d, r) {
+		t.Error("Verify failed")
+	}
+}

@@ -1,0 +1,62 @@
+package dme
+
+import "repro/internal/geom"
+
+// mergeInfo is the bottom-up state of one topology node: its merging region
+// (a TRR, degenerate to a Manhattan arc in the exact case), the downstream
+// channel length t from this node to its sinks (equal for all sinks up to
+// the +-1 rounding of Lemma 1), and the embedded edge lengths toward its
+// children.
+type mergeInfo struct {
+	ms     geom.TRR
+	t      int
+	ea, eb int // edge length to Left and Right child (internal nodes)
+}
+
+// mergeSegments runs the bottom-up merging-segment computation phase of DME
+// over the topology, under the linear delay model: merging two subtrees with
+// downstream lengths ta, tb at region distance d gives edge lengths
+// ea+eb = d with ta+ea = tb+eb when |ta-tb| <= d, and a detoured edge
+// (ea or eb exceeding the geometric distance) otherwise. Odd d+diff floors
+// ea, introducing the +-1 skew of Lemma 1 that detouring later removes.
+func mergeSegments(sinks []geom.Pt, topo *Topo) []mergeInfo {
+	info := make([]mergeInfo, len(topo.Nodes))
+	var rec func(n int)
+	rec = func(n int) {
+		nd := topo.Nodes[n]
+		if nd.Sink >= 0 {
+			info[n] = mergeInfo{ms: geom.TRRFromPoint(sinks[nd.Sink], 0), t: 0}
+			return
+		}
+		rec(nd.Left)
+		rec(nd.Right)
+		a, b := info[nd.Left], info[nd.Right]
+		d := a.ms.DistTRR(b.ms)
+		diff := b.t - a.t
+		var ea, eb int
+		switch {
+		case diff >= d:
+			ea, eb = diff, 0 // subtree b is deeper: detour edge a
+		case -diff >= d:
+			ea, eb = 0, -diff // subtree a is deeper: detour edge b
+		default:
+			ea = (d + diff) / 2
+			if ea < 0 {
+				ea = 0
+			}
+			eb = d - ea
+		}
+		ms := a.ms.Expand(ea).Intersect(b.ms.Expand(eb))
+		if ms.Empty() {
+			// Rounding can shave the intersection empty by one unit; widen
+			// the shorter side (costs at most +1 skew, removed by detour).
+			ms = a.ms.Expand(ea + 1).Intersect(b.ms.Expand(eb + 1))
+		}
+		t := geom.Max(a.t+ea, b.t+eb)
+		info[n] = mergeInfo{ms: ms, t: t, ea: ea, eb: eb}
+	}
+	if topo.Root >= 0 {
+		rec(topo.Root)
+	}
+	return info
+}

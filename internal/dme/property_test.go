@@ -1,0 +1,158 @@
+package dme
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+// TestCandidatesRandomInvariants: for random sink sets on random obstacle
+// fields, every candidate validates, its required lengths dominate the
+// Manhattan distances with matching parity (Tree.Validate), full-path
+// lengths are at least the sink-to-root distance, and ΔL stays bounded by
+// the tree depth (one rounding unit per merge level plus obstacle slack).
+func TestCandidatesRandomInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 40; trial++ {
+		g := grid.New(48, 48)
+		obs := grid.NewObsMap(g)
+		for i := 0; i < 40; i++ {
+			obs.Set(geom.Pt{X: rng.Intn(48), Y: rng.Intn(48)}, true)
+		}
+		n := 2 + rng.Intn(6)
+		sinks := make([]geom.Pt, 0, n)
+		seen := map[geom.Pt]bool{}
+		for len(sinks) < n {
+			p := geom.Pt{X: 2 + rng.Intn(44), Y: 2 + rng.Intn(44)}
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			obs.Set(p, false)
+			sinks = append(sinks, p)
+		}
+		cands := Candidates(obs, sinks, 5)
+		if len(cands) == 0 {
+			t.Fatalf("trial %d: no candidates for %v", trial, sinks)
+		}
+		for ci, tr := range cands {
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("trial %d cand %d: %v", trial, ci, err)
+			}
+			lens := tr.LeafFullLens()
+			root := tr.Root()
+			for si, s := range sinks {
+				if lens[si] < geom.Dist(s, root) {
+					t.Errorf("trial %d cand %d: sink %d full len %d < distance %d",
+						trial, ci, si, lens[si], geom.Dist(s, root))
+				}
+			}
+			if tr.TotalReq() < mstLowerBound(sinks)/2 {
+				t.Errorf("trial %d cand %d: total length %d below half the MST bound",
+					trial, ci, tr.TotalReq())
+			}
+		}
+	}
+}
+
+// mstLowerBound: Steiner tree weight is at least half the MST weight; used
+// as a sanity floor.
+func mstLowerBound(pts []geom.Pt) int {
+	n := len(pts)
+	if n < 2 {
+		return 0
+	}
+	in := make([]bool, n)
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = 1 << 30
+	}
+	in[0] = true
+	for j := 1; j < n; j++ {
+		dist[j] = geom.Dist(pts[0], pts[j])
+	}
+	total := 0
+	for k := 1; k < n; k++ {
+		best := -1
+		for j := 0; j < n; j++ {
+			if !in[j] && (best == -1 || dist[j] < dist[best]) {
+				best = j
+			}
+		}
+		total += dist[best]
+		in[best] = true
+		for j := 0; j < n; j++ {
+			if !in[j] {
+				if d := geom.Dist(pts[best], pts[j]); d < dist[j] {
+					dist[j] = d
+				}
+			}
+		}
+	}
+	return total
+}
+
+// TestMergeSegmentEquidistance: merging segments of sibling subtrees keep
+// equal distance-plus-delay to both sides (within the 1-unit rounding of
+// Lemma 1), checked on random two-level clusters.
+func TestMergeSegmentEquidistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 40; trial++ {
+		sinks := []geom.Pt{
+			{X: rng.Intn(30), Y: rng.Intn(30)},
+			{X: rng.Intn(30), Y: rng.Intn(30)},
+		}
+		if sinks[0] == sinks[1] {
+			continue
+		}
+		topo := BalancedBipartition(sinks)
+		info := mergeSegments(sinks, topo)
+		root := info[topo.Root]
+		d := geom.Dist(sinks[0], sinks[1])
+		if root.ea+root.eb != d {
+			t.Fatalf("trial %d: ea+eb = %d, want %d", trial, root.ea+root.eb, d)
+		}
+		if geom.Abs(root.ea-root.eb) > 1 {
+			t.Fatalf("trial %d: |ea-eb| = %d > 1", trial, geom.Abs(root.ea-root.eb))
+		}
+		for _, p := range root.ms.GridPoints(16) {
+			da, db := geom.Dist(p, sinks[0]), geom.Dist(p, sinks[1])
+			if da != root.ea || db != root.eb {
+				t.Errorf("trial %d: ms point %v at distances %d,%d want %d,%d",
+					trial, p, da, db, root.ea, root.eb)
+			}
+		}
+	}
+}
+
+// TestEmbedReqParityAlwaysRoutable: every edge requirement must be exactly
+// realizable by a detoured path on an empty grid: req >= dist and matching
+// parity (this is what lets the detour stage hit the window).
+func TestEmbedReqParityAlwaysRoutable(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	g := grid.New(64, 64)
+	obs := grid.NewObsMap(g)
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(4)
+		sinks := make([]geom.Pt, 0, n)
+		seen := map[geom.Pt]bool{}
+		for len(sinks) < n {
+			p := geom.Pt{X: 4 + rng.Intn(56), Y: 4 + rng.Intn(56)}
+			if !seen[p] {
+				seen[p] = true
+				sinks = append(sinks, p)
+			}
+		}
+		for _, tr := range Candidates(obs, sinks, 3) {
+			for _, e := range tr.Edges() {
+				d := geom.Dist(e.From, e.To)
+				if e.Req < d || (e.Req-d)%2 != 0 {
+					t.Fatalf("trial %d: edge %v->%v req %d unrealizable (dist %d)",
+						trial, e.From, e.To, e.Req, d)
+				}
+			}
+		}
+	}
+}

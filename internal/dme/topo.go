@@ -1,0 +1,174 @@
+// Package dme implements the deferred-merge embedding construction of
+// candidate Steiner trees for length-matching clusters (Section 4.1 of the
+// paper, after Chao/Hsu/Ho/Kahng's zero-skew clock routing). The connection
+// topology comes from balanced bipartition (BB); merging segments are
+// computed bottom-up as TRR intersections under the linear delay model
+// (delay = channel length); the top-down embedding snaps merging nodes to
+// unblocked grid cells, searching outward in expanding loops when the ideal
+// node is blocked (the paper's obstacle workaround). Selecting different
+// root embeddings yields the multiple candidate trees that the MWCP stage
+// chooses among.
+package dme
+
+import (
+	"math/bits"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Topo is a binary connection topology over a cluster's sinks. Node 0..n-1
+// are stored in Nodes; leaves carry the sink index, internal nodes their two
+// children.
+type Topo struct {
+	Nodes []TopoNode
+	Root  int
+}
+
+// TopoNode is one node of the topology tree.
+type TopoNode struct {
+	Left, Right int // -1 for leaves
+	Sink        int // sink index for leaves, -1 for internal nodes
+}
+
+// Leaves returns the number of sinks in the topology.
+func (t *Topo) Leaves() int {
+	n := 0
+	for _, nd := range t.Nodes {
+		if nd.Sink >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// exactBBLimit bounds the exact balanced-bipartition enumeration
+// (C(12,6) = 924 subsets at the limit); larger clusters use the axis-median
+// heuristic split.
+const exactBBLimit = 12
+
+// BalancedBipartition builds the BB connection topology: the sink set is
+// recursively split into two size-balanced halves minimizing the sum of the
+// halves' Manhattan diameters (the paper sets every sink capacitance to 1 so
+// BB yields a balanced binary tree).
+func BalancedBipartition(sinks []geom.Pt) *Topo {
+	if len(sinks) == 0 {
+		return &Topo{Root: -1}
+	}
+	t := &Topo{}
+	idx := make([]int, len(sinks))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.Root = t.build(sinks, idx)
+	return t
+}
+
+func (t *Topo) build(sinks []geom.Pt, idx []int) int {
+	if len(idx) == 1 {
+		t.Nodes = append(t.Nodes, TopoNode{Left: -1, Right: -1, Sink: idx[0]})
+		return len(t.Nodes) - 1
+	}
+	a, b := bipartition(sinks, idx)
+	l := t.build(sinks, a)
+	r := t.build(sinks, b)
+	t.Nodes = append(t.Nodes, TopoNode{Left: l, Right: r, Sink: -1})
+	return len(t.Nodes) - 1
+}
+
+// bipartition splits idx into two balanced halves minimizing the sum of
+// diameters — exactly for small sets, by axis-median otherwise.
+func bipartition(sinks []geom.Pt, idx []int) (a, b []int) {
+	n := len(idx)
+	if n == 2 {
+		return idx[:1], idx[1:]
+	}
+	if n <= exactBBLimit {
+		return exactBipartition(sinks, idx)
+	}
+	return medianBipartition(sinks, idx)
+}
+
+func diameter(sinks []geom.Pt, idx []int, mask uint32, want bool) int {
+	d := 0
+	for i := 0; i < len(idx); i++ {
+		if (mask&(1<<i) != 0) != want {
+			continue
+		}
+		for j := i + 1; j < len(idx); j++ {
+			if (mask&(1<<j) != 0) != want {
+				continue
+			}
+			if dd := geom.Dist(sinks[idx[i]], sinks[idx[j]]); dd > d {
+				d = dd
+			}
+		}
+	}
+	return d
+}
+
+func exactBipartition(sinks []geom.Pt, idx []int) (a, b []int) {
+	n := len(idx)
+	half := n / 2
+	best := -1
+	var bestMask uint32
+	// Fix idx[0] in side A to halve the enumeration.
+	for mask := uint32(1); mask < 1<<n; mask++ {
+		if mask&1 == 0 {
+			continue
+		}
+		if bits.OnesCount32(mask) != half && bits.OnesCount32(mask) != n-half {
+			continue
+		}
+		cost := diameter(sinks, idx, mask, true) + diameter(sinks, idx, mask, false)
+		if best == -1 || cost < best {
+			best = cost
+			bestMask = mask
+		}
+	}
+	for i := 0; i < n; i++ {
+		if bestMask&(1<<i) != 0 {
+			a = append(a, idx[i])
+		} else {
+			b = append(b, idx[i])
+		}
+	}
+	return a, b
+}
+
+func medianBipartition(sinks []geom.Pt, idx []int) (a, b []int) {
+	minX, maxX := sinks[idx[0]].X, sinks[idx[0]].X
+	minY, maxY := sinks[idx[0]].Y, sinks[idx[0]].Y
+	for _, i := range idx[1:] {
+		minX = geom.Min(minX, sinks[i].X)
+		maxX = geom.Max(maxX, sinks[i].X)
+		minY = geom.Min(minY, sinks[i].Y)
+		maxY = geom.Max(maxY, sinks[i].Y)
+	}
+	sorted := append([]int(nil), idx...)
+	if maxX-minX >= maxY-minY {
+		sort.Slice(sorted, func(i, j int) bool {
+			pi, pj := sinks[sorted[i]], sinks[sorted[j]]
+			if pi.X != pj.X {
+				return pi.X < pj.X
+			}
+			if pi.Y != pj.Y {
+				return pi.Y < pj.Y
+			}
+			return sorted[i] < sorted[j]
+		})
+	} else {
+		sort.Slice(sorted, func(i, j int) bool {
+			pi, pj := sinks[sorted[i]], sinks[sorted[j]]
+			if pi.Y != pj.Y {
+				return pi.Y < pj.Y
+			}
+			if pi.X != pj.X {
+				return pi.X < pj.X
+			}
+			return sorted[i] < sorted[j]
+		})
+	}
+	half := len(sorted) / 2
+	return sorted[:half], sorted[half:]
+}

@@ -1,0 +1,131 @@
+package dme
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// Tree is an embedded candidate Steiner tree for one cluster: every topology
+// node has a grid position, and every non-root node a required channel
+// length to its parent. Required lengths come from the DME edge lengths and
+// are at least the Manhattan distance between the embedded endpoints with
+// matching parity, so the router can realize them exactly (possibly with
+// detours).
+type Tree struct {
+	Sinks []geom.Pt
+	Topo  *Topo
+	Pos   []geom.Pt // position per topology node
+	Req   []int     // required channel length to parent (root: 0)
+}
+
+// Root returns the embedded root position (the escape-routing terminal for
+// clusters of three or more valves).
+func (t *Tree) Root() geom.Pt { return t.Pos[t.Topo.Root] }
+
+// Edge is one parent-child connection of an embedded tree.
+type Edge struct {
+	Child, Parent int // topology node indices
+	From, To      geom.Pt
+	Req           int // required routed length
+}
+
+// Edges lists the tree's edges child-first (sink side before root side).
+func (t *Tree) Edges() []Edge {
+	var edges []Edge
+	var rec func(n int)
+	rec = func(n int) {
+		nd := t.Topo.Nodes[n]
+		if nd.Sink >= 0 {
+			return
+		}
+		rec(nd.Left)
+		rec(nd.Right)
+		edges = append(edges,
+			Edge{Child: nd.Left, Parent: n, From: t.Pos[nd.Left], To: t.Pos[n], Req: t.Req[nd.Left]},
+			Edge{Child: nd.Right, Parent: n, From: t.Pos[nd.Right], To: t.Pos[n], Req: t.Req[nd.Right]},
+		)
+	}
+	if t.Topo.Root >= 0 {
+		rec(t.Topo.Root)
+	}
+	return edges
+}
+
+// LeafFullLens returns, per sink index, the required full-path length from
+// the sink to the tree root (Definition 5's l(PF_i), under the required edge
+// lengths).
+func (t *Tree) LeafFullLens() []int {
+	lens := make([]int, len(t.Sinks))
+	var rec func(n, acc int)
+	rec = func(n, acc int) {
+		nd := t.Topo.Nodes[n]
+		if nd.Sink >= 0 {
+			lens[nd.Sink] = acc
+			return
+		}
+		rec(nd.Left, acc+t.Req[nd.Left])
+		rec(nd.Right, acc+t.Req[nd.Right])
+	}
+	if t.Topo.Root >= 0 {
+		rec(t.Topo.Root, 0)
+	}
+	return lens
+}
+
+// DeltaL is the length mismatch of the candidate tree (Equation 1):
+// max full-path length minus min full-path length.
+func (t *Tree) DeltaL() int {
+	lens := t.LeafFullLens()
+	if len(lens) == 0 {
+		return 0
+	}
+	mn, mx := lens[0], lens[0]
+	for _, l := range lens[1:] {
+		mn = geom.Min(mn, l)
+		mx = geom.Max(mx, l)
+	}
+	return mx - mn
+}
+
+// TotalReq is the summed required channel length of all edges — the
+// estimated wire length of the candidate.
+func (t *Tree) TotalReq() int {
+	n := 0
+	for i, r := range t.Req {
+		if i != t.Topo.Root {
+			n += r
+		}
+	}
+	return n
+}
+
+// EdgeBBoxes returns the bounding box per edge (for the Equation 3-4 overlap
+// cost between candidate trees of different clusters).
+func (t *Tree) EdgeBBoxes() []geom.Rect {
+	edges := t.Edges()
+	boxes := make([]geom.Rect, len(edges))
+	for i, e := range edges {
+		boxes[i] = geom.RectOf(e.From, e.To)
+	}
+	return boxes
+}
+
+// Validate checks internal consistency: every Req is at least the Manhattan
+// distance of its edge and parity-compatible with it, so the edge is
+// routable at exactly its required length on an obstacle-free grid.
+func (t *Tree) Validate() error {
+	if t.Topo.Root < 0 {
+		return fmt.Errorf("dme: empty tree")
+	}
+	for _, e := range t.Edges() {
+		d := geom.Dist(e.From, e.To)
+		if e.Req < d {
+			return fmt.Errorf("dme: edge %v-%v requires %d < distance %d", e.From, e.To, e.Req, d)
+		}
+		if (e.Req-d)%2 != 0 {
+			return fmt.Errorf("dme: edge %v-%v requires %d, parity mismatch with distance %d", e.From, e.To, e.Req, d)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,207 @@
+package escape
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+func TestSingleClusterToNearestPin(t *testing.T) {
+	g := grid.New(12, 12)
+	obs := grid.NewObsMap(g)
+	take := geom.Pt{X: 6, Y: 6}
+	obs.Set(take, true) // take-off sits on an existing channel
+	pins := []geom.Pt{{X: 0, Y: 6}, {X: 11, Y: 6}, {X: 6, Y: 0}}
+	res := Route(obs, []Terminal{{ClusterID: 7, Cells: []geom.Pt{take}}}, pins)
+	if len(res.Unrouted) != 0 {
+		t.Fatalf("unrouted: %v", res.Unrouted)
+	}
+	p := res.Paths[7]
+	if p[0] != take {
+		t.Errorf("path starts at %v, want take-off", p[0])
+	}
+	if p.Len() != 5 {
+		t.Errorf("len = %d, want 5 (nearest pin is 5 in-fabric steps... )", p.Len())
+	}
+	if res.Pins[7] != p[len(p)-1] {
+		t.Error("pin mismatch")
+	}
+	if res.TotalLen != p.Len() {
+		t.Errorf("TotalLen = %d, path len %d", res.TotalLen, p.Len())
+	}
+}
+
+func TestDisjointPathsForTwoClusters(t *testing.T) {
+	g := grid.New(10, 10)
+	obs := grid.NewObsMap(g)
+	a := geom.Pt{X: 4, Y: 4}
+	b := geom.Pt{X: 5, Y: 4}
+	obs.Set(a, true)
+	obs.Set(b, true)
+	pins := []geom.Pt{{X: 4, Y: 0}, {X: 5, Y: 0}}
+	res := Route(obs, []Terminal{
+		{ClusterID: 0, Cells: []geom.Pt{a}},
+		{ClusterID: 1, Cells: []geom.Pt{b}},
+	}, pins)
+	if len(res.Unrouted) != 0 {
+		t.Fatalf("unrouted: %v", res.Unrouted)
+	}
+	seen := map[geom.Pt]int{}
+	for id, p := range res.Paths {
+		if !p.Valid() {
+			t.Fatalf("cluster %d: invalid path %v", id, p)
+		}
+		for _, c := range p[1:] { // take-offs may touch their own channel
+			if prev, dup := seen[c]; dup {
+				t.Fatalf("cell %v shared by clusters %d and %d", c, prev, id)
+			}
+			seen[c] = id
+		}
+	}
+	// Each cluster must land on a distinct pin.
+	if res.Pins[0] == res.Pins[1] {
+		t.Error("clusters share a pin")
+	}
+}
+
+func TestMaximizesRoutedCount(t *testing.T) {
+	// One pin, two clusters: exactly one routes; the other reports unrouted.
+	g := grid.New(8, 8)
+	obs := grid.NewObsMap(g)
+	a := geom.Pt{X: 3, Y: 3}
+	b := geom.Pt{X: 4, Y: 3}
+	obs.Set(a, true)
+	obs.Set(b, true)
+	res := Route(obs, []Terminal{
+		{ClusterID: 0, Cells: []geom.Pt{a}},
+		{ClusterID: 1, Cells: []geom.Pt{b}},
+	}, []geom.Pt{{X: 0, Y: 3}})
+	if len(res.Paths) != 1 || len(res.Unrouted) != 1 {
+		t.Fatalf("paths=%d unrouted=%v, want 1 and 1", len(res.Paths), res.Unrouted)
+	}
+}
+
+func TestAvoidsObstaclesAndForeignChannels(t *testing.T) {
+	g := grid.New(12, 12)
+	obs := grid.NewObsMap(g)
+	take := geom.Pt{X: 6, Y: 6}
+	obs.Set(take, true)
+	// A wall between take-off and the left pin.
+	for y := 0; y < 12; y++ {
+		if y != 10 {
+			obs.Set(geom.Pt{X: 3, Y: y}, true)
+		}
+	}
+	pins := []geom.Pt{{X: 0, Y: 6}}
+	res := Route(obs, []Terminal{{ClusterID: 0, Cells: []geom.Pt{take}}}, pins)
+	if len(res.Unrouted) != 0 {
+		t.Fatalf("unrouted: %v", res.Unrouted)
+	}
+	p := res.Paths[0]
+	for _, c := range p[1:] {
+		if obs.Blocked(c) {
+			t.Errorf("path crosses blocked cell %v", c)
+		}
+	}
+	// Must detour through the gap at (3,10).
+	if !p.Contains(geom.Pt{X: 3, Y: 10}) {
+		t.Errorf("path %v does not use the only gap", p)
+	}
+}
+
+func TestBoundaryNonPinBlocked(t *testing.T) {
+	// Constraint (8): the path may not run along the boundary except at its
+	// pin.
+	g := grid.New(8, 8)
+	obs := grid.NewObsMap(g)
+	take := geom.Pt{X: 1, Y: 1}
+	obs.Set(take, true)
+	res := Route(obs, []Terminal{{ClusterID: 0, Cells: []geom.Pt{take}}},
+		[]geom.Pt{{X: 7, Y: 4}})
+	if len(res.Unrouted) != 0 {
+		t.Fatalf("unrouted: %v", res.Unrouted)
+	}
+	p := res.Paths[0]
+	for _, c := range p[:len(p)-1] {
+		if g.OnBoundary(c) {
+			t.Errorf("path uses non-pin boundary cell %v", c)
+		}
+	}
+}
+
+func TestMultiCellTakeoffPicksBest(t *testing.T) {
+	// An ordinary cluster may take off anywhere along its channel; the flow
+	// must use the cell nearest a pin.
+	g := grid.New(12, 12)
+	obs := grid.NewObsMap(g)
+	var cellsList []geom.Pt
+	for x := 2; x <= 9; x++ {
+		c := geom.Pt{X: x, Y: 5}
+		obs.Set(c, true)
+		cellsList = append(cellsList, c)
+	}
+	pins := []geom.Pt{{X: 11, Y: 5}}
+	res := Route(obs, []Terminal{{ClusterID: 0, Cells: cellsList}}, pins)
+	if len(res.Unrouted) != 0 {
+		t.Fatal("unrouted")
+	}
+	if res.Paths[0].Len() != 2 {
+		t.Errorf("len = %d, want 2 (take off at (9,5))", res.Paths[0].Len())
+	}
+}
+
+func TestTakeoffOnPin(t *testing.T) {
+	g := grid.New(8, 8)
+	obs := grid.NewObsMap(g)
+	take := geom.Pt{X: 0, Y: 4}
+	obs.Set(take, true)
+	res := Route(obs, []Terminal{{ClusterID: 0, Cells: []geom.Pt{take}}},
+		[]geom.Pt{{X: 0, Y: 4}})
+	if len(res.Unrouted) != 0 {
+		t.Fatalf("unrouted: %v", res.Unrouted)
+	}
+	if res.Paths[0].Len() != 0 {
+		t.Errorf("zero-length escape expected, got %v", res.Paths[0])
+	}
+	if res.Pins[0] != take {
+		t.Error("pin should be the take-off itself")
+	}
+}
+
+func TestTotalLenMinimized(t *testing.T) {
+	// Two clusters, two pins arranged so a greedy nearest assignment for the
+	// first cluster would force a long route for the second; min-cost flow
+	// must find the global optimum.
+	g := grid.New(20, 7)
+	obs := grid.NewObsMap(g)
+	a := geom.Pt{X: 9, Y: 3} // closer to left pin by 1
+	b := geom.Pt{X: 10, Y: 3}
+	obs.Set(a, true)
+	obs.Set(b, true)
+	pins := []geom.Pt{{X: 0, Y: 3}, {X: 19, Y: 3}}
+	res := Route(obs, []Terminal{
+		{ClusterID: 0, Cells: []geom.Pt{b}}, // listed first but nearer right pin
+		{ClusterID: 1, Cells: []geom.Pt{a}},
+	}, pins)
+	if len(res.Unrouted) != 0 {
+		t.Fatal("unrouted")
+	}
+	if res.TotalLen != 9+9 {
+		t.Errorf("TotalLen = %d, want 18 (a->left, b->right)", res.TotalLen)
+	}
+	if res.Pins[0] != (geom.Pt{X: 19, Y: 3}) || res.Pins[1] != (geom.Pt{X: 0, Y: 3}) {
+		t.Errorf("assignment wrong: %v", res.Pins)
+	}
+}
+
+func TestNoPins(t *testing.T) {
+	g := grid.New(6, 6)
+	obs := grid.NewObsMap(g)
+	take := geom.Pt{X: 3, Y: 3}
+	obs.Set(take, true)
+	res := Route(obs, []Terminal{{ClusterID: 0, Cells: []geom.Pt{take}}}, nil)
+	if len(res.Unrouted) != 1 {
+		t.Error("no pins must leave the cluster unrouted")
+	}
+}

@@ -1,0 +1,133 @@
+package escape
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+// TestRandomScenarios: on random obstacle fields with random terminals and
+// pins, the escape solution must always be internally consistent: valid
+// disjoint paths, pins used at most once, paths over free cells only, and
+// the unrouted list exactly complementing the routed set.
+func TestRandomScenarios(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 30; trial++ {
+		w, h := 16+rng.Intn(16), 16+rng.Intn(16)
+		g := grid.New(w, h)
+		obs := grid.NewObsMap(g)
+		for i := 0; i < g.Cells()/8; i++ {
+			obs.Set(geom.Pt{X: rng.Intn(w), Y: rng.Intn(h)}, true)
+		}
+		nTerms := 2 + rng.Intn(6)
+		var terms []Terminal
+		for i := 0; i < nTerms; i++ {
+			c := geom.Pt{X: 1 + rng.Intn(w-2), Y: 1 + rng.Intn(h-2)}
+			obs.Set(c, true) // terminals sit on channels
+			terms = append(terms, Terminal{ClusterID: i, Cells: []geom.Pt{c}})
+		}
+		var pins []geom.Pt
+		for x := 1; x < w-1; x += 3 {
+			pins = append(pins, geom.Pt{X: x, Y: 0})
+		}
+		res := Route(obs, terms, pins)
+
+		routed := map[int]bool{}
+		usedCells := map[geom.Pt]int{}
+		usedPins := map[geom.Pt]int{}
+		for id, p := range res.Paths {
+			routed[id] = true
+			if !p.Valid() {
+				t.Fatalf("trial %d: invalid path for %d", trial, id)
+			}
+			pin := p[len(p)-1]
+			if prev, dup := usedPins[pin]; dup {
+				t.Fatalf("trial %d: pin %v used by %d and %d", trial, pin, prev, id)
+			}
+			usedPins[pin] = id
+			if res.Pins[id] != pin {
+				t.Fatalf("trial %d: Pins map inconsistent", trial)
+			}
+			for i, c := range p {
+				if i == 0 {
+					continue // take-off sits on the cluster's own channel
+				}
+				if prev, dup := usedCells[c]; dup {
+					t.Fatalf("trial %d: cell %v shared by %d and %d", trial, c, prev, id)
+				}
+				usedCells[c] = id
+				if obs.Blocked(c) {
+					t.Fatalf("trial %d: path of %d crosses blocked %v", trial, id, c)
+				}
+				if g.OnBoundary(c) && c != pin {
+					t.Fatalf("trial %d: non-pin boundary cell %v used", trial, c)
+				}
+			}
+		}
+		for _, id := range res.Unrouted {
+			if routed[id] {
+				t.Fatalf("trial %d: %d both routed and unrouted", trial, id)
+			}
+		}
+		if len(res.Paths)+len(res.Unrouted) != nTerms {
+			t.Fatalf("trial %d: %d routed + %d unrouted != %d terminals",
+				trial, len(res.Paths), len(res.Unrouted), nTerms)
+		}
+	}
+}
+
+// TestRoutedCountIsMaximum: with k terminals and k' >= k reachable pins in
+// an open field, all terminals route (the flow maximizes cardinality first).
+func TestRoutedCountIsMaximum(t *testing.T) {
+	g := grid.New(24, 24)
+	obs := grid.NewObsMap(g)
+	var terms []Terminal
+	for i := 0; i < 5; i++ {
+		c := geom.Pt{X: 4 + 4*i, Y: 12}
+		obs.Set(c, true)
+		terms = append(terms, Terminal{ClusterID: i, Cells: []geom.Pt{c}})
+	}
+	var pins []geom.Pt
+	for x := 2; x < 22; x += 4 {
+		pins = append(pins, geom.Pt{X: x, Y: 0})
+	}
+	res := Route(obs, terms, pins)
+	if len(res.Unrouted) != 0 {
+		t.Fatalf("open field with enough pins: unrouted %v", res.Unrouted)
+	}
+}
+
+// TestCostsBiasTakeoffChoice: with a penalized near cell and a free far
+// cell, the flow must weigh the penalty against the extra channel length.
+func TestCostsBiasTakeoffChoice(t *testing.T) {
+	g := grid.New(20, 8)
+	obs := grid.NewObsMap(g)
+	near := geom.Pt{X: 16, Y: 4}
+	far := geom.Pt{X: 4, Y: 4}
+	obs.Set(near, true)
+	obs.Set(far, true)
+	pins := []geom.Pt{{X: 19, Y: 4}}
+	// Penalty larger than the distance saving: the far take-off wins.
+	res := Route(obs, []Terminal{{
+		ClusterID: 0,
+		Cells:     []geom.Pt{near, far},
+		Costs:     []int{100, 0},
+	}}, pins)
+	if len(res.Unrouted) != 0 {
+		t.Fatal("unrouted")
+	}
+	if res.Paths[0][0] != far {
+		t.Errorf("take-off %v, want the unpenalized far cell", res.Paths[0][0])
+	}
+	// Small penalty: the near take-off wins.
+	res = Route(obs, []Terminal{{
+		ClusterID: 0,
+		Cells:     []geom.Pt{near, far},
+		Costs:     []int{2, 0},
+	}}, pins)
+	if res.Paths[0][0] != near {
+		t.Errorf("take-off %v, want the near cell for small penalty", res.Paths[0][0])
+	}
+}

@@ -1,0 +1,146 @@
+// Package geom provides the Manhattan-plane geometry used throughout the
+// PACOR flow: integer grid points, rectangles, Manhattan (45°-tilted)
+// segments, and tilted rectangular regions (TRRs).
+//
+// TRRs are the workhorse of the deferred-merge embedding (DME) algorithm:
+// the locus of points at Manhattan distance <= r from a Manhattan arc is a
+// TRR, and in the rotated coordinate system (u, v) = (x+y, x-y) every TRR is
+// an axis-aligned rectangle, so intersections reduce to interval arithmetic.
+package geom
+
+import "fmt"
+
+// Pt is an integer point on the routing grid.
+type Pt struct {
+	X, Y int
+}
+
+// String implements fmt.Stringer.
+func (p Pt) String() string { return fmt.Sprintf("(%d,%d)", p.X, p.Y) }
+
+// Add returns p translated by q.
+func (p Pt) Add(q Pt) Pt { return Pt{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p minus q.
+func (p Pt) Sub(q Pt) Pt { return Pt{p.X - q.X, p.Y - q.Y} }
+
+// Dist returns the Manhattan distance between p and q.
+func Dist(p, q Pt) int { return Abs(p.X-q.X) + Abs(p.Y-q.Y) }
+
+// Abs returns the absolute value of x.
+func Abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Min returns the smaller of a and b.
+func Min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max returns the larger of a and b.
+func Max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Rect is an axis-aligned integer rectangle, inclusive of its boundary:
+// it contains every point p with MinX <= p.X <= MaxX and MinY <= p.Y <= MaxY.
+// A Rect with MinX > MaxX or MinY > MaxY is empty.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY int
+}
+
+// RectOf returns the bounding box of the two points.
+func RectOf(p, q Pt) Rect {
+	return Rect{Min(p.X, q.X), Min(p.Y, q.Y), Max(p.X, q.X), Max(p.Y, q.Y)}
+}
+
+// Empty reports whether r contains no points.
+func (r Rect) Empty() bool { return r.MinX > r.MaxX || r.MinY > r.MaxY }
+
+// Contains reports whether p lies in r (boundary inclusive).
+func (r Rect) Contains(p Pt) bool {
+	return p.X >= r.MinX && p.X <= r.MaxX && p.Y >= r.MinY && p.Y <= r.MaxY
+}
+
+// Width returns the number of columns spanned by r (0 when empty).
+func (r Rect) Width() int {
+	if r.Empty() {
+		return 0
+	}
+	return r.MaxX - r.MinX + 1
+}
+
+// Height returns the number of rows spanned by r (0 when empty).
+func (r Rect) Height() int {
+	if r.Empty() {
+		return 0
+	}
+	return r.MaxY - r.MinY + 1
+}
+
+// Area returns the number of grid points inside r.
+func (r Rect) Area() int { return r.Width() * r.Height() }
+
+// Intersect returns the common region of r and s (possibly empty).
+func (r Rect) Intersect(s Rect) Rect {
+	return Rect{
+		MinX: Max(r.MinX, s.MinX),
+		MinY: Max(r.MinY, s.MinY),
+		MaxX: Min(r.MaxX, s.MaxX),
+		MaxY: Min(r.MaxY, s.MaxY),
+	}
+}
+
+// Union returns the smallest rectangle containing both r and s.
+// Empty operands are ignored.
+func (r Rect) Union(s Rect) Rect {
+	if r.Empty() {
+		return s
+	}
+	if s.Empty() {
+		return r
+	}
+	return Rect{
+		MinX: Min(r.MinX, s.MinX),
+		MinY: Min(r.MinY, s.MinY),
+		MaxX: Max(r.MaxX, s.MaxX),
+		MaxY: Max(r.MaxY, s.MaxY),
+	}
+}
+
+// Expand grows r by d in every direction. Negative d shrinks it.
+func (r Rect) Expand(d int) Rect {
+	return Rect{r.MinX - d, r.MinY - d, r.MaxX + d, r.MaxY + d}
+}
+
+// OverlapRatio computes the area of the overlap between r and s divided by
+// the smaller of the two areas, as used in the Steiner-tree overlap cost
+// (Eq. 4 of the paper). It returns 0 when either rectangle is empty.
+func OverlapRatio(r, s Rect) float64 {
+	if r.Empty() || s.Empty() {
+		return 0
+	}
+	ov := r.Intersect(s)
+	if ov.Empty() {
+		return 0
+	}
+	den := Min(r.Area(), s.Area())
+	if den == 0 {
+		return 0
+	}
+	return float64(ov.Area()) / float64(den)
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%d,%d]x[%d,%d]", r.MinX, r.MaxX, r.MinY, r.MaxY)
+}

@@ -1,0 +1,131 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDist(t *testing.T) {
+	cases := []struct {
+		p, q Pt
+		want int
+	}{
+		{Pt{0, 0}, Pt{0, 0}, 0},
+		{Pt{0, 0}, Pt{3, 4}, 7},
+		{Pt{-2, 5}, Pt{1, 1}, 7},
+		{Pt{10, 10}, Pt{10, 3}, 7},
+	}
+	for _, c := range cases {
+		if got := Dist(c.p, c.q); got != c.want {
+			t.Errorf("Dist(%v,%v) = %d, want %d", c.p, c.q, got, c.want)
+		}
+		if got := Dist(c.q, c.p); got != c.want {
+			t.Errorf("Dist not symmetric for %v,%v", c.p, c.q)
+		}
+	}
+}
+
+func TestDistProperties(t *testing.T) {
+	// Triangle inequality and identity.
+	f := func(ax, ay, bx, by, cx, cy int8) bool {
+		a := Pt{int(ax), int(ay)}
+		b := Pt{int(bx), int(by)}
+		c := Pt{int(cx), int(cy)}
+		if Dist(a, a) != 0 {
+			return false
+		}
+		return Dist(a, c) <= Dist(a, b)+Dist(b, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := RectOf(Pt{3, 7}, Pt{1, 2})
+	if r != (Rect{1, 2, 3, 7}) {
+		t.Fatalf("RectOf = %v", r)
+	}
+	if r.Width() != 3 || r.Height() != 6 || r.Area() != 18 {
+		t.Errorf("dims: w=%d h=%d a=%d", r.Width(), r.Height(), r.Area())
+	}
+	if !r.Contains(Pt{1, 2}) || !r.Contains(Pt{3, 7}) || r.Contains(Pt{0, 2}) {
+		t.Error("Contains wrong on boundary")
+	}
+	if (Rect{2, 2, 1, 1}).Empty() != true {
+		t.Error("inverted rect should be empty")
+	}
+	if (Rect{2, 2, 1, 1}).Area() != 0 {
+		t.Error("empty rect area should be 0")
+	}
+}
+
+func TestRectIntersectUnion(t *testing.T) {
+	a := Rect{0, 0, 4, 4}
+	b := Rect{2, 3, 8, 9}
+	got := a.Intersect(b)
+	if got != (Rect{2, 3, 4, 4}) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if u := a.Union(b); u != (Rect{0, 0, 8, 9}) {
+		t.Errorf("Union = %v", u)
+	}
+	empty := Rect{5, 5, 1, 1}
+	if u := empty.Union(a); u != a {
+		t.Errorf("Union with empty = %v", u)
+	}
+	disjoint := Rect{10, 10, 12, 12}
+	if !a.Intersect(disjoint).Empty() {
+		t.Error("disjoint intersect should be empty")
+	}
+}
+
+func TestOverlapRatio(t *testing.T) {
+	a := Rect{0, 0, 3, 3} // 16 points
+	b := Rect{0, 0, 3, 3}
+	if got := OverlapRatio(a, b); got != 1.0 {
+		t.Errorf("identical rects ratio = %v, want 1", got)
+	}
+	c := Rect{2, 2, 5, 5} // overlap [2,3]x[2,3] = 4 points; min area 16
+	if got := OverlapRatio(a, c); got != 0.25 {
+		t.Errorf("ratio = %v, want 0.25", got)
+	}
+	d := Rect{10, 10, 11, 11}
+	if got := OverlapRatio(a, d); got != 0 {
+		t.Errorf("disjoint ratio = %v, want 0", got)
+	}
+	if got := OverlapRatio(Rect{1, 1, 0, 0}, a); got != 0 {
+		t.Errorf("empty ratio = %v, want 0", got)
+	}
+}
+
+func TestOverlapRatioProperties(t *testing.T) {
+	f := func(x0, y0, w0, h0, x1, y1, w1, h1 uint8) bool {
+		a := Rect{int(x0), int(y0), int(x0) + int(w0), int(y0) + int(h0)}
+		b := Rect{int(x1), int(y1), int(x1) + int(w1), int(y1) + int(h1)}
+		r := OverlapRatio(a, b)
+		return r >= 0 && r <= 1 && r == OverlapRatio(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMaxAbs(t *testing.T) {
+	if Min(2, 3) != 2 || Min(3, 2) != 2 || Max(2, 3) != 3 || Max(3, 2) != 3 {
+		t.Error("Min/Max wrong")
+	}
+	if Abs(-7) != 7 || Abs(7) != 7 || Abs(0) != 0 {
+		t.Error("Abs wrong")
+	}
+}
+
+func TestRectExpand(t *testing.T) {
+	r := Rect{2, 2, 4, 4}
+	if e := r.Expand(1); e != (Rect{1, 1, 5, 5}) {
+		t.Errorf("Expand = %v", e)
+	}
+	if e := r.Expand(-2); !e.Empty() {
+		t.Errorf("over-shrunk rect should be empty, got %v", e)
+	}
+}

@@ -1,0 +1,196 @@
+package geom
+
+import "fmt"
+
+// TRR is a tilted rectangular region: the Minkowski sum of a Manhattan arc
+// (a segment of slope +1 or -1, possibly degenerate to a point) with a
+// Manhattan disk of a given radius. TRRs are closed under intersection and
+// are exactly the merging regions produced by the DME algorithm.
+//
+// A TRR is represented in the rotated coordinates
+//
+//	u = x + y,  v = x - y
+//
+// where Manhattan distance becomes Chebyshev distance, so a TRR is the
+// axis-aligned box [U0,U1] x [V0,V1]. A point (x, y) maps to (u, v) with
+// u + v even iff x, y are integers; TRRs arising from integer points may have
+// odd u+v corners ("half-grid" positions), which is precisely the Lemma 1
+// rounding phenomenon — callers snap back to the grid when embedding.
+type TRR struct {
+	U0, U1, V0, V1 int
+}
+
+// TRRFromPoint returns the TRR consisting of all points at Manhattan distance
+// at most r from p.
+func TRRFromPoint(p Pt, r int) TRR {
+	u, v := p.X+p.Y, p.X-p.Y
+	return TRR{u - r, u + r, v - r, v + r}
+}
+
+// TRRFromArc returns the TRR of radius r around the Manhattan arc from a to
+// b. The arc must have slope +-1 or be a point; otherwise TRRFromArc panics,
+// because a general segment is not a Manhattan arc and its dilation is not a
+// TRR.
+func TRRFromArc(a, b Pt, r int) TRR {
+	if Abs(a.X-b.X) != Abs(a.Y-b.Y) {
+		panic(fmt.Sprintf("geom: segment %v-%v is not a Manhattan arc", a, b))
+	}
+	ua, va := a.X+a.Y, a.X-a.Y
+	ub, vb := b.X+b.Y, b.X-b.Y
+	return TRR{Min(ua, ub) - r, Max(ua, ub) + r, Min(va, vb) - r, Max(va, vb) + r}
+}
+
+// Empty reports whether t contains no points.
+func (t TRR) Empty() bool { return t.U0 > t.U1 || t.V0 > t.V1 }
+
+// Expand dilates t by Manhattan radius r (Minkowski sum with a disk).
+func (t TRR) Expand(r int) TRR {
+	return TRR{t.U0 - r, t.U1 + r, t.V0 - r, t.V1 + r}
+}
+
+// Intersect returns the intersection of two TRRs, itself a TRR.
+func (t TRR) Intersect(s TRR) TRR {
+	return TRR{
+		U0: Max(t.U0, s.U0),
+		U1: Min(t.U1, s.U1),
+		V0: Max(t.V0, s.V0),
+		V1: Min(t.V1, s.V1),
+	}
+}
+
+// ContainsPt reports whether the grid point p lies inside t.
+func (t TRR) ContainsPt(p Pt) bool {
+	u, v := p.X+p.Y, p.X-p.Y
+	return u >= t.U0 && u <= t.U1 && v >= t.V0 && v <= t.V1
+}
+
+// Dist returns the Manhattan distance from grid point p to the region t
+// (0 when p is inside).
+func (t TRR) Dist(p Pt) int {
+	if t.Empty() {
+		panic("geom: Dist on empty TRR")
+	}
+	u, v := p.X+p.Y, p.X-p.Y
+	du := rangeDist(u, t.U0, t.U1)
+	dv := rangeDist(v, t.V0, t.V1)
+	// In (u,v) space Manhattan distance becomes Chebyshev distance, so the
+	// distance to the box is the max of the per-axis deficits.
+	return Max(du, dv)
+}
+
+// DistTRR returns the minimum Manhattan distance between the two regions
+// (0 when they intersect).
+func (t TRR) DistTRR(s TRR) int {
+	if t.Empty() || s.Empty() {
+		panic("geom: DistTRR on empty TRR")
+	}
+	du := gapDist(t.U0, t.U1, s.U0, s.U1)
+	dv := gapDist(t.V0, t.V1, s.V0, s.V1)
+	return Max(du, dv)
+}
+
+func rangeDist(x, lo, hi int) int {
+	if x < lo {
+		return lo - x
+	}
+	if x > hi {
+		return x - hi
+	}
+	return 0
+}
+
+func gapDist(a0, a1, b0, b1 int) int {
+	if a1 < b0 {
+		return b0 - a1
+	}
+	if b1 < a0 {
+		return a0 - b1
+	}
+	return 0
+}
+
+// GridPoints returns the integer grid points contained in t, up to max points
+// (max <= 0 means no limit). Points are produced in deterministic scan order.
+// Only (u, v) pairs with u+v even correspond to integer (x, y).
+func (t TRR) GridPoints(max int) []Pt {
+	var pts []Pt
+	for u := t.U0; u <= t.U1; u++ {
+		for v := t.V0; v <= t.V1; v++ {
+			if (u+v)&1 != 0 { // only even u+v maps to an integer grid point
+				continue
+			}
+			x := (u + v) / 2
+			y := (u - v) / 2
+			pts = append(pts, Pt{x, y})
+			if max > 0 && len(pts) >= max {
+				return pts
+			}
+		}
+	}
+	return pts
+}
+
+// NearestGridPt returns a grid point inside t closest (in Manhattan distance)
+// to p. When t contains no grid point (possible only for degenerate TRRs
+// whose corners all have odd u+v), it returns the nearest grid point to t and
+// ok=false; the caller absorbs the +-1 rounding slack (Lemma 1).
+func (t TRR) NearestGridPt(p Pt) (Pt, bool) {
+	if t.Empty() {
+		panic("geom: NearestGridPt on empty TRR")
+	}
+	u0, v0 := p.X+p.Y, p.X-p.Y
+	u := clamp(u0, t.U0, t.U1)
+	v := clamp(v0, t.V0, t.V1)
+	if (u+v)&1 == 0 {
+		return Pt{(u + v) / 2, (u - v) / 2}, true
+	}
+	// Parity mismatch: try the four unit moves that stay closest to (u,v),
+	// preferring ones inside the box.
+	best := Pt{}
+	bestOK := false
+	bestD := int(^uint(0) >> 1)
+	for _, cand := range [][2]int{{u + 1, v}, {u - 1, v}, {u, v + 1}, {u, v - 1}} {
+		cu, cv := cand[0], cand[1]
+		if (cu+cv)&1 != 0 {
+			continue
+		}
+		q := Pt{(cu + cv) / 2, (cu - cv) / 2}
+		inside := cu >= t.U0 && cu <= t.U1 && cv >= t.V0 && cv <= t.V1
+		d := Dist(p, q)
+		if inside && (!bestOK || d < bestD) {
+			best, bestOK, bestD = q, true, d
+		} else if !bestOK && d < bestD {
+			best, bestD = q, d
+		}
+	}
+	if bestOK {
+		return best, true
+	}
+	return best, false
+}
+
+func clamp(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Core returns the two endpoints of the Manhattan-arc core of t when t is
+// degenerate in one rotated axis (a true merging segment); otherwise it
+// returns the corners of the box diagonal. For DME merging segments produced
+// by exact-radius intersection the region is always an arc.
+func (t TRR) Core() (Pt, Pt) {
+	// Corners in (u,v): (U0,V0) and (U1,V1) map back to x=(u+v)/2, y=(u-v)/2.
+	a := Pt{(t.U0 + t.V0) / 2, (t.U0 - t.V0) / 2}
+	b := Pt{(t.U1 + t.V1) / 2, (t.U1 - t.V1) / 2}
+	return a, b
+}
+
+// String implements fmt.Stringer.
+func (t TRR) String() string {
+	return fmt.Sprintf("TRR{u:[%d,%d] v:[%d,%d]}", t.U0, t.U1, t.V0, t.V1)
+}

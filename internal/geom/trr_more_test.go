@@ -1,0 +1,123 @@
+package geom
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTRRExpandContainment(t *testing.T) {
+	f := func(x, y int8, r0, dr uint8) bool {
+		base := TRRFromPoint(Pt{int(x), int(y)}, int(r0%8))
+		grown := base.Expand(int(dr % 8))
+		// Every point of the base region stays inside the grown one.
+		for _, p := range base.GridPoints(64) {
+			if !grown.ContainsPt(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTRRIntersectIsSetIntersection(t *testing.T) {
+	f := func(ax, ay, bx, by int8, ra, rb uint8) bool {
+		a := TRRFromPoint(Pt{int(ax % 16), int(ay % 16)}, int(ra%6))
+		b := TRRFromPoint(Pt{int(bx % 16), int(by % 16)}, int(rb%6))
+		inter := a.Intersect(b)
+		for x := -24; x <= 24; x += 3 {
+			for y := -24; y <= 24; y += 3 {
+				p := Pt{x, y}
+				want := a.ContainsPt(p) && b.ContainsPt(p)
+				if inter.Empty() {
+					if want {
+						return false
+					}
+					continue
+				}
+				if inter.ContainsPt(p) != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTRRDistPanicsOnEmpty(t *testing.T) {
+	empty := TRR{U0: 1, U1: 0, V0: 0, V1: 0}
+	assertPanics(t, "Dist", func() { empty.Dist(Pt{0, 0}) })
+	assertPanics(t, "DistTRR lhs", func() { empty.DistTRR(TRRFromPoint(Pt{0, 0}, 1)) })
+	assertPanics(t, "DistTRR rhs", func() { TRRFromPoint(Pt{0, 0}, 1).DistTRR(empty) })
+	assertPanics(t, "NearestGridPt", func() { empty.NearestGridPt(Pt{0, 0}) })
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestTRRGridPointsEmpty(t *testing.T) {
+	empty := TRR{U0: 1, U1: 0, V0: 0, V1: 0}
+	if pts := empty.GridPoints(0); len(pts) != 0 {
+		t.Errorf("empty TRR has %d grid points", len(pts))
+	}
+	// A parity-only region (all corners odd u+v) has no integer points.
+	odd := TRR{U0: 1, U1: 1, V0: 0, V1: 0}
+	if pts := odd.GridPoints(0); len(pts) != 0 {
+		t.Errorf("odd-parity TRR has %d grid points: %v", len(pts), pts)
+	}
+}
+
+func TestNearestGridPtOddRegion(t *testing.T) {
+	// Region with no integer points: ok must be false and the result within
+	// one unit of the region.
+	odd := TRR{U0: 1, U1: 1, V0: 0, V1: 0}
+	p, ok := odd.NearestGridPt(Pt{5, 5})
+	if ok {
+		t.Error("odd-parity region cannot contain a grid point")
+	}
+	if odd.Dist(p) > 1 {
+		t.Errorf("fallback point %v too far from region", p)
+	}
+}
+
+func TestTRRString(t *testing.T) {
+	s := TRRFromPoint(Pt{1, 2}, 3).String()
+	if !strings.Contains(s, "u:[") || !strings.Contains(s, "v:[") {
+		t.Errorf("String = %q", s)
+	}
+	if !strings.Contains(Pt{3, 4}.String(), "(3,4)") {
+		t.Error("Pt.String wrong")
+	}
+	if !strings.Contains((Rect{1, 2, 3, 4}).String(), "[1,3]") {
+		t.Error("Rect.String wrong")
+	}
+}
+
+func TestCoreRoundTrip(t *testing.T) {
+	// For a point TRR the core collapses to the point itself.
+	p := Pt{7, 3}
+	a, b := TRRFromPoint(p, 0).Core()
+	if a != p || b != p {
+		t.Errorf("point core = %v,%v", a, b)
+	}
+	// For an arc TRR the core endpoints reproduce the arc.
+	arc := TRRFromArc(Pt{2, 2}, Pt{5, 5}, 0)
+	c0, c1 := arc.Core()
+	if !(c0 == Pt{2, 2} && c1 == Pt{5, 5}) && !(c0 == Pt{5, 5} && c1 == Pt{2, 2}) {
+		t.Errorf("arc core = %v,%v", c0, c1)
+	}
+}

@@ -1,0 +1,186 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTRRFromPointContains(t *testing.T) {
+	p := Pt{5, 5}
+	trr := TRRFromPoint(p, 3)
+	// Every point within Manhattan distance 3 must be inside, others outside.
+	for x := 0; x <= 10; x++ {
+		for y := 0; y <= 10; y++ {
+			q := Pt{x, y}
+			want := Dist(p, q) <= 3
+			if got := trr.ContainsPt(q); got != want {
+				t.Errorf("ContainsPt(%v) = %v, want %v", q, got, want)
+			}
+		}
+	}
+}
+
+func TestTRRDistMatchesBruteForce(t *testing.T) {
+	p := Pt{4, 4}
+	trr := TRRFromPoint(p, 2)
+	for x := -2; x <= 10; x++ {
+		for y := -2; y <= 10; y++ {
+			q := Pt{x, y}
+			want := Dist(p, q) - 2
+			if want < 0 {
+				want = 0
+			}
+			if got := trr.Dist(q); got != want {
+				t.Errorf("Dist(%v) = %d, want %d", q, got, want)
+			}
+		}
+	}
+}
+
+func TestTRRFromArc(t *testing.T) {
+	// Arc from (0,0) to (3,3) has slope +1.
+	a, b := Pt{0, 0}, Pt{3, 3}
+	trr := TRRFromArc(a, b, 0)
+	for i := 0; i <= 3; i++ {
+		if !trr.ContainsPt(Pt{i, i}) {
+			t.Errorf("arc point (%d,%d) not in zero-radius TRR", i, i)
+		}
+	}
+	if trr.ContainsPt(Pt{1, 0}) {
+		t.Error("off-arc point inside zero-radius TRR")
+	}
+	dil := TRRFromArc(a, b, 1)
+	if !dil.ContainsPt(Pt{1, 0}) || !dil.ContainsPt(Pt{4, 3}) {
+		t.Error("dilated arc TRR missing adjacent point")
+	}
+}
+
+func TestTRRFromArcPanicsOnNonArc(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-arc segment")
+		}
+	}()
+	TRRFromArc(Pt{0, 0}, Pt{2, 1}, 1)
+}
+
+func TestTRRIntersect(t *testing.T) {
+	a := TRRFromPoint(Pt{0, 0}, 4)
+	b := TRRFromPoint(Pt{4, 0}, 4)
+	got := a.Intersect(b)
+	// The intersection must contain exactly the points within distance 4 of
+	// both centers.
+	for x := -6; x <= 10; x++ {
+		for y := -8; y <= 8; y++ {
+			q := Pt{x, y}
+			want := Dist(q, Pt{0, 0}) <= 4 && Dist(q, Pt{4, 0}) <= 4
+			if in := got.ContainsPt(q); in != want {
+				t.Errorf("intersect.ContainsPt(%v) = %v, want %v", q, in, want)
+			}
+		}
+	}
+}
+
+func TestTRRDistTRR(t *testing.T) {
+	a := TRRFromPoint(Pt{0, 0}, 1)
+	b := TRRFromPoint(Pt{10, 0}, 2)
+	if d := a.DistTRR(b); d != 7 {
+		t.Errorf("DistTRR = %d, want 7", d)
+	}
+	c := TRRFromPoint(Pt{2, 0}, 2)
+	if d := a.DistTRR(c); d != 0 {
+		t.Errorf("overlapping DistTRR = %d, want 0", d)
+	}
+}
+
+func TestDistTRRProperty(t *testing.T) {
+	// DistTRR equals the minimum pairwise point distance (checked on small
+	// random disks via their grid points).
+	f := func(ax, ay, bx, by int8, ra, rb uint8) bool {
+		pa := Pt{int(ax), int(ay)}
+		pb := Pt{int(bx), int(by)}
+		a := TRRFromPoint(pa, int(ra%5))
+		b := TRRFromPoint(pb, int(rb%5))
+		got := a.DistTRR(b)
+		want := Dist(pa, pb) - int(ra%5) - int(rb%5)
+		if want < 0 {
+			want = 0
+		}
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGridPoints(t *testing.T) {
+	trr := TRRFromPoint(Pt{3, 3}, 1)
+	pts := trr.GridPoints(0)
+	// Manhattan disk of radius 1 has 5 grid points.
+	if len(pts) != 5 {
+		t.Fatalf("GridPoints returned %d points, want 5: %v", len(pts), pts)
+	}
+	seen := map[Pt]bool{}
+	for _, p := range pts {
+		if Dist(p, Pt{3, 3}) > 1 {
+			t.Errorf("point %v outside disk", p)
+		}
+		if seen[p] {
+			t.Errorf("duplicate point %v", p)
+		}
+		seen[p] = true
+	}
+	if lim := trr.GridPoints(2); len(lim) != 2 {
+		t.Errorf("limited GridPoints returned %d, want 2", len(lim))
+	}
+}
+
+func TestNearestGridPt(t *testing.T) {
+	trr := TRRFromPoint(Pt{5, 5}, 2)
+	// A point inside maps to itself.
+	if p, ok := trr.NearestGridPt(Pt{5, 5}); !ok || p != (Pt{5, 5}) {
+		t.Errorf("inside point: got %v ok=%v", p, ok)
+	}
+	// A far point maps to the closest boundary grid point.
+	p, ok := trr.NearestGridPt(Pt{20, 5})
+	if !ok {
+		t.Fatalf("expected ok for nonempty TRR with grid points")
+	}
+	if Dist(p, Pt{5, 5}) > 2 {
+		t.Errorf("nearest point %v outside TRR", p)
+	}
+	if got, want := Dist(p, Pt{20, 5}), trr.Dist(Pt{20, 5}); got != want {
+		t.Errorf("nearest dist = %d, want %d", got, want)
+	}
+}
+
+func TestNearestGridPtParity(t *testing.T) {
+	// Degenerate TRR at half-grid position: midpoint of (0,0)-(1,0) in uv has
+	// u=..; build by intersecting two odd-distance disks.
+	a := TRRFromPoint(Pt{0, 0}, 0)
+	b := TRRFromPoint(Pt{1, 0}, 1)
+	seg := a.Intersect(b.Expand(0))
+	if seg.Empty() {
+		t.Skip("unexpected empty intersection")
+	}
+	p, _ := seg.NearestGridPt(Pt{0, 0})
+	if Dist(p, Pt{0, 0}) > 1 {
+		t.Errorf("parity fallback too far: %v", p)
+	}
+}
+
+func TestCore(t *testing.T) {
+	// The merging segment of two points at even distance: radius 2 disks
+	// around (0,0) and (4,0) intersect in the arc x+y in [2,2]... compute.
+	a := TRRFromPoint(Pt{0, 0}, 2)
+	b := TRRFromPoint(Pt{4, 0}, 2)
+	seg := a.Intersect(b)
+	c0, c1 := seg.Core()
+	// Core endpoints must be inside the region and at distance exactly 2 from
+	// both centers.
+	for _, c := range []Pt{c0, c1} {
+		if Dist(c, Pt{0, 0}) != 2 || Dist(c, Pt{4, 0}) != 2 {
+			t.Errorf("core endpoint %v not equidistant", c)
+		}
+	}
+}

@@ -1,0 +1,226 @@
+// Package grid models the uniform control-layer routing grid of a flow-based
+// microfluidic biochip. Grid cells are unit squares; the minimum channel
+// width and spacing design rules are absorbed into the grid pitch, so design
+// rules reduce to "at most one channel per cell" (the paper's Section 2).
+//
+// The package provides the obstacle map (ObsMap in Algorithm 1), the routing
+// path model, and cell/index conversions shared by the A*, negotiation,
+// escape, and detour routers.
+package grid
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// Grid is a W x H routing grid. Cells are addressed by geom.Pt with
+// 0 <= X < W and 0 <= Y < H, or by the dense index Y*W + X.
+type Grid struct {
+	W, H int
+}
+
+// New returns a grid of the given dimensions. It panics when either
+// dimension is not positive; an empty chip is a caller bug, not a routable
+// instance.
+func New(w, h int) Grid {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("grid: invalid dimensions %dx%d", w, h))
+	}
+	return Grid{W: w, H: h}
+}
+
+// In reports whether p lies on the grid.
+func (g Grid) In(p geom.Pt) bool {
+	return p.X >= 0 && p.X < g.W && p.Y >= 0 && p.Y < g.H
+}
+
+// Index returns the dense index of p.
+func (g Grid) Index(p geom.Pt) int { return p.Y*g.W + p.X }
+
+// Pt returns the point for a dense index.
+func (g Grid) Pt(i int) geom.Pt { return geom.Pt{X: i % g.W, Y: i / g.W} }
+
+// Cells returns the number of grid cells.
+func (g Grid) Cells() int { return g.W * g.H }
+
+// OnBoundary reports whether p is on the chip boundary (where control pins
+// may be placed).
+func (g Grid) OnBoundary(p geom.Pt) bool {
+	return g.In(p) && (p.X == 0 || p.Y == 0 || p.X == g.W-1 || p.Y == g.H-1)
+}
+
+// Dirs are the four Manhattan unit moves in deterministic order.
+var Dirs = [4]geom.Pt{{X: 1, Y: 0}, {X: -1, Y: 0}, {X: 0, Y: 1}, {X: 0, Y: -1}}
+
+// Neighbors appends the in-grid orthogonal neighbors of p to dst and returns
+// it. dst is reused to avoid per-call allocation in routing inner loops.
+func (g Grid) Neighbors(p geom.Pt, dst []geom.Pt) []geom.Pt {
+	dst = dst[:0]
+	for _, d := range Dirs {
+		q := p.Add(d)
+		if g.In(q) {
+			dst = append(dst, q)
+		}
+	}
+	return dst
+}
+
+// Bounds returns the grid extent as a rectangle.
+func (g Grid) Bounds() geom.Rect {
+	return geom.Rect{MinX: 0, MinY: 0, MaxX: g.W - 1, MaxY: g.H - 1}
+}
+
+// ObsMap is the boolean per-cell obstacle map used by every router
+// (Algorithm 1, step 2). True means the cell is blocked.
+type ObsMap struct {
+	g     Grid
+	block []bool
+}
+
+// NewObsMap returns an all-clear obstacle map for g.
+func NewObsMap(g Grid) *ObsMap {
+	return &ObsMap{g: g, block: make([]bool, g.Cells())}
+}
+
+// Grid returns the underlying grid.
+func (m *ObsMap) Grid() Grid { return m.g }
+
+// Blocked reports whether p is blocked. Off-grid points are blocked.
+func (m *ObsMap) Blocked(p geom.Pt) bool {
+	if !m.g.In(p) {
+		return true
+	}
+	return m.block[m.g.Index(p)]
+}
+
+// Set marks p blocked (true) or clear (false). Off-grid points are ignored.
+func (m *ObsMap) Set(p geom.Pt, blocked bool) {
+	if m.g.In(p) {
+		m.block[m.g.Index(p)] = blocked
+	}
+}
+
+// SetPath marks every cell of the path blocked or clear.
+func (m *ObsMap) SetPath(path Path, blocked bool) {
+	for _, p := range path {
+		m.Set(p, blocked)
+	}
+}
+
+// SetRect marks every cell in r blocked or clear.
+func (m *ObsMap) SetRect(r geom.Rect, blocked bool) {
+	rr := r.Intersect(m.g.Bounds())
+	for y := rr.MinY; y <= rr.MaxY; y++ {
+		for x := rr.MinX; x <= rr.MaxX; x++ {
+			m.block[y*m.g.W+x] = blocked
+		}
+	}
+}
+
+// Count returns the number of blocked cells.
+func (m *ObsMap) Count() int {
+	n := 0
+	for _, b := range m.block {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns an independent copy of the map.
+func (m *ObsMap) Clone() *ObsMap {
+	c := &ObsMap{g: m.g, block: make([]bool, len(m.block))}
+	copy(c.block, m.block)
+	return c
+}
+
+// CopyFrom overwrites m's contents with src's. Both maps must share the
+// same grid dimensions.
+func (m *ObsMap) CopyFrom(src *ObsMap) {
+	if m.g != src.g {
+		panic("grid: CopyFrom between different grids")
+	}
+	copy(m.block, src.block)
+}
+
+// Path is a sequence of grid cells where consecutive cells are orthogonal
+// neighbors. A path of k cells has channel length k-1 grid units.
+type Path []geom.Pt
+
+// Len returns the channel length of the path in grid units (edges, not
+// cells). The empty path has length 0.
+func (p Path) Len() int {
+	if len(p) == 0 {
+		return 0
+	}
+	return len(p) - 1
+}
+
+// Valid reports whether consecutive cells are orthogonal unit steps and no
+// cell repeats. Self-crossing channels would short-circuit pressure paths.
+func (p Path) Valid() bool {
+	seen := make(map[geom.Pt]bool, len(p))
+	for i, c := range p {
+		if seen[c] {
+			return false
+		}
+		seen[c] = true
+		if i > 0 && geom.Dist(p[i-1], c) != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// ValidOn reports Valid plus that every cell is on g.
+func (p Path) ValidOn(g Grid) bool {
+	if !p.Valid() {
+		return false
+	}
+	for _, c := range p {
+		if !g.In(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// Reverse returns the path traversed backwards.
+func (p Path) Reverse() Path {
+	r := make(Path, len(p))
+	for i, c := range p {
+		r[len(p)-1-i] = c
+	}
+	return r
+}
+
+// Clone returns a copy of the path.
+func (p Path) Clone() Path {
+	c := make(Path, len(p))
+	copy(c, p)
+	return c
+}
+
+// BBox returns the bounding box of the path (empty rect for empty path).
+func (p Path) BBox() geom.Rect {
+	if len(p) == 0 {
+		return geom.Rect{MinX: 1, MinY: 1, MaxX: 0, MaxY: 0}
+	}
+	r := geom.RectOf(p[0], p[0])
+	for _, c := range p[1:] {
+		r = r.Union(geom.RectOf(c, c))
+	}
+	return r
+}
+
+// Contains reports whether the path visits c.
+func (p Path) Contains(c geom.Pt) bool {
+	for _, q := range p {
+		if q == c {
+			return true
+		}
+	}
+	return false
+}

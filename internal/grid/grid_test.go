@@ -1,0 +1,201 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero-size grid")
+		}
+	}()
+	New(0, 5)
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	g := New(7, 5)
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			p := geom.Pt{X: x, Y: y}
+			if got := g.Pt(g.Index(p)); got != p {
+				t.Fatalf("round trip %v -> %v", p, got)
+			}
+		}
+	}
+	if g.Cells() != 35 {
+		t.Errorf("Cells = %d", g.Cells())
+	}
+}
+
+func TestInAndBoundary(t *testing.T) {
+	g := New(4, 3)
+	if !g.In(geom.Pt{X: 0, Y: 0}) || !g.In(geom.Pt{X: 3, Y: 2}) {
+		t.Error("corners should be in grid")
+	}
+	if g.In(geom.Pt{X: 4, Y: 0}) || g.In(geom.Pt{X: 0, Y: -1}) {
+		t.Error("out-of-range points reported in grid")
+	}
+	if !g.OnBoundary(geom.Pt{X: 0, Y: 1}) || !g.OnBoundary(geom.Pt{X: 2, Y: 2}) {
+		t.Error("boundary points not detected")
+	}
+	if g.OnBoundary(geom.Pt{X: 1, Y: 1}) {
+		t.Error("interior point reported on boundary")
+	}
+	if g.OnBoundary(geom.Pt{X: -1, Y: 0}) {
+		t.Error("off-grid point reported on boundary")
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	g := New(3, 3)
+	var buf []geom.Pt
+	buf = g.Neighbors(geom.Pt{X: 1, Y: 1}, buf)
+	if len(buf) != 4 {
+		t.Errorf("center neighbors = %d, want 4", len(buf))
+	}
+	buf = g.Neighbors(geom.Pt{X: 0, Y: 0}, buf)
+	if len(buf) != 2 {
+		t.Errorf("corner neighbors = %d, want 2", len(buf))
+	}
+	buf = g.Neighbors(geom.Pt{X: 1, Y: 0}, buf)
+	if len(buf) != 3 {
+		t.Errorf("edge neighbors = %d, want 3", len(buf))
+	}
+}
+
+func TestObsMap(t *testing.T) {
+	g := New(10, 10)
+	m := NewObsMap(g)
+	p := geom.Pt{X: 3, Y: 4}
+	if m.Blocked(p) {
+		t.Error("fresh map should be clear")
+	}
+	m.Set(p, true)
+	if !m.Blocked(p) {
+		t.Error("Set did not block")
+	}
+	if m.Count() != 1 {
+		t.Errorf("Count = %d", m.Count())
+	}
+	m.Set(p, false)
+	if m.Blocked(p) || m.Count() != 0 {
+		t.Error("clear failed")
+	}
+	if !m.Blocked(geom.Pt{X: -1, Y: 0}) {
+		t.Error("off-grid must read blocked")
+	}
+	m.Set(geom.Pt{X: 99, Y: 99}, true) // must not panic
+}
+
+func TestObsMapRectAndClone(t *testing.T) {
+	g := New(8, 8)
+	m := NewObsMap(g)
+	m.SetRect(geom.Rect{MinX: 2, MinY: 2, MaxX: 4, MaxY: 3}, true)
+	if m.Count() != 6 {
+		t.Errorf("rect count = %d, want 6", m.Count())
+	}
+	c := m.Clone()
+	c.Set(geom.Pt{X: 0, Y: 0}, true)
+	if m.Blocked(geom.Pt{X: 0, Y: 0}) {
+		t.Error("clone aliases original")
+	}
+	// Rect partially off-grid clips quietly.
+	m.SetRect(geom.Rect{MinX: 6, MinY: 6, MaxX: 12, MaxY: 12}, true)
+	if !m.Blocked(geom.Pt{X: 7, Y: 7}) {
+		t.Error("clipped rect not applied")
+	}
+}
+
+func TestPathValidity(t *testing.T) {
+	ok := Path{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 1}}
+	if !ok.Valid() || ok.Len() != 2 {
+		t.Error("valid path rejected")
+	}
+	jump := Path{{X: 0, Y: 0}, {X: 2, Y: 0}}
+	if jump.Valid() {
+		t.Error("non-unit step accepted")
+	}
+	diag := Path{{X: 0, Y: 0}, {X: 1, Y: 1}}
+	if diag.Valid() {
+		t.Error("diagonal step accepted")
+	}
+	loop := Path{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 1}, {X: 0, Y: 1}, {X: 0, Y: 0}}
+	if loop.Valid() {
+		t.Error("self-crossing path accepted")
+	}
+	var empty Path
+	if !empty.Valid() || empty.Len() != 0 {
+		t.Error("empty path should be trivially valid with length 0")
+	}
+}
+
+func TestPathValidOn(t *testing.T) {
+	g := New(2, 2)
+	p := Path{{X: 0, Y: 0}, {X: 0, Y: 1}}
+	if !p.ValidOn(g) {
+		t.Error("in-grid path rejected")
+	}
+	q := Path{{X: 1, Y: 1}, {X: 2, Y: 1}}
+	if q.ValidOn(g) {
+		t.Error("off-grid path accepted")
+	}
+}
+
+func TestPathHelpers(t *testing.T) {
+	p := Path{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 1}}
+	r := p.Reverse()
+	if r[0] != (geom.Pt{X: 1, Y: 1}) || r[2] != (geom.Pt{X: 0, Y: 0}) {
+		t.Errorf("Reverse = %v", r)
+	}
+	if !r.Valid() {
+		t.Error("reversed path invalid")
+	}
+	c := p.Clone()
+	c[0] = geom.Pt{X: 9, Y: 9}
+	if p[0] == c[0] {
+		t.Error("Clone aliases")
+	}
+	bb := p.BBox()
+	if bb != (geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}) {
+		t.Errorf("BBox = %v", bb)
+	}
+	if !p.Contains(geom.Pt{X: 1, Y: 0}) || p.Contains(geom.Pt{X: 2, Y: 2}) {
+		t.Error("Contains wrong")
+	}
+	var empty Path
+	if !empty.BBox().Empty() {
+		t.Error("empty path BBox should be empty")
+	}
+}
+
+func TestPathReverseProperty(t *testing.T) {
+	f := func(steps []bool) bool {
+		p := Path{{X: 0, Y: 0}}
+		cur := geom.Pt{X: 0, Y: 0}
+		for _, s := range steps {
+			if s {
+				cur = cur.Add(geom.Pt{X: 1, Y: 0})
+			} else {
+				cur = cur.Add(geom.Pt{X: 0, Y: 1})
+			}
+			p = append(p, cur)
+		}
+		rr := p.Reverse().Reverse()
+		if len(rr) != len(p) {
+			return false
+		}
+		for i := range p {
+			if rr[i] != p[i] {
+				return false
+			}
+		}
+		return p.Len() == len(steps)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,192 @@
+// Package ilp implements a 0-1 integer linear program solver by
+// branch-and-bound over the LP relaxation from internal/lp. Together they
+// replace the Gurobi optimizer the paper uses for its MWCP candidate-tree
+// selection (Section 4.2). Instances are small, and branch-and-bound with
+// LP bounds is exact, so results match a commercial solver's optima.
+package ilp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/lp"
+)
+
+// Problem is a mixed 0-1 program: maximize C·x subject to Constraints, with
+// x[j] binary when Binary[j] is true and continuous in [0, Upper[j]]
+// otherwise.
+type Problem struct {
+	C           []float64
+	Constraints []lp.Constraint
+	Binary      []bool
+	// Upper bounds for continuous variables; binary variables are bounded
+	// by 1 regardless. Nil entries default to +Inf (continuous) / 1 (binary).
+	Upper []float64
+	// Warm, when non-nil, provides a feasible starting solution used to seed
+	// the incumbent bound, pruning the tree from the first node. Infeasible
+	// warm starts are silently ignored.
+	Warm []float64
+}
+
+// Solution is the incumbent returned by Solve.
+type Solution struct {
+	Status lp.Status
+	X      []float64
+	Obj    float64
+	Nodes  int // branch-and-bound nodes explored
+}
+
+const intTol = 1e-6
+
+// feasible checks a candidate warm-start point against all constraints,
+// bounds, and integrality.
+func feasible(p *Problem, upper []float64, x []float64) bool {
+	for j, v := range x {
+		if v < -intTol || v > upper[j]+intTol {
+			return false
+		}
+		if p.Binary[j] && math.Abs(v-math.Round(v)) > intTol {
+			return false
+		}
+	}
+	for _, c := range p.Constraints {
+		lhs := 0.0
+		for j, a := range c.Coef {
+			lhs += a * x[j]
+		}
+		switch c.Op {
+		case lp.LE:
+			if lhs > c.RHS+1e-6 {
+				return false
+			}
+		case lp.GE:
+			if lhs < c.RHS-1e-6 {
+				return false
+			}
+		case lp.EQ:
+			if math.Abs(lhs-c.RHS) > 1e-6 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MaxNodes caps the branch-and-bound tree; exceeding it returns an error so
+// callers can fall back to a heuristic (as PACOR does for oversized MWCPs).
+const MaxNodes = 200000
+
+// Solve runs best-bound-first branch and bound.
+func Solve(p *Problem) (*Solution, error) {
+	n := len(p.C)
+	if n == 0 {
+		return nil, errors.New("ilp: problem has no variables")
+	}
+	if len(p.Binary) != n {
+		return nil, fmt.Errorf("ilp: Binary mask has %d entries, want %d", len(p.Binary), n)
+	}
+	upper := make([]float64, n)
+	for j := 0; j < n; j++ {
+		switch {
+		case p.Binary[j]:
+			upper[j] = 1
+		case p.Upper != nil && j < len(p.Upper):
+			upper[j] = p.Upper[j]
+		default:
+			upper[j] = math.Inf(1)
+		}
+	}
+
+	best := &Solution{Status: lp.Infeasible, Obj: math.Inf(-1)}
+	if p.Warm != nil && len(p.Warm) == n && feasible(p, upper, p.Warm) {
+		obj := 0.0
+		for j := 0; j < n; j++ {
+			obj += p.C[j] * p.Warm[j]
+		}
+		best = &Solution{Status: lp.Optimal, X: append([]float64(nil), p.Warm...), Obj: obj}
+	}
+	nodes := 0
+
+	// node fixes a subset of binaries; fixed[j] in {-1 (free), 0, 1}.
+	type node struct {
+		fixed []int8
+		bound float64
+	}
+	root := node{fixed: make([]int8, n), bound: math.Inf(1)}
+	for j := range root.fixed {
+		root.fixed[j] = -1
+	}
+	stack := []node{root}
+
+	relax := func(fixed []int8) (*lp.Solution, error) {
+		cons := append([]lp.Constraint(nil), p.Constraints...)
+		up := append([]float64(nil), upper...)
+		for j, f := range fixed {
+			if f == -1 {
+				continue
+			}
+			coef := make([]float64, n)
+			coef[j] = 1
+			cons = append(cons, lp.Constraint{Coef: coef, Op: lp.EQ, RHS: float64(f)})
+			_ = up
+		}
+		return lp.Solve(&lp.Problem{C: p.C, Constraints: cons, Upper: up})
+	}
+
+	for len(stack) > 0 {
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if nd.bound <= best.Obj+intTol {
+			continue // pruned by bound computed at push time
+		}
+		nodes++
+		if nodes > MaxNodes {
+			return nil, errors.New("ilp: node limit exceeded")
+		}
+		rel, err := relax(nd.fixed)
+		if err != nil {
+			return nil, err
+		}
+		if rel.Status == lp.Unbounded {
+			return &Solution{Status: lp.Unbounded, Nodes: nodes}, nil
+		}
+		if rel.Status == lp.Infeasible || rel.Obj <= best.Obj+intTol {
+			continue
+		}
+		// Most fractional binary variable.
+		branch := -1
+		worst := 0.0
+		for j := 0; j < n; j++ {
+			if !p.Binary[j] {
+				continue
+			}
+			f := rel.X[j] - math.Floor(rel.X[j])
+			frac := math.Min(f, 1-f)
+			if frac > intTol && frac > worst {
+				worst = frac
+				branch = j
+			}
+		}
+		if branch == -1 {
+			// Integral (in the binaries): new incumbent.
+			if rel.Obj > best.Obj {
+				x := append([]float64(nil), rel.X...)
+				for j := 0; j < n; j++ {
+					if p.Binary[j] {
+						x[j] = math.Round(x[j])
+					}
+				}
+				best = &Solution{Status: lp.Optimal, X: x, Obj: rel.Obj}
+			}
+			continue
+		}
+		for _, v := range []int8{1, 0} {
+			child := node{fixed: append([]int8(nil), nd.fixed...), bound: rel.Obj}
+			child.fixed[branch] = v
+			stack = append(stack, child)
+		}
+	}
+	best.Nodes = nodes
+	return best, nil
+}

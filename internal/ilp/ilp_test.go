@@ -1,0 +1,243 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/lp"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestKnapsack(t *testing.T) {
+	// Classic 0-1 knapsack: values 60,100,120, weights 10,20,30, cap 50.
+	// Optimum: items 2,3 = 220.
+	p := &Problem{
+		C:      []float64{60, 100, 120},
+		Binary: []bool{true, true, true},
+		Constraints: []lp.Constraint{
+			{Coef: []float64{10, 20, 30}, Op: lp.LE, RHS: 50},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != lp.Optimal || !approx(s.Obj, 220) {
+		t.Fatalf("obj = %v status=%v, want 220", s.Obj, s.Status)
+	}
+	if s.X[0] != 0 || s.X[1] != 1 || s.X[2] != 1 {
+		t.Errorf("x = %v, want [0 1 1]", s.X)
+	}
+}
+
+func TestLPvsILPGap(t *testing.T) {
+	// LP relaxation of knapsack is fractional; ILP must be integral and
+	// below the LP bound.
+	c := []float64{10, 6, 4}
+	w := []float64{5, 4, 3}
+	p := &Problem{
+		C:      c,
+		Binary: []bool{true, true, true},
+		Constraints: []lp.Constraint{
+			{Coef: w, Op: lp.LE, RHS: 7},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := lp.Solve(&lp.Problem{C: c, Upper: []float64{1, 1, 1},
+		Constraints: []lp.Constraint{{Coef: w, Op: lp.LE, RHS: 7}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Obj > rel.Obj+1e-6 {
+		t.Errorf("ILP obj %v exceeds LP bound %v", s.Obj, rel.Obj)
+	}
+	for j, v := range s.X {
+		if math.Abs(v-math.Round(v)) > 1e-6 {
+			t.Errorf("x[%d] = %v not integral", j, v)
+		}
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := &Problem{
+		C:      []float64{1, 1},
+		Binary: []bool{true, true},
+		Constraints: []lp.Constraint{
+			{Coef: []float64{1, 1}, Op: lp.GE, RHS: 3},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != lp.Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestEqualityPick(t *testing.T) {
+	// Exactly one of three, maximize weights.
+	p := &Problem{
+		C:      []float64{3, 5, 4},
+		Binary: []bool{true, true, true},
+		Constraints: []lp.Constraint{
+			{Coef: []float64{1, 1, 1}, Op: lp.EQ, RHS: 1},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.Obj, 5) || s.X[1] != 1 {
+		t.Fatalf("x = %v obj=%v, want pick index 1", s.X, s.Obj)
+	}
+}
+
+func TestMixedContinuous(t *testing.T) {
+	// max 2b + y, b binary, 0 <= y <= 1.5, b + y <= 2.
+	p := &Problem{
+		C:      []float64{2, 1},
+		Binary: []bool{true, false},
+		Upper:  []float64{1, 1.5},
+		Constraints: []lp.Constraint{
+			{Coef: []float64{1, 1}, Op: lp.LE, RHS: 2},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.Obj, 3) || s.X[0] != 1 || !approx(s.X[1], 1) {
+		t.Fatalf("x = %v obj=%v, want b=1 y=1 obj=3", s.X, s.Obj)
+	}
+}
+
+func TestNegativeWeights(t *testing.T) {
+	// All weights negative with a cover constraint: pick the least bad.
+	p := &Problem{
+		C:      []float64{-5, -2, -9},
+		Binary: []bool{true, true, true},
+		Constraints: []lp.Constraint{
+			{Coef: []float64{1, 1, 1}, Op: lp.GE, RHS: 1},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.Obj, -2) || s.X[1] != 1 {
+		t.Fatalf("x = %v obj = %v, want pick index 1 at -2", s.X, s.Obj)
+	}
+}
+
+func TestRandomKnapsackVsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(8)
+		c := make([]float64, n)
+		w := make([]float64, n)
+		bin := make([]bool, n)
+		for j := 0; j < n; j++ {
+			c[j] = float64(rng.Intn(40) - 10)
+			w[j] = float64(1 + rng.Intn(10))
+			bin[j] = true
+		}
+		cap := float64(5 + rng.Intn(20))
+		p := &Problem{C: c, Binary: bin,
+			Constraints: []lp.Constraint{{Coef: w, Op: lp.LE, RHS: cap}}}
+		s, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Brute force all subsets.
+		best := math.Inf(-1)
+		for mask := 0; mask < 1<<n; mask++ {
+			wt, val := 0.0, 0.0
+			for j := 0; j < n; j++ {
+				if mask&(1<<j) != 0 {
+					wt += w[j]
+					val += c[j]
+				}
+			}
+			if wt <= cap && val > best {
+				best = val
+			}
+		}
+		if !approx(s.Obj, best) {
+			t.Errorf("trial %d: ILP %v, brute force %v", trial, s.Obj, best)
+		}
+	}
+}
+
+func TestBadInput(t *testing.T) {
+	if _, err := Solve(&Problem{}); err == nil {
+		t.Error("empty problem must error")
+	}
+	if _, err := Solve(&Problem{C: []float64{1}, Binary: []bool{}}); err == nil {
+		t.Error("mask mismatch must error")
+	}
+}
+
+func TestWarmStartMatchesColdOptimum(t *testing.T) {
+	p := &Problem{
+		C:      []float64{60, 100, 120},
+		Binary: []bool{true, true, true},
+		Constraints: []lp.Constraint{
+			{Coef: []float64{10, 20, 30}, Op: lp.LE, RHS: 50},
+		},
+	}
+	cold, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Warm = []float64{0, 1, 1} // the optimum itself
+	warm, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(cold.Obj, warm.Obj) {
+		t.Fatalf("warm obj %v != cold obj %v", warm.Obj, cold.Obj)
+	}
+	if warm.Nodes > cold.Nodes {
+		t.Errorf("warm start explored %d nodes, cold %d — seeding should prune",
+			warm.Nodes, cold.Nodes)
+	}
+}
+
+func TestWarmStartInfeasibleIgnored(t *testing.T) {
+	p := &Problem{
+		C:      []float64{1, 1},
+		Binary: []bool{true, true},
+		Constraints: []lp.Constraint{
+			{Coef: []float64{1, 1}, Op: lp.LE, RHS: 1},
+		},
+		Warm: []float64{1, 1}, // violates the constraint
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.Obj, 1) {
+		t.Fatalf("obj = %v, want 1 (bad warm start must not poison the bound)", s.Obj)
+	}
+}
+
+func TestWarmStartFractionalBinaryIgnored(t *testing.T) {
+	p := &Problem{
+		C:      []float64{1},
+		Binary: []bool{true},
+		Warm:   []float64{0.5},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.X[0] != 1 {
+		t.Fatalf("x = %v, want 1", s.X)
+	}
+}

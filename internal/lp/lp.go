@@ -1,0 +1,387 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs. The paper's PACOR implementation delegates its ILP and LP
+// sub-problems to the proprietary Gurobi optimizer [28]; this package (with
+// internal/ilp on top) is the stdlib-only replacement. The instances PACOR
+// generates — candidate-Steiner-tree selection MWCPs — are small (hundreds
+// of variables), so a dense tableau with Bland anti-cycling is fast enough
+// and, being exact, returns the same optima Gurobi would.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Op is a constraint comparison operator.
+type Op int
+
+// Constraint operators.
+const (
+	LE Op = iota // <=
+	GE           // >=
+	EQ           // ==
+)
+
+// Constraint is a single linear constraint sum_j Coef[j]*x[j] Op RHS.
+// Coef must have exactly NumVars entries (dense).
+type Constraint struct {
+	Coef []float64
+	Op   Op
+	RHS  float64
+}
+
+// Problem is a linear program: maximize C·x subject to the constraints and
+// x >= 0. Variable upper bounds, when finite, are appended as constraints by
+// the solver. Minimization is done by negating C.
+type Problem struct {
+	C           []float64
+	Constraints []Constraint
+	// Upper holds per-variable upper bounds; nil or +Inf entries mean
+	// unbounded above. All variables are implicitly >= 0.
+	Upper []float64
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solver outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return fmt.Sprintf("lp.Status(%d)", int(s))
+}
+
+// Solution is the result of solving a Problem.
+type Solution struct {
+	Status Status
+	X      []float64 // variable values (valid when Status == Optimal)
+	Obj    float64   // objective value C·X
+}
+
+const eps = 1e-9
+
+// maxPivots bounds simplex iterations; Bland's rule guarantees termination,
+// the cap is a defense against numerical stalls on malformed input.
+const maxPivots = 200000
+
+// Solve runs the two-phase simplex algorithm on p.
+func Solve(p *Problem) (*Solution, error) {
+	n := len(p.C)
+	if n == 0 {
+		return nil, errors.New("lp: problem has no variables")
+	}
+	cons := make([]Constraint, 0, len(p.Constraints)+n)
+	for _, c := range p.Constraints {
+		if len(c.Coef) != n {
+			return nil, fmt.Errorf("lp: constraint has %d coefficients, want %d", len(c.Coef), n)
+		}
+		cons = append(cons, c)
+	}
+	for j, u := range p.Upper {
+		if j >= n {
+			return nil, fmt.Errorf("lp: upper bound for unknown variable %d", j)
+		}
+		if !math.IsInf(u, 1) {
+			coef := make([]float64, n)
+			coef[j] = 1
+			cons = append(cons, Constraint{Coef: coef, Op: LE, RHS: u})
+		}
+	}
+	t := newTableau(n, cons)
+	// Phase 1: drive artificials out.
+	if t.nArt > 0 {
+		t.setPhase1Objective()
+		if err := t.iterate(); err != nil {
+			return nil, err
+		}
+		if t.objValue() < -eps {
+			return &Solution{Status: Infeasible}, nil
+		}
+		if err := t.expelArtificials(); err != nil {
+			return nil, err
+		}
+	}
+	// Phase 2: the real objective.
+	t.setObjective(p.C)
+	if err := t.iterate(); err != nil {
+		if errors.Is(err, errUnbounded) {
+			return &Solution{Status: Unbounded}, nil
+		}
+		return nil, err
+	}
+	x := t.extract(n)
+	obj := 0.0
+	for j := 0; j < n; j++ {
+		obj += p.C[j] * x[j]
+	}
+	return &Solution{Status: Optimal, X: x, Obj: obj}, nil
+}
+
+var errUnbounded = errors.New("lp: unbounded")
+
+// tableau is the dense simplex tableau in canonical (basis-identity) form.
+// Columns: structural vars, then slack/surplus vars, then artificials, then
+// the RHS column implicitly stored in rhs.
+type tableau struct {
+	m, n    int // constraints, structural variables
+	nSlack  int
+	nArt    int
+	cols    int // n + nSlack + nArt
+	a       [][]float64
+	rhs     []float64
+	basis   []int     // basis[i] = column basic in row i
+	obj     []float64 // current objective coefficients over all columns
+	artBase int       // first artificial column index
+	phase1  bool
+}
+
+func newTableau(n int, cons []Constraint) *tableau {
+	m := len(cons)
+	t := &tableau{m: m, n: n}
+	// Count slacks and artificials.
+	for _, c := range cons {
+		rhs := c.RHS
+		op := c.Op
+		if rhs < 0 {
+			op = flip(op)
+		}
+		switch op {
+		case LE:
+			t.nSlack++
+		case GE:
+			t.nSlack++
+			t.nArt++
+		case EQ:
+			t.nArt++
+		}
+	}
+	t.cols = n + t.nSlack + t.nArt
+	t.artBase = n + t.nSlack
+	t.a = make([][]float64, m)
+	t.rhs = make([]float64, m)
+	t.basis = make([]int, m)
+	slack := n
+	art := t.artBase
+	for i, c := range cons {
+		row := make([]float64, t.cols)
+		rhs := c.RHS
+		sign := 1.0
+		op := c.Op
+		if rhs < 0 {
+			sign = -1
+			rhs = -rhs
+			op = flip(op)
+		}
+		for j, v := range c.Coef {
+			row[j] = sign * v
+		}
+		switch op {
+		case LE:
+			row[slack] = 1
+			t.basis[i] = slack
+			slack++
+		case GE:
+			row[slack] = -1
+			slack++
+			row[art] = 1
+			t.basis[i] = art
+			art++
+		case EQ:
+			row[art] = 1
+			t.basis[i] = art
+			art++
+		}
+		t.a[i] = row
+		t.rhs[i] = rhs
+	}
+	return t
+}
+
+func flip(op Op) Op {
+	switch op {
+	case LE:
+		return GE
+	case GE:
+		return LE
+	}
+	return EQ
+}
+
+// setPhase1Objective sets maximize -(sum of artificials), priced out against
+// the current (artificial) basis.
+func (t *tableau) setPhase1Objective() {
+	t.phase1 = true
+	t.obj = make([]float64, t.cols)
+	for j := t.artBase; j < t.cols; j++ {
+		t.obj[j] = -1
+	}
+}
+
+// setObjective installs the phase-2 objective (maximize c over structural
+// variables; artificials get -inf-like exclusion by forcing coefficient far
+// negative so they never re-enter).
+func (t *tableau) setObjective(c []float64) {
+	t.phase1 = false
+	t.obj = make([]float64, t.cols)
+	copy(t.obj, c)
+	for j := t.artBase; j < t.cols; j++ {
+		t.obj[j] = math.Inf(-1) // never re-enter
+	}
+}
+
+// reducedCost returns c_j - c_B * column_j given the canonical tableau.
+func (t *tableau) reducedCost(j int) float64 {
+	r := t.obj[j]
+	if math.IsInf(r, -1) {
+		return math.Inf(-1)
+	}
+	for i := 0; i < t.m; i++ {
+		cb := t.obj[t.basis[i]]
+		// A basic artificial surviving into phase 2 sits at value 0 in a
+		// redundant row; treat its cost as 0 rather than -inf.
+		if cb != 0 && !math.IsInf(cb, -1) {
+			r -= cb * t.a[i][j]
+		}
+	}
+	return r
+}
+
+func (t *tableau) objValue() float64 {
+	v := 0.0
+	for i := 0; i < t.m; i++ {
+		cb := t.obj[t.basis[i]]
+		if math.IsInf(cb, -1) {
+			continue
+		}
+		v += cb * t.rhs[i]
+	}
+	return v
+}
+
+// iterate runs simplex pivots until optimality (no positive reduced cost),
+// returning errUnbounded when a column can grow forever.
+func (t *tableau) iterate() error {
+	for pivots := 0; pivots < maxPivots; pivots++ {
+		// Bland's rule: entering = smallest index with positive reduced cost.
+		enter := -1
+		for j := 0; j < t.cols; j++ {
+			if t.isBasic(j) {
+				continue
+			}
+			if t.reducedCost(j) > eps {
+				enter = j
+				break
+			}
+		}
+		if enter == -1 {
+			return nil // optimal
+		}
+		// Ratio test: smallest rhs/col over positive entries; Bland
+		// tie-break on basis variable index.
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			aij := t.a[i][enter]
+			if aij > eps {
+				ratio := t.rhs[i] / aij
+				if ratio < best-eps || (ratio < best+eps && (leave == -1 || t.basis[i] < t.basis[leave])) {
+					best = ratio
+					leave = i
+				}
+			}
+		}
+		if leave == -1 {
+			if t.phase1 {
+				return errors.New("lp: phase-1 unbounded (internal error)")
+			}
+			return errUnbounded
+		}
+		t.pivot(leave, enter)
+	}
+	return errors.New("lp: pivot limit exceeded")
+}
+
+func (t *tableau) isBasic(j int) bool {
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] == j {
+			return true
+		}
+	}
+	return false
+}
+
+// pivot makes column enter basic in row leave.
+func (t *tableau) pivot(leave, enter int) {
+	piv := t.a[leave][enter]
+	inv := 1 / piv
+	for j := 0; j < t.cols; j++ {
+		t.a[leave][j] *= inv
+	}
+	t.rhs[leave] *= inv
+	for i := 0; i < t.m; i++ {
+		if i == leave {
+			continue
+		}
+		f := t.a[i][enter]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j < t.cols; j++ {
+			t.a[i][j] -= f * t.a[leave][j]
+		}
+		t.rhs[i] -= f * t.rhs[leave]
+	}
+	t.basis[leave] = enter
+}
+
+// expelArtificials pivots any artificial still basic (at value 0) out of the
+// basis, or drops its row when it is redundant.
+func (t *tableau) expelArtificials() error {
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < t.artBase {
+			continue
+		}
+		// Find a non-artificial column with nonzero entry to pivot in.
+		done := false
+		for j := 0; j < t.artBase; j++ {
+			if math.Abs(t.a[i][j]) > eps {
+				t.pivot(i, j)
+				done = true
+				break
+			}
+		}
+		if !done {
+			// Row is all-zero over real columns: redundant constraint.
+			// Leave the artificial basic at value 0; it is inert because its
+			// phase-2 objective is -inf and its row has no real columns.
+			if math.Abs(t.rhs[i]) > eps {
+				return errors.New("lp: inconsistent redundant row after phase 1")
+			}
+		}
+	}
+	return nil
+}
+
+// extract reads the values of the first n (structural) variables.
+func (t *tableau) extract(n int) []float64 {
+	x := make([]float64, n)
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < n {
+			x[t.basis[i]] = t.rhs[i]
+		}
+	}
+	return x
+}

@@ -1,0 +1,241 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func solveOK(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSimple2D(t *testing.T) {
+	// max 3x + 2y s.t. x + y <= 4, x + 3y <= 6  -> x=4, y=0, obj 12.
+	p := &Problem{
+		C: []float64{3, 2},
+		Constraints: []Constraint{
+			{Coef: []float64{1, 1}, Op: LE, RHS: 4},
+			{Coef: []float64{1, 3}, Op: LE, RHS: 6},
+		},
+	}
+	s := solveOK(t, p)
+	if s.Status != Optimal || !approx(s.Obj, 12) {
+		t.Fatalf("got %v obj=%v, want optimal 12 (x=%v)", s.Status, s.Obj, s.X)
+	}
+}
+
+func TestInteriorOptimum(t *testing.T) {
+	// max x + y s.t. 2x + y <= 4, x + 2y <= 4 -> x=y=4/3, obj 8/3.
+	p := &Problem{
+		C: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coef: []float64{2, 1}, Op: LE, RHS: 4},
+			{Coef: []float64{1, 2}, Op: LE, RHS: 4},
+		},
+	}
+	s := solveOK(t, p)
+	if !approx(s.Obj, 8.0/3) {
+		t.Fatalf("obj = %v, want 8/3", s.Obj)
+	}
+	if !approx(s.X[0], 4.0/3) || !approx(s.X[1], 4.0/3) {
+		t.Errorf("x = %v", s.X)
+	}
+}
+
+func TestEquality(t *testing.T) {
+	// max x + 2y s.t. x + y == 3, y <= 2 -> x=1,y=2, obj 5.
+	p := &Problem{
+		C: []float64{1, 2},
+		Constraints: []Constraint{
+			{Coef: []float64{1, 1}, Op: EQ, RHS: 3},
+			{Coef: []float64{0, 1}, Op: LE, RHS: 2},
+		},
+	}
+	s := solveOK(t, p)
+	if !approx(s.Obj, 5) {
+		t.Fatalf("obj = %v want 5, x=%v", s.Obj, s.X)
+	}
+}
+
+func TestGEConstraint(t *testing.T) {
+	// min x+y s.t. x + 2y >= 4, 3x + y >= 6 (max of negative).
+	// Optimum at intersection x=8/5, y=6/5, min = 14/5.
+	p := &Problem{
+		C: []float64{-1, -1},
+		Constraints: []Constraint{
+			{Coef: []float64{1, 2}, Op: GE, RHS: 4},
+			{Coef: []float64{3, 1}, Op: GE, RHS: 6},
+		},
+	}
+	s := solveOK(t, p)
+	if s.Status != Optimal || !approx(-s.Obj, 14.0/5) {
+		t.Fatalf("min = %v, want 2.8 (x=%v)", -s.Obj, s.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := &Problem{
+		C: []float64{1},
+		Constraints: []Constraint{
+			{Coef: []float64{1}, Op: GE, RHS: 5},
+			{Coef: []float64{1}, Op: LE, RHS: 3},
+		},
+	}
+	s := solveOK(t, p)
+	if s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := &Problem{
+		C: []float64{1, 0},
+		Constraints: []Constraint{
+			{Coef: []float64{0, 1}, Op: LE, RHS: 1},
+		},
+	}
+	s := solveOK(t, p)
+	if s.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestUpperBounds(t *testing.T) {
+	// max x + y with x,y in [0,1], x + y <= 1.5 -> 1.5.
+	p := &Problem{
+		C:     []float64{1, 1},
+		Upper: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coef: []float64{1, 1}, Op: LE, RHS: 1.5},
+		},
+	}
+	s := solveOK(t, p)
+	if !approx(s.Obj, 1.5) {
+		t.Fatalf("obj = %v, want 1.5", s.Obj)
+	}
+	for j, v := range s.X {
+		if v < -1e-9 || v > 1+1e-9 {
+			t.Errorf("x[%d] = %v out of bounds", j, v)
+		}
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// -x <= -2  means x >= 2; max -x -> x = 2.
+	p := &Problem{
+		C: []float64{-1},
+		Constraints: []Constraint{
+			{Coef: []float64{-1}, Op: LE, RHS: -2},
+		},
+	}
+	s := solveOK(t, p)
+	if s.Status != Optimal || !approx(s.X[0], 2) {
+		t.Fatalf("x = %v status=%v, want x=2", s.X, s.Status)
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	// Classic degenerate LP (Beale-like): must terminate via Bland's rule.
+	p := &Problem{
+		C: []float64{0.75, -150, 0.02, -6},
+		Constraints: []Constraint{
+			{Coef: []float64{0.25, -60, -0.04, 9}, Op: LE, RHS: 0},
+			{Coef: []float64{0.5, -90, -0.02, 3}, Op: LE, RHS: 0},
+			{Coef: []float64{0, 0, 1, 0}, Op: LE, RHS: 1},
+		},
+	}
+	s := solveOK(t, p)
+	if s.Status != Optimal || !approx(s.Obj, 0.05) {
+		t.Fatalf("obj = %v status=%v, want 0.05", s.Obj, s.Status)
+	}
+}
+
+func TestZeroObjectiveFeasibility(t *testing.T) {
+	// Feasibility-only problem: any feasible point is optimal with obj 0.
+	p := &Problem{
+		C: []float64{0, 0},
+		Constraints: []Constraint{
+			{Coef: []float64{1, 1}, Op: EQ, RHS: 2},
+			{Coef: []float64{1, -1}, Op: EQ, RHS: 0},
+		},
+	}
+	s := solveOK(t, p)
+	if s.Status != Optimal || !approx(s.X[0], 1) || !approx(s.X[1], 1) {
+		t.Fatalf("x = %v, want (1,1)", s.X)
+	}
+}
+
+func TestNoVariables(t *testing.T) {
+	if _, err := Solve(&Problem{}); err == nil {
+		t.Error("expected error for empty problem")
+	}
+}
+
+func TestBadConstraintWidth(t *testing.T) {
+	p := &Problem{C: []float64{1}, Constraints: []Constraint{{Coef: []float64{1, 2}, Op: LE, RHS: 1}}}
+	if _, err := Solve(p); err == nil {
+		t.Error("expected error for mis-sized constraint")
+	}
+}
+
+// TestRandomVsBruteForce cross-checks the simplex against vertex enumeration
+// on random small LPs with bounded boxes (so the optimum is at a box/plane
+// vertex found by dense sampling of the 0/1 corners plus constraint planes;
+// here we simply compare against a fine grid search, adequate for 2 vars).
+func TestRandomVsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 40; trial++ {
+		c := []float64{rng.Float64()*4 - 2, rng.Float64()*4 - 2}
+		a1 := []float64{rng.Float64() * 2, rng.Float64() * 2}
+		a2 := []float64{rng.Float64() * 2, rng.Float64() * 2}
+		b1 := 1 + rng.Float64()*3
+		b2 := 1 + rng.Float64()*3
+		p := &Problem{
+			C:     c,
+			Upper: []float64{3, 3},
+			Constraints: []Constraint{
+				{Coef: a1, Op: LE, RHS: b1},
+				{Coef: a2, Op: LE, RHS: b2},
+			},
+		}
+		s := solveOK(t, p)
+		if s.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, s.Status)
+		}
+		// Grid search.
+		best := math.Inf(-1)
+		const steps = 300
+		for i := 0; i <= steps; i++ {
+			for j := 0; j <= steps; j++ {
+				x := 3 * float64(i) / steps
+				y := 3 * float64(j) / steps
+				if a1[0]*x+a1[1]*y <= b1+1e-9 && a2[0]*x+a2[1]*y <= b2+1e-9 {
+					v := c[0]*x + c[1]*y
+					if v > best {
+						best = v
+					}
+				}
+			}
+		}
+		if s.Obj < best-1e-2 {
+			t.Errorf("trial %d: simplex obj %v below grid best %v", trial, s.Obj, best)
+		}
+		if s.Obj > best+0.1 {
+			t.Errorf("trial %d: simplex obj %v unreasonably above grid best %v", trial, s.Obj, best)
+		}
+		// Verify feasibility of the returned point.
+		x, y := s.X[0], s.X[1]
+		if a1[0]*x+a1[1]*y > b1+1e-6 || a2[0]*x+a2[1]*y > b2+1e-6 ||
+			x < -1e-9 || y < -1e-9 || x > 3+1e-9 || y > 3+1e-9 {
+			t.Errorf("trial %d: infeasible solution %v", trial, s.X)
+		}
+	}
+}

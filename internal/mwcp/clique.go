@@ -1,0 +1,98 @@
+package mwcp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CliqueGraph is an undirected vertex-weighted graph for the generic
+// maximum-weight clique problem (used by the valve-clustering formulation
+// and as a cross-check for the selection solvers).
+type CliqueGraph struct {
+	W   []float64
+	Adj [][]bool
+}
+
+// NewCliqueGraph returns a graph with n isolated vertices of weight 1.
+func NewCliqueGraph(n int) *CliqueGraph {
+	g := &CliqueGraph{W: make([]float64, n), Adj: make([][]bool, n)}
+	for i := range g.Adj {
+		g.W[i] = 1
+		g.Adj[i] = make([]bool, n)
+	}
+	return g
+}
+
+// AddEdge connects u and v.
+func (g *CliqueGraph) AddEdge(u, v int) {
+	if u == v {
+		panic(fmt.Sprintf("mwcp: self-loop at %d", u))
+	}
+	g.Adj[u][v] = true
+	g.Adj[v][u] = true
+}
+
+// MaxWeightClique returns a maximum-weight clique (vertex set, ascending)
+// and its weight, by branch and bound with a weight-sum upper bound.
+// Exponential in the worst case; intended for the modest graphs produced by
+// valve clustering and tests.
+func MaxWeightClique(g *CliqueGraph) ([]int, float64) {
+	n := len(g.W)
+	if n == 0 {
+		return nil, 0
+	}
+	// Order vertices by descending weight for better early bounds.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return g.W[order[a]] > g.W[order[b]] })
+
+	var best []int
+	bestW := 0.0
+	var cur []int
+
+	var rec func(cand []int, curW float64)
+	rec = func(cand []int, curW float64) {
+		if curW > bestW {
+			bestW = curW
+			best = append([]int(nil), cur...)
+		}
+		ub := curW
+		for _, v := range cand {
+			if g.W[v] > 0 {
+				ub += g.W[v]
+			}
+		}
+		if ub <= bestW {
+			return
+		}
+		for i, v := range cand {
+			if g.W[v] <= 0 && curW+positiveSum(g, cand[i:]) <= bestW {
+				break
+			}
+			cur = append(cur, v)
+			var next []int
+			for _, w := range cand[i+1:] {
+				if g.Adj[v][w] {
+					next = append(next, w)
+				}
+			}
+			rec(next, curW+g.W[v])
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(order, 0)
+	sort.Ints(best)
+	return best, bestW
+}
+
+func positiveSum(g *CliqueGraph, vs []int) float64 {
+	s := 0.0
+	for _, v := range vs {
+		if g.W[v] > 0 {
+			s += g.W[v]
+		}
+	}
+	return s
+}

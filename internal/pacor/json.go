@@ -1,0 +1,77 @@
+package pacor
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"repro/internal/grid"
+)
+
+// resultJSON is the stable on-disk schema for a routing result, consumed by
+// downstream tooling (mask generation, visualization). Paths serialize as
+// [x,y] cell lists.
+type resultJSON struct {
+	Mode            string        `json:"mode"`
+	MultiClusters   int           `json:"clusters"`
+	MatchedClusters int           `json:"matched_clusters"`
+	MatchedLen      int           `json:"matched_length"`
+	TotalLen        int           `json:"total_length"`
+	RoutedValves    int           `json:"routed_valves"`
+	TotalValves     int           `json:"total_valves"`
+	RuntimeMS       float64       `json:"runtime_ms"`
+	Clusters        []clusterJSON `json:"cluster_results"`
+}
+
+type clusterJSON struct {
+	ID       int        `json:"id"`
+	Valves   []int      `json:"valves"`
+	LM       bool       `json:"length_matching"`
+	Matched  bool       `json:"matched"`
+	Demoted  bool       `json:"demoted"`
+	Routed   bool       `json:"routed"`
+	Pin      [2]int     `json:"pin,omitempty"`
+	FullLens []int      `json:"full_lengths,omitempty"`
+	Paths    [][][2]int `json:"paths,omitempty"`
+	Escape   [][2]int   `json:"escape,omitempty"`
+}
+
+func pathJSON(p grid.Path) [][2]int {
+	out := make([][2]int, len(p))
+	for i, c := range p {
+		out[i] = [2]int{c.X, c.Y}
+	}
+	return out
+}
+
+// WriteJSON serializes the result as indented JSON.
+func (r *Result) WriteJSON(w io.Writer) error {
+	rj := resultJSON{
+		Mode:            r.Mode.String(),
+		MultiClusters:   r.MultiClusters,
+		MatchedClusters: r.MatchedClusters,
+		MatchedLen:      r.MatchedLen,
+		TotalLen:        r.TotalLen,
+		RoutedValves:    r.RoutedValves,
+		TotalValves:     r.TotalValves,
+		RuntimeMS:       float64(r.Runtime) / float64(time.Millisecond),
+	}
+	for i := range r.Clusters {
+		c := &r.Clusters[i]
+		cj := clusterJSON{
+			ID: c.ID, Valves: c.Valves, LM: c.LM, Matched: c.Matched,
+			Demoted: c.Demoted, Routed: c.Routed, FullLens: c.FullLens,
+		}
+		if c.Routed {
+			cj.Pin = [2]int{c.Pin.X, c.Pin.Y}
+			cj.Escape = pathJSON(c.Escape)
+		}
+		for _, p := range c.Paths {
+			cj.Paths = append(cj.Paths, pathJSON(p))
+		}
+		rj.Clusters = append(rj.Clusters, cj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rj)
+}

@@ -1,0 +1,40 @@
+package pacor
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestWriteJSON(t *testing.T) {
+	d := testDesign(t)
+	res, err := Route(d, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if back["mode"] != "PACOR" {
+		t.Errorf("mode = %v", back["mode"])
+	}
+	if int(back["total_valves"].(float64)) != len(d.Valves) {
+		t.Error("total_valves wrong")
+	}
+	clusters, ok := back["cluster_results"].([]interface{})
+	if !ok || len(clusters) != len(res.Clusters) {
+		t.Fatalf("cluster_results count wrong")
+	}
+	first := clusters[0].(map[string]interface{})
+	if _, ok := first["paths"]; !ok {
+		t.Error("paths missing for routed multi-valve cluster")
+	}
+	if int(back["total_length"].(float64)) != res.TotalLen {
+		t.Error("total_length mismatch")
+	}
+}

@@ -1,0 +1,72 @@
+// Package pacor orchestrates the complete control-layer routing flow of the
+// paper (Figure 2): valve clustering, length-matching-aware cluster routing
+// (DME candidates -> MWCP selection -> negotiation routing), MST-based
+// routing for ordinary clusters, min-cost-flow escape routing to control
+// pins with de-clustering retries, and final path detouring for the
+// length-matching constraint.
+package pacor
+
+import (
+	"repro/internal/route"
+	"repro/internal/seltree"
+)
+
+// Mode selects the flow variant, matching the self-comparison columns of
+// Table 2.
+type Mode int
+
+// Flow variants.
+const (
+	// ModePACOR is the full flow: candidate selection, escape routing, and
+	// final-stage detouring.
+	ModePACOR Mode = iota
+	// ModeWithoutSelection ("w/o Sel") skips the MWCP candidate-tree
+	// selection and takes each cluster's first candidate.
+	ModeWithoutSelection
+	// ModeDetourFirst detours for length matching immediately after the
+	// negotiation-based routing stage, before escape routing.
+	ModeDetourFirst
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModePACOR:
+		return "PACOR"
+	case ModeWithoutSelection:
+		return "w/o Sel"
+	case ModeDetourFirst:
+		return "Detour First"
+	}
+	return "unknown"
+}
+
+// Params are the flow's tuning knobs; defaults mirror the paper.
+type Params struct {
+	Mode Mode
+	// MaxCandidates bounds candidate Steiner trees per cluster.
+	MaxCandidates int
+	// Lambda weighs mismatch vs overlap in selection (Eq. 2-3).
+	Lambda float64
+	// Negotiate holds Algorithm 1's bg/alpha/gamma.
+	Negotiate route.NegotiateParams
+	// Solver picks the MWCP solver (the paper adopted ILP).
+	Solver seltree.Solver
+	// EscapeRetries bounds the de-clustering/rip-up escape rounds.
+	EscapeRetries int
+	// ExactClustering replaces the greedy max-clique heuristic of the valve
+	// clustering stage with exact maximum-clique extraction (slower; for
+	// small designs and ablations).
+	ExactClustering bool
+}
+
+// DefaultParams returns the paper's settings.
+func DefaultParams() Params {
+	return Params{
+		Mode:          ModePACOR,
+		MaxCandidates: 6,
+		Lambda:        0.1,
+		Negotiate:     route.DefaultNegotiateParams(),
+		Solver:        seltree.SolverILP,
+		EscapeRetries: 6,
+	}
+}

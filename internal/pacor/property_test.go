@@ -1,0 +1,350 @@
+package pacor
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/valve"
+)
+
+// randomDesign builds a random small-but-routable design: valves with
+// clearance, grouped codes, boundary pins.
+func randomDesign(rng *rand.Rand) *valve.Design {
+	w := 24 + rng.Intn(24)
+	h := 24 + rng.Intn(24)
+	d := &valve.Design{Name: "rand", W: w, H: h, Delta: 1}
+	occupied := map[geom.Pt]bool{}
+	clearAt := func(p geom.Pt) bool {
+		for dx := -2; dx <= 2; dx++ {
+			for dy := -2; dy <= 2; dy++ {
+				if geom.Abs(dx)+geom.Abs(dy) <= 2 && occupied[geom.Pt{X: p.X + dx, Y: p.Y + dy}] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	place := func() (geom.Pt, bool) {
+		for try := 0; try < 500; try++ {
+			p := geom.Pt{X: 2 + rng.Intn(w-4), Y: 2 + rng.Intn(h-4)}
+			if clearAt(p) {
+				occupied[p] = true
+				return p, true
+			}
+		}
+		return geom.Pt{}, false
+	}
+	// Obstacles.
+	for i := 0; i < rng.Intn(20); i++ {
+		p := geom.Pt{X: 2 + rng.Intn(w-4), Y: 2 + rng.Intn(h-4)}
+		if !occupied[p] {
+			occupied[p] = true
+			d.Obstacles = append(d.Obstacles, p)
+		}
+	}
+	// Clusters.
+	nClusters := 1 + rng.Intn(3)
+	id := 0
+	code := 0
+	mkSeq := func(c int) valve.Seq {
+		sq := make(valve.Seq, 6)
+		for b := 0; b < 6; b++ {
+			if c&(1<<b) != 0 {
+				sq[b] = valve.Closed
+			} else {
+				sq[b] = valve.Open
+			}
+		}
+		return sq
+	}
+	for ci := 0; ci < nClusters; ci++ {
+		size := 2 + rng.Intn(3)
+		var cluster []int
+		sq := mkSeq(code)
+		code++
+		for k := 0; k < size; k++ {
+			p, ok := place()
+			if !ok {
+				break
+			}
+			d.Valves = append(d.Valves, valve.Valve{ID: id, Pos: p, Seq: sq})
+			cluster = append(cluster, id)
+			id++
+		}
+		if len(cluster) >= 2 {
+			d.LMClusters = append(d.LMClusters, cluster)
+		}
+	}
+	// Singletons.
+	for k := 0; k < rng.Intn(4); k++ {
+		p, ok := place()
+		if !ok {
+			break
+		}
+		d.Valves = append(d.Valves, valve.Valve{ID: id, Pos: p, Seq: mkSeq(code)})
+		code++
+		id++
+	}
+	// Pins on all four sides.
+	for x := 1; x < w-1; x += 2 {
+		d.Pins = append(d.Pins, geom.Pt{X: x, Y: 0}, geom.Pt{X: x, Y: h - 1})
+	}
+	for y := 1; y < h-1; y += 2 {
+		d.Pins = append(d.Pins, geom.Pt{X: 0, Y: y}, geom.Pt{X: w - 1, Y: y})
+	}
+	return d
+}
+
+// TestRouteRandomDesigns: random designs route without error, pass the
+// independent design-rule verifier, and achieve full completion (these
+// instances are sparse by construction).
+func TestRouteRandomDesigns(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 25; trial++ {
+		d := randomDesign(rng)
+		if len(d.Valves) == 0 {
+			continue
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("trial %d: generated design invalid: %v", trial, err)
+		}
+		for _, mode := range []Mode{ModePACOR, ModeWithoutSelection, ModeDetourFirst} {
+			params := DefaultParams()
+			params.Mode = mode
+			res, err := Route(d, params)
+			if err != nil {
+				t.Fatalf("trial %d/%v: %v", trial, mode, err)
+			}
+			if err := Verify(d, res); err != nil {
+				t.Fatalf("trial %d/%v: %v", trial, mode, err)
+			}
+			if res.CompletionRate() != 1.0 {
+				t.Errorf("trial %d/%v: completion %.3f (%dx%d, %d valves)",
+					trial, mode, res.CompletionRate(), d.W, d.H, len(d.Valves))
+			}
+		}
+	}
+}
+
+// TestRouteSealedValveReportsIncompletion: a valve walled in by obstacles
+// cannot route; the flow must degrade gracefully (report, not panic, and
+// route everything else).
+func TestRouteSealedValveReportsIncompletion(t *testing.T) {
+	seq := func(s string) valve.Seq { q, _ := valve.ParseSeq(s); return q }
+	d := &valve.Design{
+		Name: "sealed", W: 16, H: 16, Delta: 1,
+		Valves: []valve.Valve{
+			{ID: 0, Pos: geom.Pt{X: 8, Y: 8}, Seq: seq("01")},
+			{ID: 1, Pos: geom.Pt{X: 3, Y: 3}, Seq: seq("10")},
+		},
+		Obstacles: []geom.Pt{
+			{X: 7, Y: 8}, {X: 9, Y: 8}, {X: 8, Y: 7}, {X: 8, Y: 9},
+		},
+	}
+	for x := 1; x < 15; x += 2 {
+		d.Pins = append(d.Pins, geom.Pt{X: x, Y: 0})
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Route(d, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RoutedValves != 1 {
+		t.Errorf("routed %d valves, want exactly the reachable one", res.RoutedValves)
+	}
+	if res.CompletionRate() != 0.5 {
+		t.Errorf("completion %.2f, want 0.5", res.CompletionRate())
+	}
+	if err := Verify(d, res); err != nil {
+		t.Errorf("partial solution must still verify: %v", err)
+	}
+}
+
+// TestRerootTreeNetInvariants: re-rooting preserves total geometry and
+// reports distances consistent with BFS over the channel cells.
+func TestRerootTreeNetInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 15; trial++ {
+		d := randomDesign(rng)
+		if len(d.LMClusters) == 0 || len(d.LMClusters[0]) < 3 {
+			continue
+		}
+		res, err := Route(d, DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range res.Clusters {
+			if !c.LM || c.Demoted || len(c.FullLens) < 3 || len(c.Paths) < 2 {
+				continue
+			}
+			// The escape take-off is the first escape cell; distances from
+			// valves must match the cell-level BFS over the channels.
+			if len(c.Escape) == 0 {
+				continue
+			}
+			takeoff := c.Escape[0]
+			spread := netCellSpreadFromPaths(c.Paths, valvePts(d, c.Valves))
+			if sp, ok := spread[takeoff]; ok {
+				mn, mx := minMax(c.FullLens)
+				if mx-mn != sp {
+					t.Errorf("trial %d cluster %d: FullLens spread %d, BFS spread %d",
+						trial, c.ID, mx-mn, sp)
+				}
+			}
+		}
+	}
+}
+
+func valvePts(d *valve.Design, ids []int) []geom.Pt {
+	pts := make([]geom.Pt, len(ids))
+	for i, v := range ids {
+		pts[i] = d.Valves[v].Pos
+	}
+	return pts
+}
+
+func minMax(xs []int) (int, int) {
+	mn, mx := xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < mn {
+			mn = x
+		}
+		if x > mx {
+			mx = x
+		}
+	}
+	return mn, mx
+}
+
+// netCellSpreadFromPaths mirrors netCellSpread but over raw paths (test-side
+// reimplementation to cross-check the production one).
+func netCellSpreadFromPaths(paths []gridPath, leaves []geom.Pt) map[geom.Pt]int {
+	adj := map[geom.Pt][]geom.Pt{}
+	for _, seg := range paths {
+		for i := 1; i < len(seg); i++ {
+			adj[seg[i-1]] = append(adj[seg[i-1]], seg[i])
+			adj[seg[i]] = append(adj[seg[i]], seg[i-1])
+		}
+	}
+	var mn, mx map[geom.Pt]int
+	for _, leaf := range leaves {
+		dist := map[geom.Pt]int{leaf: 0}
+		queue := []geom.Pt{leaf}
+		for len(queue) > 0 {
+			c := queue[0]
+			queue = queue[1:]
+			for _, q := range adj[c] {
+				if _, seen := dist[q]; !seen {
+					dist[q] = dist[c] + 1
+					queue = append(queue, q)
+				}
+			}
+		}
+		if mn == nil {
+			mn, mx = map[geom.Pt]int{}, map[geom.Pt]int{}
+			for c, v := range dist {
+				mn[c], mx[c] = v, v
+			}
+			continue
+		}
+		for c, v := range dist {
+			if cur, ok := mn[c]; !ok || v < cur {
+				mn[c] = v
+			}
+			if cur, ok := mx[c]; !ok || v > cur {
+				mx[c] = v
+			}
+		}
+	}
+	out := map[geom.Pt]int{}
+	for c := range mx {
+		out[c] = mx[c] - mn[c]
+	}
+	return out
+}
+
+// gridPath aliases grid.Path for the cross-check helper.
+type gridPath = grid.Path
+
+// TestRouteDeclustersAcrossWall: two compatible valves separated by a full
+// wall cannot form one routed cluster; the flow must de-cluster them and
+// still connect each to its own pin (Figure 2's "Declustering" box).
+func TestRouteDeclustersAcrossWall(t *testing.T) {
+	seq := func(s string) valve.Seq { q, _ := valve.ParseSeq(s); return q }
+	d := &valve.Design{
+		Name: "wall", W: 17, H: 17, Delta: 1,
+		Valves: []valve.Valve{
+			{ID: 0, Pos: geom.Pt{X: 4, Y: 8}, Seq: seq("01")},
+			{ID: 1, Pos: geom.Pt{X: 12, Y: 8}, Seq: seq("01")},
+		},
+	}
+	for y := 0; y < 17; y++ {
+		d.Obstacles = append(d.Obstacles, geom.Pt{X: 8, Y: y})
+	}
+	for y := 1; y < 16; y += 2 {
+		d.Pins = append(d.Pins, geom.Pt{X: 0, Y: y}, geom.Pt{X: 16, Y: y})
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Route(d, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompletionRate() != 1 {
+		t.Fatalf("completion %.2f, want 1 via de-clustering", res.CompletionRate())
+	}
+	if err := Verify(d, res); err != nil {
+		t.Fatal(err)
+	}
+	// The two valves must end on different pins (different sides).
+	pins := map[geom.Pt]bool{}
+	for _, c := range res.Clusters {
+		if c.Routed {
+			pins[c.Pin] = true
+		}
+	}
+	if len(pins) != 2 {
+		t.Errorf("expected 2 distinct pins, got %d", len(pins))
+	}
+}
+
+// TestRouteDeclustersLMAcrossWall: the same situation with a pre-specified
+// LM cluster must demote it (unmatched) rather than fail.
+func TestRouteDeclustersLMAcrossWall(t *testing.T) {
+	seq := func(s string) valve.Seq { q, _ := valve.ParseSeq(s); return q }
+	d := &valve.Design{
+		Name: "wall-lm", W: 17, H: 17, Delta: 1,
+		Valves: []valve.Valve{
+			{ID: 0, Pos: geom.Pt{X: 4, Y: 8}, Seq: seq("01")},
+			{ID: 1, Pos: geom.Pt{X: 12, Y: 8}, Seq: seq("01")},
+		},
+		LMClusters: [][]int{{0, 1}},
+	}
+	for y := 0; y < 17; y++ {
+		d.Obstacles = append(d.Obstacles, geom.Pt{X: 8, Y: y})
+	}
+	for y := 1; y < 16; y += 2 {
+		d.Pins = append(d.Pins, geom.Pt{X: 0, Y: y}, geom.Pt{X: 16, Y: y})
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Route(d, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompletionRate() != 1 {
+		t.Fatalf("completion %.2f", res.CompletionRate())
+	}
+	if res.MatchedClusters != 0 {
+		t.Errorf("separated LM pair cannot be matched, got %d", res.MatchedClusters)
+	}
+	if err := Verify(d, res); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,122 @@
+package pacor
+
+import (
+	"repro/internal/detour"
+	"repro/internal/dme"
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+// rerootTreeNet rebuilds a routed tree cluster's detour net with full paths
+// measured to a new take-off cell lying anywhere on the net. When escape
+// routing cannot reach the DME root (the root can be sealed by the
+// cluster's own channels), the flow takes off elsewhere on the tree; the
+// length-matching constraint then applies to the channel lengths from each
+// valve to that take-off, which is exactly the net re-rooted at the
+// take-off cell. Returns nil when the take-off is not on the net.
+func rerootTreeNet(tr *dme.Tree, net *detour.Net, takeoff geom.Pt) *detour.Net {
+	edges := tr.Edges()
+	segs := make([]grid.Path, len(net.Segments))
+	copy(segs, net.Segments)
+	k, j := locate(segs, takeoff)
+	if k < 0 {
+		return nil
+	}
+	parentEdgeOf := make(map[int]int, len(edges))
+	for ei, e := range edges {
+		parentEdgeOf[e.Child] = ei
+	}
+	leafOf := make(map[int]int)
+	for ni, nd := range tr.Topo.Nodes {
+		if nd.Sink >= 0 {
+			leafOf[nd.Sink] = ni
+		}
+	}
+	pathToRoot := func(n int) []int {
+		var out []int
+		for n != tr.Topo.Root {
+			e := parentEdgeOf[n]
+			out = append(out, e)
+			n = edges[e].Parent
+		}
+		return out
+	}
+	// Split segment k at the take-off: child side keeps index k, parent side
+	// appends as kB. Either part may be a single cell (zero length).
+	childPart := segs[k][:j+1].Clone()
+	parentPart := segs[k][j:].Clone()
+	segs[k] = childPart
+	kB := len(segs)
+	segs = append(segs, parentPart)
+
+	full := make([][]int, len(tr.Sinks))
+	for s := range tr.Sinks {
+		ptr := pathToRoot(leafOf[s])
+		if idx := indexOf(ptr, k); idx >= 0 {
+			// The leaf lies under edge k: climb to k's child, then the child
+			// part of the split segment reaches the take-off.
+			fp := append([]int(nil), ptr[:idx]...)
+			full[s] = append(fp, k)
+			continue
+		}
+		// Climb to the LCA with k's parent node, descend to it, then take
+		// the parent part of the split segment.
+		pPath := pathToRoot(edges[k].Parent)
+		i1, i2 := len(ptr), len(pPath)
+		for i1 > 0 && i2 > 0 && ptr[i1-1] == pPath[i2-1] {
+			i1--
+			i2--
+		}
+		fp := append([]int(nil), ptr[:i1]...)
+		for i := i2 - 1; i >= 0; i-- {
+			fp = append(fp, pPath[i])
+		}
+		full[s] = append(fp, kB)
+	}
+	return &detour.Net{Segments: segs, FullPaths: full}
+}
+
+// rerootPairNet rebuilds a pair cluster's net around a new tap cell on
+// either arm.
+func rerootPairNet(net *detour.Net, takeoff geom.Pt) *detour.Net {
+	if len(net.Segments) != 2 {
+		return nil
+	}
+	// Whole channel: valve0 .. old tap .. valve1.
+	arm0, arm1 := net.Segments[0], net.Segments[1]
+	whole := arm0.Clone()
+	rev := arm1.Reverse()
+	whole = append(whole, rev[1:]...) // skip the shared tap cell
+	for i, c := range whole {
+		if c == takeoff {
+			return &detour.Net{
+				Segments: []grid.Path{
+					whole[:i+1].Clone(),
+					whole[i:].Clone().Reverse(),
+				},
+				FullPaths: [][]int{{0}, {1}},
+			}
+		}
+	}
+	return nil
+}
+
+func locate(segs []grid.Path, c geom.Pt) (int, int) {
+	for si, s := range segs {
+		for ci, cell := range s {
+			if cell == c {
+				return si, ci
+			}
+		}
+	}
+	return -1, -1
+}
+
+func indexOf(xs []int, v int) int {
+	for i, x := range xs {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,52 @@
+package pacor
+
+import (
+	"testing"
+)
+
+func TestStageTimesRecorded(t *testing.T) {
+	d := testDesign(t)
+	res, err := Route(d, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, stage := range []string{"clustering", "lmrouting", "mstrouting", "escape", "detour"} {
+		if _, ok := res.StageTimes[stage]; !ok {
+			t.Errorf("stage %q missing from StageTimes", stage)
+		}
+	}
+	var sum int64
+	for _, d := range res.StageTimes {
+		if d < 0 {
+			t.Error("negative stage time")
+		}
+		sum += d.Nanoseconds()
+	}
+	if sum > res.Runtime.Nanoseconds() {
+		t.Errorf("stage times %v exceed total runtime %v", sum, res.Runtime)
+	}
+}
+
+func TestExactClusteringMode(t *testing.T) {
+	d := testDesign(t)
+	params := DefaultParams()
+	params.ExactClustering = true
+	res, err := Route(d, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompletionRate() != 1 {
+		t.Errorf("completion %.2f", res.CompletionRate())
+	}
+	if err := Verify(d, res); err != nil {
+		t.Error(err)
+	}
+	// Exact clustering must not create more clusters than the greedy mode.
+	greedy, err := Route(d, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) > len(greedy.Clusters) {
+		t.Errorf("exact %d clusters > greedy %d", len(res.Clusters), len(greedy.Clusters))
+	}
+}

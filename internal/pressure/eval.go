@@ -1,0 +1,52 @@
+package pressure
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/pacor"
+	"repro/internal/valve"
+)
+
+// EvaluateCluster simulates pressure propagation over one routed cluster:
+// the step is injected at its control pin and the per-valve actuation times
+// are returned together with the worst-case skew. The cluster must be
+// routed.
+func EvaluateCluster(d *valve.Design, c *pacor.ClusterResult, params Params) (map[geom.Pt]float64, float64, error) {
+	if !c.Routed {
+		return nil, 0, fmt.Errorf("pressure: cluster %d is not routed", c.ID)
+	}
+	paths := append([]grid.Path{}, c.Paths...)
+	if len(c.Escape) > 0 {
+		paths = append(paths, c.Escape)
+	}
+	probes := make([]geom.Pt, len(c.Valves))
+	for i, v := range c.Valves {
+		probes[i] = d.Valves[v].Pos
+	}
+	nw, err := NewNetwork(paths, c.Pin, probes)
+	if err != nil {
+		return nil, 0, err
+	}
+	arr := nw.Simulate(params)
+	return arr, Skew(arr), nil
+}
+
+// EvaluateResult simulates every routed multi-valve cluster of a flow result
+// and returns the skew per cluster ID.
+func EvaluateResult(d *valve.Design, r *pacor.Result, params Params) (map[int]float64, error) {
+	out := map[int]float64{}
+	for i := range r.Clusters {
+		c := &r.Clusters[i]
+		if !c.Routed || len(c.Valves) < 2 {
+			continue
+		}
+		_, skew, err := EvaluateCluster(d, c, params)
+		if err != nil {
+			return nil, fmt.Errorf("cluster %d: %w", c.ID, err)
+		}
+		out[c.ID] = skew
+	}
+	return out, nil
+}

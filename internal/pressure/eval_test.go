@@ -1,0 +1,105 @@
+package pressure
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/pacor"
+	"repro/internal/valve"
+)
+
+func routedDesign(t *testing.T) (*valve.Design, *pacor.Result) {
+	t.Helper()
+	seq := func(s string) valve.Seq { q, _ := valve.ParseSeq(s); return q }
+	d := &valve.Design{
+		Name: "pe", W: 20, H: 20, Delta: 1,
+		Valves: []valve.Valve{
+			{ID: 0, Pos: geom.Pt{X: 4, Y: 6}, Seq: seq("01")},
+			{ID: 1, Pos: geom.Pt{X: 10, Y: 9}, Seq: seq("01")},
+			{ID: 2, Pos: geom.Pt{X: 15, Y: 14}, Seq: seq("10")},
+		},
+		LMClusters: [][]int{{0, 1}},
+	}
+	for x := 1; x < 19; x += 2 {
+		d.Pins = append(d.Pins, geom.Pt{X: x, Y: 0}, geom.Pt{X: x, Y: 19})
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := pacor.Route(d, pacor.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, res
+}
+
+func TestEvaluateCluster(t *testing.T) {
+	d, res := routedDesign(t)
+	for i := range res.Clusters {
+		c := &res.Clusters[i]
+		if !c.Routed || len(c.Valves) < 2 {
+			continue
+		}
+		arr, skew, err := EvaluateCluster(d, c, DefaultParams())
+		if err != nil {
+			t.Fatalf("cluster %d: %v", c.ID, err)
+		}
+		if len(arr) != len(c.Valves) {
+			t.Errorf("cluster %d: %d arrivals for %d valves", c.ID, len(arr), len(c.Valves))
+		}
+		for cell, at := range arr {
+			if math.IsInf(at, 1) || at < 0 {
+				t.Errorf("cluster %d: valve %v never actuated (t=%v)", c.ID, cell, at)
+			}
+		}
+		if c.Matched && skew > 60 {
+			t.Errorf("cluster %d: matched but skew %.1f suspiciously large", c.ID, skew)
+		}
+	}
+}
+
+func TestEvaluateClusterUnrouted(t *testing.T) {
+	d, res := routedDesign(t)
+	c := res.Clusters[0]
+	c.Routed = false
+	if _, _, err := EvaluateCluster(d, &c, DefaultParams()); err == nil {
+		t.Error("unrouted cluster must error")
+	}
+}
+
+func TestEvaluateResult(t *testing.T) {
+	d, res := routedDesign(t)
+	skews, err := EvaluateResult(d, res, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi := 0
+	for _, c := range res.Clusters {
+		if c.Routed && len(c.Valves) >= 2 {
+			multi++
+			if _, ok := skews[c.ID]; !ok {
+				t.Errorf("cluster %d missing from skew map", c.ID)
+			}
+		}
+	}
+	if len(skews) != multi {
+		t.Errorf("skews for %d clusters, want %d", len(skews), multi)
+	}
+}
+
+func TestSimulateHorizon(t *testing.T) {
+	// A tiny horizon must report +Inf rather than hanging.
+	nw, err := NewNetwork([]grid.Path{line(0, 30, 0)}, geom.Pt{X: 0, Y: 0},
+		[]geom.Pt{{X: 30, Y: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	p.MaxTime = 1
+	arr := nw.Simulate(p)
+	if !math.IsInf(arr[geom.Pt{X: 30, Y: 0}], 1) {
+		t.Error("horizon-limited simulation should report Inf")
+	}
+}

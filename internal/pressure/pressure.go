@@ -1,0 +1,161 @@
+// Package pressure simulates pneumatic pressure propagation through routed
+// control channels — the physical phenomenon motivating the paper's
+// length-matching constraint ("pressure propagation is very slow from the
+// control pin to the corresponding valve(s) through the control channel",
+// Section 1). The paper measures channel lengths as a proxy for delay; this
+// package closes the loop by actually simulating the propagation on the
+// routed geometry, so tests and experiments can confirm that length-matched
+// clusters switch simultaneously while unmatched ones do not.
+//
+// Model: a channel is a chain of unit cells, each an RC node of a discrete
+// transmission line (PDMS channels behave diffusively at these scales).
+// A pressure step is applied at the control pin; explicit-Euler diffusion
+//
+//	dP_i/dt = sum_{j adj i} (P_j - P_i) / (R*C)
+//
+// runs until every valve-end pressure crosses the actuation threshold.
+// Channel branches (Steiner trees) are handled naturally: junction cells
+// connect their incident segments, so downstream loading skews arrival
+// times exactly as it would on-chip.
+package pressure
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+// Params are the simulation constants. The defaults normalize R = C = 1 and
+// actuate at 50% of the source pressure; only ratios of arrival times are
+// meaningful.
+type Params struct {
+	RC        float64 // per-cell resistance*capacitance
+	Threshold float64 // actuation threshold as a fraction of source pressure
+	Dt        float64 // Euler step; must be < RC/4 for stability (degree <= 4)
+	MaxTime   float64 // simulation horizon
+}
+
+// DefaultParams returns stable defaults.
+func DefaultParams() Params {
+	return Params{RC: 1, Threshold: 0.5, Dt: 0.125, MaxTime: 1e6}
+}
+
+// Network is the cell-level RC network of one cluster's channels.
+type Network struct {
+	nodes  map[geom.Pt]int
+	adj    [][]int32
+	source int
+	probes map[geom.Pt]int // probe cells (valves) -> node
+}
+
+// NewNetwork builds the network from channel paths. Adjacency follows the
+// channel topology: consecutive cells within a path connect; cells of
+// different paths connect only where they share the same grid cell (a
+// junction). source is the pressure injection cell (the control pin).
+func NewNetwork(paths []grid.Path, source geom.Pt, probes []geom.Pt) (*Network, error) {
+	nw := &Network{nodes: map[geom.Pt]int{}, probes: map[geom.Pt]int{}}
+	node := func(c geom.Pt) int {
+		if id, ok := nw.nodes[c]; ok {
+			return id
+		}
+		id := len(nw.adj)
+		nw.nodes[c] = id
+		nw.adj = append(nw.adj, nil)
+		return id
+	}
+	link := func(a, b int) {
+		for _, x := range nw.adj[a] {
+			if int(x) == b {
+				return
+			}
+		}
+		nw.adj[a] = append(nw.adj[a], int32(b))
+		nw.adj[b] = append(nw.adj[b], int32(a))
+	}
+	for _, p := range paths {
+		for i, c := range p {
+			id := node(c)
+			if i > 0 {
+				link(nw.nodes[p[i-1]], id)
+			}
+		}
+	}
+	sid, ok := nw.nodes[source]
+	if !ok {
+		return nil, fmt.Errorf("pressure: source %v not on any channel", source)
+	}
+	nw.source = sid
+	for _, pr := range probes {
+		id, ok := nw.nodes[pr]
+		if !ok {
+			return nil, fmt.Errorf("pressure: probe %v not on any channel", pr)
+		}
+		nw.probes[pr] = id
+	}
+	return nw, nil
+}
+
+// Size returns the number of RC nodes.
+func (nw *Network) Size() int { return len(nw.adj) }
+
+// Simulate applies a unit pressure step at the source and returns, per probe
+// cell, the time its pressure first crosses the threshold. Probes that never
+// cross within MaxTime map to +Inf.
+func (nw *Network) Simulate(params Params) map[geom.Pt]float64 {
+	n := len(nw.adj)
+	p := make([]float64, n)
+	next := make([]float64, n)
+	p[nw.source] = 1
+
+	arrival := make(map[geom.Pt]float64, len(nw.probes))
+	pending := len(nw.probes)
+	for cell, id := range nw.probes {
+		if id == nw.source {
+			arrival[cell] = 0
+			pending--
+		} else {
+			arrival[cell] = math.Inf(1)
+		}
+	}
+	if pending == 0 {
+		return arrival
+	}
+	k := params.Dt / params.RC
+	for t := params.Dt; t <= params.MaxTime && pending > 0; t += params.Dt {
+		for i := 0; i < n; i++ {
+			acc := 0.0
+			for _, j := range nw.adj[i] {
+				acc += p[j] - p[i]
+			}
+			next[i] = p[i] + k*acc
+		}
+		next[nw.source] = 1 // pressure source holds the rail
+		p, next = next, p
+		for cell, id := range nw.probes {
+			if math.IsInf(arrival[cell], 1) && p[id] >= params.Threshold {
+				arrival[cell] = t
+				pending--
+			}
+		}
+	}
+	return arrival
+}
+
+// Skew returns the worst-case arrival-time difference across the probe set
+// (Inf when any probe never actuated).
+func Skew(arrivals map[geom.Pt]float64) float64 {
+	first, last := math.Inf(1), math.Inf(-1)
+	for _, t := range arrivals {
+		if math.IsInf(t, 1) {
+			return math.Inf(1)
+		}
+		first = math.Min(first, t)
+		last = math.Max(last, t)
+	}
+	if math.IsInf(first, 1) {
+		return 0
+	}
+	return last - first
+}

@@ -1,0 +1,164 @@
+package pressure
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+func line(x0, x1, y int) grid.Path {
+	var p grid.Path
+	for x := x0; x <= x1; x++ {
+		p = append(p, geom.Pt{X: x, Y: y})
+	}
+	return p
+}
+
+func TestArrivalMonotoneInLength(t *testing.T) {
+	// Longer channels actuate later — the core physical fact behind the
+	// length-matching constraint.
+	prev := 0.0
+	for _, n := range []int{5, 10, 20, 40} {
+		path := line(0, n, 0)
+		nw, err := NewNetwork([]grid.Path{path}, geom.Pt{X: 0, Y: 0},
+			[]geom.Pt{{X: n, Y: 0}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		arr := nw.Simulate(DefaultParams())
+		at := arr[geom.Pt{X: n, Y: 0}]
+		if math.IsInf(at, 1) {
+			t.Fatalf("length %d never actuated", n)
+		}
+		if at <= prev {
+			t.Errorf("length %d arrival %.2f not greater than previous %.2f", n, at, prev)
+		}
+		prev = at
+	}
+}
+
+func TestDiffusiveScaling(t *testing.T) {
+	// RC lines are diffusive: doubling length should far more than double
+	// the delay (t ~ L^2).
+	at := func(n int) float64 {
+		nw, err := NewNetwork([]grid.Path{line(0, n, 0)}, geom.Pt{X: 0, Y: 0},
+			[]geom.Pt{{X: n, Y: 0}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nw.Simulate(DefaultParams())[geom.Pt{X: n, Y: 0}]
+	}
+	t10, t20 := at(10), at(20)
+	if t20 < 3*t10 {
+		t.Errorf("doubling length: %.2f -> %.2f, expected superlinear (>3x)", t10, t20)
+	}
+}
+
+func TestEqualLengthsEqualArrival(t *testing.T) {
+	// Symmetric Y: two equal arms from a tap actuate simultaneously.
+	tap := geom.Pt{X: 10, Y: 5}
+	armA := grid.Path{{X: 10, Y: 5}, {X: 9, Y: 5}, {X: 8, Y: 5}, {X: 7, Y: 5}}
+	armB := grid.Path{{X: 10, Y: 5}, {X: 11, Y: 5}, {X: 12, Y: 5}, {X: 13, Y: 5}}
+	feed := grid.Path{{X: 10, Y: 0}, {X: 10, Y: 1}, {X: 10, Y: 2}, {X: 10, Y: 3}, {X: 10, Y: 4}, {X: 10, Y: 5}}
+	va := geom.Pt{X: 7, Y: 5}
+	vb := geom.Pt{X: 13, Y: 5}
+	nw, err := NewNetwork([]grid.Path{feed, armA, armB}, geom.Pt{X: 10, Y: 0}, []geom.Pt{va, vb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = tap
+	arr := nw.Simulate(DefaultParams())
+	if sk := Skew(arr); sk > 1e-9 {
+		t.Errorf("symmetric arms skew %.4f, want 0", sk)
+	}
+}
+
+func TestMismatchedArmsSkew(t *testing.T) {
+	// Arms of length 3 vs 9 from the same tap: significant skew.
+	feed := grid.Path{{X: 10, Y: 0}, {X: 10, Y: 1}, {X: 10, Y: 2}}
+	short := line(7, 10, 2) // valve at (7,2), tap at (10,2)
+	long := line(10, 19, 2) // valve at (19,2)
+	va := geom.Pt{X: 7, Y: 2}
+	vb := geom.Pt{X: 19, Y: 2}
+	nw, err := NewNetwork([]grid.Path{feed, short, long}, geom.Pt{X: 10, Y: 0}, []geom.Pt{va, vb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := nw.Simulate(DefaultParams())
+	if sk := Skew(arr); sk <= 1 {
+		t.Errorf("mismatched arms skew %.4f, want substantial", sk)
+	}
+	if arr[va] >= arr[vb] {
+		t.Error("short arm should actuate first")
+	}
+}
+
+func TestNearMatchedSmallSkew(t *testing.T) {
+	// delta = 1 mismatch (paper's threshold) gives far smaller skew than a
+	// gross mismatch.
+	mk := func(longLen int) float64 {
+		feed := grid.Path{{X: 20, Y: 0}, {X: 20, Y: 1}, {X: 20, Y: 2}}
+		short := line(12, 20, 2)
+		long := line(20, 20+longLen, 2)
+		nw, err := NewNetwork([]grid.Path{feed, short, long}, geom.Pt{X: 20, Y: 0},
+			[]geom.Pt{{X: 12, Y: 2}, {X: 20 + longLen, Y: 2}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Skew(nw.Simulate(DefaultParams()))
+	}
+	matched := mk(9) // 8 vs 9: delta = 1
+	gross := mk(24)  // 8 vs 24
+	if !(matched < gross/4) {
+		t.Errorf("delta-1 skew %.3f should be far below gross-mismatch skew %.3f", matched, gross)
+	}
+}
+
+func TestSourceOffChannel(t *testing.T) {
+	if _, err := NewNetwork([]grid.Path{line(0, 3, 0)}, geom.Pt{X: 9, Y: 9}, nil); err == nil {
+		t.Error("off-channel source must error")
+	}
+	if _, err := NewNetwork([]grid.Path{line(0, 3, 0)}, geom.Pt{X: 0, Y: 0},
+		[]geom.Pt{{X: 9, Y: 9}}); err == nil {
+		t.Error("off-channel probe must error")
+	}
+}
+
+func TestProbeAtSource(t *testing.T) {
+	nw, err := NewNetwork([]grid.Path{line(0, 3, 0)}, geom.Pt{X: 0, Y: 0},
+		[]geom.Pt{{X: 0, Y: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := nw.Simulate(DefaultParams())
+	if arr[geom.Pt{X: 0, Y: 0}] != 0 {
+		t.Error("probe at the source actuates immediately")
+	}
+}
+
+func TestSkewHelpers(t *testing.T) {
+	if Skew(map[geom.Pt]float64{}) != 0 {
+		t.Error("empty skew should be 0")
+	}
+	if Skew(map[geom.Pt]float64{{X: 0, Y: 0}: 1, {X: 1, Y: 0}: 4}) != 3 {
+		t.Error("skew = last - first")
+	}
+	if !math.IsInf(Skew(map[geom.Pt]float64{{X: 0, Y: 0}: math.Inf(1)}), 1) {
+		t.Error("unactuated probe gives Inf skew")
+	}
+}
+
+func TestNetworkSharedJunctionSize(t *testing.T) {
+	// Two paths sharing a junction cell must merge it into one node.
+	a := grid.Path{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0}}
+	b := grid.Path{{X: 2, Y: 0}, {X: 2, Y: 1}, {X: 2, Y: 2}}
+	nw, err := NewNetwork([]grid.Path{a, b}, geom.Pt{X: 0, Y: 0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.Size() != 5 {
+		t.Errorf("nodes = %d, want 5 (junction merged)", nw.Size())
+	}
+}

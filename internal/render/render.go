@@ -1,0 +1,96 @@
+// Package render draws designs and routing results as ASCII maps, for the
+// examples, debugging, and golden-eye inspection of small chips.
+package render
+
+import (
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/pacor"
+	"repro/internal/valve"
+)
+
+// Glyphs used by Result (in increasing precedence).
+const (
+	GlyphFree     = '.'
+	GlyphPin      = '+'
+	GlyphObstacle = '#'
+	GlyphChannel  = '*'
+	GlyphEscape   = '~'
+	GlyphUsedPin  = '@'
+	GlyphValve    = 'V'
+)
+
+// Design renders the bare chip: obstacles, valves, candidate pins.
+func Design(d *valve.Design) string {
+	c := newCanvas(d.W, d.H)
+	c.stampDesign(d)
+	return c.String()
+}
+
+// Result renders the routed chip. Cluster-internal channels draw as '*',
+// escape channels as '~', used pins as '@'.
+func Result(d *valve.Design, r *pacor.Result) string {
+	c := newCanvas(d.W, d.H)
+	c.stampDesign(d)
+	for i := range r.Clusters {
+		cl := &r.Clusters[i]
+		for _, p := range cl.Paths {
+			for _, cell := range p {
+				c.set(cell, GlyphChannel)
+			}
+		}
+		for _, cell := range cl.Escape {
+			c.set(cell, GlyphEscape)
+		}
+		if cl.Routed {
+			c.set(cl.Pin, GlyphUsedPin)
+		}
+	}
+	// Valves stay visible on top of channels.
+	for _, v := range d.Valves {
+		c.set(v.Pos, GlyphValve)
+	}
+	return c.String()
+}
+
+type canvas struct {
+	w, h  int
+	cells []byte
+}
+
+func newCanvas(w, h int) *canvas {
+	c := &canvas{w: w, h: h, cells: make([]byte, w*h)}
+	for i := range c.cells {
+		c.cells[i] = GlyphFree
+	}
+	return c
+}
+
+func (c *canvas) set(p geom.Pt, glyph byte) {
+	if p.X >= 0 && p.X < c.w && p.Y >= 0 && p.Y < c.h {
+		c.cells[p.Y*c.w+p.X] = glyph
+	}
+}
+
+func (c *canvas) stampDesign(d *valve.Design) {
+	for _, p := range d.Pins {
+		c.set(p, GlyphPin)
+	}
+	for _, o := range d.Obstacles {
+		c.set(o, GlyphObstacle)
+	}
+	for _, v := range d.Valves {
+		c.set(v.Pos, GlyphValve)
+	}
+}
+
+func (c *canvas) String() string {
+	var b strings.Builder
+	b.Grow((c.w + 1) * c.h)
+	for y := 0; y < c.h; y++ {
+		b.Write(c.cells[y*c.w : (y+1)*c.w])
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

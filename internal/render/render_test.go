@@ -1,0 +1,82 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/pacor"
+	"repro/internal/valve"
+)
+
+func design(t *testing.T) *valve.Design {
+	t.Helper()
+	seq := func(s string) valve.Seq { q, _ := valve.ParseSeq(s); return q }
+	d := &valve.Design{
+		Name: "r", W: 8, H: 6, Delta: 1,
+		Valves: []valve.Valve{
+			{ID: 0, Pos: geom.Pt{X: 2, Y: 2}, Seq: seq("01")},
+			{ID: 1, Pos: geom.Pt{X: 5, Y: 3}, Seq: seq("10")},
+		},
+		Obstacles: []geom.Pt{{X: 4, Y: 1}},
+		Pins:      []geom.Pt{{X: 0, Y: 2}, {X: 7, Y: 3}},
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDesignRender(t *testing.T) {
+	d := design(t)
+	out := Design(d)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != d.H {
+		t.Fatalf("rows = %d, want %d", len(lines), d.H)
+	}
+	for i, l := range lines {
+		if len(l) != d.W {
+			t.Fatalf("row %d width = %d, want %d", i, len(l), d.W)
+		}
+	}
+	if lines[2][2] != GlyphValve || lines[3][5] != GlyphValve {
+		t.Error("valves not rendered")
+	}
+	if lines[1][4] != GlyphObstacle {
+		t.Error("obstacle not rendered")
+	}
+	if lines[2][0] != GlyphPin || lines[3][7] != GlyphPin {
+		t.Error("pins not rendered")
+	}
+	if lines[0][0] != GlyphFree {
+		t.Error("free cell not rendered")
+	}
+}
+
+func TestResultRender(t *testing.T) {
+	d := design(t)
+	res, err := pacor.Route(d, pacor.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Result(d, res)
+	if !strings.ContainsRune(out, rune(GlyphEscape)) {
+		t.Error("escape channels missing from render")
+	}
+	if !strings.ContainsRune(out, rune(GlyphUsedPin)) {
+		t.Error("used pins missing from render")
+	}
+	if strings.Count(out, string(GlyphValve)) != len(d.Valves) {
+		t.Errorf("valve glyph count = %d, want %d",
+			strings.Count(out, string(GlyphValve)), len(d.Valves))
+	}
+}
+
+func TestRenderOffGridSafe(t *testing.T) {
+	c := newCanvas(3, 3)
+	c.set(geom.Pt{X: -1, Y: 0}, 'x') // must not panic
+	c.set(geom.Pt{X: 3, Y: 3}, 'x')
+	if strings.ContainsRune(c.String(), 'x') {
+		t.Error("off-grid set leaked onto canvas")
+	}
+}

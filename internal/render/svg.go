@@ -1,0 +1,84 @@
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/grid"
+	"repro/internal/pacor"
+	"repro/internal/valve"
+)
+
+// SVG renders a routed chip as a standalone SVG document: obstacles in
+// gray, candidate pins as hollow squares, per-cluster channels in rotating
+// colors (escape channels dashed), valves as filled circles, and assigned
+// pins as rings. Suitable for inclusion in papers or design reviews.
+func SVG(d *valve.Design, r *pacor.Result) string {
+	const cell = 8 // pixels per routing grid
+	w, h := d.W*cell, d.H*cell
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`,
+		w, h, w, h)
+	b.WriteString("\n")
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="#ffffff"/>`, w, h)
+	b.WriteString("\n")
+
+	cx := func(x int) int { return x*cell + cell/2 }
+	cy := func(y int) int { return y*cell + cell/2 }
+
+	// Candidate pins.
+	for _, p := range d.Pins {
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#bbbbbb"/>`,
+			p.X*cell+1, p.Y*cell+1, cell-2, cell-2)
+		b.WriteString("\n")
+	}
+	// Obstacles.
+	for _, o := range d.Obstacles {
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="#888888"/>`,
+			o.X*cell, o.Y*cell, cell, cell)
+		b.WriteString("\n")
+	}
+
+	palette := []string{
+		"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+		"#17becf", "#e377c2", "#8c564b", "#bcbd22", "#7f7f7f",
+	}
+	if r != nil {
+		for i := range r.Clusters {
+			c := &r.Clusters[i]
+			color := palette[c.ID%len(palette)]
+			for _, p := range c.Paths {
+				writePolyline(&b, p, cell, color, "")
+			}
+			if len(c.Escape) > 0 {
+				writePolyline(&b, c.Escape, cell, color, ` stroke-dasharray="4,3"`)
+			}
+			if c.Routed {
+				fmt.Fprintf(&b, `<circle cx="%d" cy="%d" r="%d" fill="none" stroke="%s" stroke-width="2"/>`,
+					cx(c.Pin.X), cy(c.Pin.Y), cell/2+1, color)
+				b.WriteString("\n")
+			}
+		}
+	}
+	// Valves on top.
+	for _, v := range d.Valves {
+		fmt.Fprintf(&b, `<circle cx="%d" cy="%d" r="%d" fill="#000000"/>`,
+			cx(v.Pos.X), cy(v.Pos.Y), cell/3)
+		b.WriteString("\n")
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func writePolyline(b *strings.Builder, p grid.Path, cell int, color, extra string) {
+	if len(p) == 0 {
+		return
+	}
+	var pts []string
+	for _, c := range p {
+		pts = append(pts, fmt.Sprintf("%d,%d", c.X*cell+cell/2, c.Y*cell+cell/2))
+	}
+	fmt.Fprintf(b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="3" stroke-linecap="round" stroke-linejoin="round"%s/>`,
+		strings.Join(pts, " "), color, extra)
+	b.WriteString("\n")
+}

@@ -1,0 +1,47 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/pacor"
+)
+
+func TestSVGStructure(t *testing.T) {
+	d := design(t)
+	res, err := pacor.Route(d, pacor.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := SVG(d, res)
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Fatal("not a well-formed SVG document")
+	}
+	if strings.Count(out, "<circle") < len(d.Valves) {
+		t.Error("valve circles missing")
+	}
+	if !strings.Contains(out, "polyline") {
+		t.Error("channel polylines missing")
+	}
+	if !strings.Contains(out, "stroke-dasharray") {
+		t.Error("escape channels should be dashed")
+	}
+	if strings.Count(out, "<rect") < len(d.Pins)+len(d.Obstacles) {
+		t.Error("pin/obstacle rects missing")
+	}
+	// Balanced tags (every element self-closes except svg).
+	if strings.Count(out, "<svg") != 1 || strings.Count(out, "</svg>") != 1 {
+		t.Error("unbalanced svg tags")
+	}
+}
+
+func TestSVGWithoutResult(t *testing.T) {
+	d := design(t)
+	out := SVG(d, nil)
+	if !strings.Contains(out, "<circle") {
+		t.Error("design-only SVG should still draw valves")
+	}
+	if strings.Contains(out, "polyline") {
+		t.Error("design-only SVG must not contain channels")
+	}
+}

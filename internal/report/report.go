@@ -1,0 +1,140 @@
+// Package report formats flow results as the paper's Table 2: per design
+// and mode, the number of multi-valve clusters, matched clusters, matched
+// channel length, total channel length, and runtime, plus the normalized
+// averages of the paper's last row.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/pacor"
+)
+
+// Row is one (design, mode) measurement.
+type Row struct {
+	Design string
+	Mode   pacor.Mode
+	Result *pacor.Result
+}
+
+// Table2 renders rows in the paper's Table 2 layout. Rows are grouped by
+// design (in first-seen order) with one column block per mode (in the order
+// w/o Sel, Detour First, PACOR).
+func Table2(rows []Row) string {
+	modes := []pacor.Mode{pacor.ModeWithoutSelection, pacor.ModeDetourFirst, pacor.ModePACOR}
+	byKey := map[string]map[pacor.Mode]*pacor.Result{}
+	var designs []string
+	for _, r := range rows {
+		if byKey[r.Design] == nil {
+			byKey[r.Design] = map[pacor.Mode]*pacor.Result{}
+			designs = append(designs, r.Design)
+		}
+		byKey[r.Design][r.Mode] = r.Result
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %9s | %-26s | %-29s | %-29s | %-26s | %s\n",
+		"Design", "#Clusters", "#Matched (wSel/DetF/PACOR)",
+		"Matched len (wSel/DetF/PACOR)", "Total len (wSel/DetF/PACOR)",
+		"Runtime s (wSel/DetF/PACOR)", "Compl")
+	sums := map[pacor.Mode]struct {
+		matched, matchedLen, totalLen, runtime float64
+		n                                      int
+	}{}
+	for _, name := range designs {
+		rs := byKey[name]
+		ref := firstResult(rs, modes)
+		if ref == nil {
+			continue
+		}
+		var matched, mlen, tlen, rt, compl []string
+		for _, m := range modes {
+			r := rs[m]
+			if r == nil {
+				matched = append(matched, "-")
+				mlen = append(mlen, "-")
+				tlen = append(tlen, "-")
+				rt = append(rt, "-")
+				compl = append(compl, "-")
+				continue
+			}
+			matched = append(matched, fmt.Sprintf("%d", r.MatchedClusters))
+			mlen = append(mlen, fmt.Sprintf("%d", r.MatchedLen))
+			tlen = append(tlen, fmt.Sprintf("%d", r.TotalLen))
+			rt = append(rt, fmt.Sprintf("%.2f", r.Runtime.Seconds()))
+			compl = append(compl, fmt.Sprintf("%.0f%%", 100*r.CompletionRate()))
+			s := sums[m]
+			if ref.MultiClusters > 0 {
+				s.matched += float64(r.MatchedClusters) / float64(ref.MultiClusters)
+			} else {
+				s.matched++
+			}
+			s.matchedLen += float64(r.MatchedLen)
+			s.totalLen += float64(r.TotalLen)
+			s.runtime += r.Runtime.Seconds()
+			s.n++
+			sums[m] = s
+		}
+		fmt.Fprintf(&b, "%-8s %9d | %-26s | %-29s | %-29s | %-26s | %s\n",
+			name, ref.MultiClusters,
+			strings.Join(matched, " / "), strings.Join(mlen, " / "),
+			strings.Join(tlen, " / "), strings.Join(rt, " / "),
+			strings.Join(compl, " / "))
+	}
+	// Normalized averages (paper's "Avg." row): matched ratio averaged per
+	// design; lengths and runtime as ratios of the PACOR totals.
+	pac := sums[pacor.ModePACOR]
+	var avg []string
+	for _, m := range modes {
+		s := sums[m]
+		if s.n == 0 {
+			avg = append(avg, "-")
+			continue
+		}
+		matchedAvg := s.matched / float64(s.n)
+		lenRatio, totRatio, rtRatio := 1.0, 1.0, 1.0
+		if pac.matchedLen > 0 {
+			lenRatio = s.matchedLen / pac.matchedLen
+		}
+		if pac.totalLen > 0 {
+			totRatio = s.totalLen / pac.totalLen
+		}
+		if pac.runtime > 0 {
+			rtRatio = s.runtime / pac.runtime
+		}
+		avg = append(avg, fmt.Sprintf("%s: matched %.2f, matchedLen %.2f, totalLen %.2f, runtime %.2f",
+			m, matchedAvg, lenRatio, totRatio, rtRatio))
+	}
+	fmt.Fprintf(&b, "Avg (normalized):\n")
+	for _, a := range avg {
+		fmt.Fprintf(&b, "  %s\n", a)
+	}
+	return b.String()
+}
+
+func firstResult(rs map[pacor.Mode]*pacor.Result, modes []pacor.Mode) *pacor.Result {
+	for _, m := range modes {
+		if rs[m] != nil {
+			return rs[m]
+		}
+	}
+	return nil
+}
+
+// ClusterReport lists per-cluster outcomes of one run, sorted by ID — the
+// drill-down behind a Table 2 row.
+func ClusterReport(r *pacor.Result) string {
+	cs := append([]pacor.ClusterResult(nil), r.Clusters...)
+	sort.Slice(cs, func(i, j int) bool { return cs[i].ID < cs[j].ID })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-5s %-7s %-4s %-8s %-8s %-7s %-9s %s\n",
+		"ID", "#Valves", "LM", "Matched", "Demoted", "Routed", "Length", "FullLens")
+	for _, c := range cs {
+		fmt.Fprintf(&b, "%-5d %-7d %-4v %-8v %-8v %-7v %-9d %v\n",
+			c.ID, len(c.Valves), c.LM, c.Matched, c.Demoted, c.Routed,
+			c.TotalLen(), c.FullLens)
+	}
+	return b.String()
+}

@@ -1,0 +1,86 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/pacor"
+)
+
+func fakeResult(mode pacor.Mode, matched, total int) *pacor.Result {
+	return &pacor.Result{
+		Mode:            mode,
+		MultiClusters:   5,
+		MatchedClusters: matched,
+		MatchedLen:      matched * 10,
+		TotalLen:        total,
+		RoutedValves:    12,
+		TotalValves:     12,
+		Runtime:         50 * time.Millisecond,
+		Clusters: []pacor.ClusterResult{
+			{ID: 0, Valves: []int{0, 1}, LM: true, Matched: true, Routed: true,
+				FullLens: []int{4, 4}},
+			{ID: 1, Valves: []int{2}, Routed: true},
+		},
+	}
+}
+
+func TestTable2Format(t *testing.T) {
+	rows := []Row{
+		{Design: "X1", Mode: pacor.ModeWithoutSelection, Result: fakeResult(pacor.ModeWithoutSelection, 3, 100)},
+		{Design: "X1", Mode: pacor.ModeDetourFirst, Result: fakeResult(pacor.ModeDetourFirst, 4, 110)},
+		{Design: "X1", Mode: pacor.ModePACOR, Result: fakeResult(pacor.ModePACOR, 5, 105)},
+	}
+	out := Table2(rows)
+	if !strings.Contains(out, "X1") {
+		t.Error("design name missing")
+	}
+	if !strings.Contains(out, "3 / 4 / 5") {
+		t.Errorf("matched columns missing:\n%s", out)
+	}
+	if !strings.Contains(out, "100 / 110 / 105") {
+		t.Errorf("total length columns missing:\n%s", out)
+	}
+	if !strings.Contains(out, "100% / 100% / 100%") {
+		t.Errorf("completion columns missing:\n%s", out)
+	}
+	if !strings.Contains(out, "Avg (normalized):") {
+		t.Error("average row missing")
+	}
+	// PACOR's own normalized ratios are 1.00 by construction.
+	if !strings.Contains(out, "PACOR: matched 1.00, matchedLen 1.00, totalLen 1.00, runtime 1.00") {
+		t.Errorf("PACOR normalization wrong:\n%s", out)
+	}
+}
+
+func TestTable2MissingMode(t *testing.T) {
+	rows := []Row{
+		{Design: "X1", Mode: pacor.ModePACOR, Result: fakeResult(pacor.ModePACOR, 5, 105)},
+	}
+	out := Table2(rows)
+	if !strings.Contains(out, "- / - / 5") {
+		t.Errorf("missing modes should render dashes:\n%s", out)
+	}
+}
+
+func TestTable2Empty(t *testing.T) {
+	out := Table2(nil)
+	if !strings.Contains(out, "Design") {
+		t.Error("header missing on empty input")
+	}
+}
+
+func TestClusterReport(t *testing.T) {
+	out := ClusterReport(fakeResult(pacor.ModePACOR, 5, 100))
+	if !strings.Contains(out, "ID") || !strings.Contains(out, "FullLens") {
+		t.Error("header missing")
+	}
+	if !strings.Contains(out, "[4 4]") {
+		t.Errorf("full lengths missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // header + 2 clusters
+		t.Errorf("lines = %d, want 3", len(lines))
+	}
+}

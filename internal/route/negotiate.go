@@ -1,0 +1,87 @@
+package route
+
+import (
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+// Edge is one connection request for the negotiation router: route from any
+// source cell to any target cell.
+type Edge struct {
+	ID      int
+	Sources []geom.Pt
+	Targets []geom.Pt
+}
+
+// NegotiateParams are the tuning constants of Algorithm 1 and Eq. 5. The
+// paper sets BaseHist (bg) = 1.0, Alpha = 0.1, Gamma = 10.
+type NegotiateParams struct {
+	BaseHist float64
+	Alpha    float64
+	Gamma    int
+}
+
+// DefaultNegotiateParams mirrors the paper's settings.
+func DefaultNegotiateParams() NegotiateParams {
+	return NegotiateParams{BaseHist: 1.0, Alpha: 0.1, Gamma: 10}
+}
+
+// Negotiate routes all edges on the shared obstacle map using the
+// negotiation strategy of Algorithm 1: edges are routed sequentially with
+// routed paths acting as obstacles; when any edge fails, the history cost of
+// every cell on the routed paths is raised per Eq. 5 and the whole iteration
+// restarts, up to Gamma rounds. On success it returns the path per edge ID.
+// On failure it returns ok=false along with the paths of the last
+// (incomplete) iteration for diagnostic use; obs is left unmodified either
+// way.
+func Negotiate(obs *grid.ObsMap, edges []Edge, params NegotiateParams) (map[int]grid.Path, bool) {
+	g := obs.Grid()
+	hist := make([]float64, g.Cells()) // Step 1: initialize history cost
+	paths := make(map[int]grid.Path, len(edges))
+
+	for r := 0; r < params.Gamma; r++ { // Steps 5-16
+		work := obs.Clone() // Step 2: ObsMap with this iteration's paths
+		// Every edge's terminals are blocked for the other edges: a channel
+		// may not run through another net's valve or merge point. An edge's
+		// own search is unaffected (sources seed unconditionally, targets
+		// are obstacle-exempt), so edges of the same Steiner tree still
+		// connect at their shared merging nodes.
+		for _, e := range edges {
+			for _, c := range e.Sources {
+				work.Set(c, true)
+			}
+			for _, c := range e.Targets {
+				work.Set(c, true)
+			}
+		}
+		for k := range paths {
+			delete(paths, k)
+		}
+		done := true
+		for _, e := range edges { // Steps 7-13
+			p, ok := AStar(g, Request{
+				Sources: e.Sources,
+				Targets: e.Targets,
+				Obs:     work,
+				Hist:    hist,
+			})
+			if ok {
+				paths[e.ID] = p
+				work.SetPath(p, true) // Step 11: routed path becomes obstacle
+			} else {
+				done = false
+			}
+		}
+		if done {
+			return paths, true
+		}
+		// Steps 17-19: bump history along routed paths, then rip them up.
+		for _, p := range paths {
+			for _, c := range p {
+				i := g.Index(c)
+				hist[i] = params.BaseHist + params.Alpha*hist[i]
+			}
+		}
+	}
+	return paths, false
+}

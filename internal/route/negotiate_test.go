@@ -1,0 +1,136 @@
+package route
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+func TestNegotiateTwoDisjointEdges(t *testing.T) {
+	g := grid.New(10, 10)
+	obs := grid.NewObsMap(g)
+	edges := []Edge{
+		{ID: 0, Sources: []geom.Pt{{X: 0, Y: 2}}, Targets: []geom.Pt{{X: 9, Y: 2}}},
+		{ID: 1, Sources: []geom.Pt{{X: 0, Y: 7}}, Targets: []geom.Pt{{X: 9, Y: 7}}},
+	}
+	paths, ok := Negotiate(obs, edges, DefaultNegotiateParams())
+	if !ok {
+		t.Fatal("negotiation failed on disjoint edges")
+	}
+	assertDisjointValid(t, paths)
+}
+
+func TestNegotiateConflict(t *testing.T) {
+	// Edge 0's unique shortest route (the x=10 column) is the only possible
+	// route for edge 1 (whose terminals are sealed from every other cell).
+	// Greedy sequential routing therefore fails on the first rounds, and the
+	// history mechanism must price edge 0 off the column onto its length-10
+	// detour before edge 1 can route. With the saturating Eq. 5 history
+	// (h -> bg/(1-alpha)), alpha must satisfy 4 + 4h > 10 + 2h at the fixed
+	// point, so the test raises alpha to 0.8 (h_inf = 5).
+	g := grid.New(21, 5)
+	obs := grid.NewObsMap(g)
+	for _, w := range []geom.Pt{{X: 9, Y: 1}, {X: 11, Y: 1}, {X: 8, Y: 2}, {X: 12, Y: 2}} {
+		obs.Set(w, true)
+	}
+	edges := []Edge{
+		{ID: 0, Sources: []geom.Pt{{X: 10, Y: 0}}, Targets: []geom.Pt{{X: 10, Y: 4}}},
+		{ID: 1, Sources: []geom.Pt{{X: 9, Y: 2}}, Targets: []geom.Pt{{X: 11, Y: 2}}},
+	}
+	params := NegotiateParams{BaseHist: 1.0, Alpha: 0.8, Gamma: 10}
+	paths, ok := Negotiate(obs, edges, params)
+	if !ok {
+		t.Fatal("negotiation failed to resolve the column conflict")
+	}
+	assertDisjointValid(t, paths)
+	if paths[1].Len() != 2 {
+		t.Errorf("edge 1 length %d, want the straight length 2", paths[1].Len())
+	}
+	if paths[0].Len() < 10 {
+		t.Errorf("edge 0 length %d, want the detour (>=10)", paths[0].Len())
+	}
+	for _, p := range paths {
+		for _, c := range p {
+			if obs.Blocked(c) {
+				t.Errorf("path crosses obstacle at %v", c)
+			}
+		}
+	}
+}
+
+func TestNegotiateImpossible(t *testing.T) {
+	// Three edges through a single one-cell corridor: at most one can route.
+	g := grid.New(9, 5)
+	obs := grid.NewObsMap(g)
+	for y := 0; y < 5; y++ {
+		if y != 2 {
+			obs.Set(geom.Pt{X: 4, Y: y}, true)
+		}
+	}
+	edges := []Edge{
+		{ID: 0, Sources: []geom.Pt{{X: 0, Y: 0}}, Targets: []geom.Pt{{X: 8, Y: 0}}},
+		{ID: 1, Sources: []geom.Pt{{X: 0, Y: 2}}, Targets: []geom.Pt{{X: 8, Y: 2}}},
+		{ID: 2, Sources: []geom.Pt{{X: 0, Y: 4}}, Targets: []geom.Pt{{X: 8, Y: 4}}},
+	}
+	params := DefaultNegotiateParams()
+	_, ok := Negotiate(obs, edges, params)
+	if ok {
+		t.Fatal("three edges cannot share a one-cell corridor")
+	}
+}
+
+func TestNegotiateLeavesObsUntouched(t *testing.T) {
+	g := grid.New(8, 8)
+	obs := grid.NewObsMap(g)
+	obs.Set(geom.Pt{X: 3, Y: 3}, true)
+	before := obs.Count()
+	edges := []Edge{{ID: 0, Sources: []geom.Pt{{X: 0, Y: 0}}, Targets: []geom.Pt{{X: 7, Y: 7}}}}
+	if _, ok := Negotiate(obs, edges, DefaultNegotiateParams()); !ok {
+		t.Fatal("route failed")
+	}
+	if obs.Count() != before {
+		t.Error("Negotiate mutated the caller's obstacle map")
+	}
+}
+
+func TestNegotiateOrderIndependenceViaHistory(t *testing.T) {
+	// Edge 0's shortest path blocks edge 1 entirely if routed greedily; the
+	// history mechanism must push edge 0 off the corridor in a later round.
+	g := grid.New(7, 5)
+	obs := grid.NewObsMap(g)
+	// Corridor row y=2 is the only way across x=3 except y=0.
+	for y := 0; y < 5; y++ {
+		if y != 2 && y != 0 {
+			obs.Set(geom.Pt{X: 3, Y: y}, true)
+		}
+	}
+	edges := []Edge{
+		// Edge 0 could use either corridor; shortest is y=2... source at y=1.
+		{ID: 0, Sources: []geom.Pt{{X: 0, Y: 1}}, Targets: []geom.Pt{{X: 6, Y: 1}}},
+		// Edge 1 must use y=2 (its endpoints are at y=2 and detour via y=0
+		// would cross edge 0's territory).
+		{ID: 1, Sources: []geom.Pt{{X: 0, Y: 2}}, Targets: []geom.Pt{{X: 6, Y: 2}}},
+	}
+	paths, ok := Negotiate(obs, edges, DefaultNegotiateParams())
+	if !ok {
+		t.Fatal("negotiation failed")
+	}
+	assertDisjointValid(t, paths)
+}
+
+func assertDisjointValid(t *testing.T, paths map[int]grid.Path) {
+	t.Helper()
+	used := map[geom.Pt]int{}
+	for id, p := range paths {
+		if !p.Valid() {
+			t.Fatalf("edge %d: invalid path %v", id, p)
+		}
+		for _, c := range p {
+			if other, clash := used[c]; clash {
+				t.Fatalf("cell %v used by edges %d and %d", c, other, id)
+			}
+			used[c] = id
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package route
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+// TestAStarMatchesBFSRandomMazes: on random obstacle fields, A* path length
+// must equal BFS shortest-path length (or both must fail).
+func TestAStarMatchesBFSRandomMazes(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 60; trial++ {
+		w, h := 8+rng.Intn(20), 8+rng.Intn(20)
+		g := grid.New(w, h)
+		obs := grid.NewObsMap(g)
+		density := 0.1 + rng.Float64()*0.3
+		for i := 0; i < g.Cells(); i++ {
+			if rng.Float64() < density {
+				obs.Set(g.Pt(i), true)
+			}
+		}
+		src := geom.Pt{X: rng.Intn(w), Y: rng.Intn(h)}
+		dst := geom.Pt{X: rng.Intn(w), Y: rng.Intn(h)}
+		obs.Set(src, false)
+		obs.Set(dst, false)
+		want := bfsLen(g, obs, src, dst)
+		p, ok := AStar(g, Request{Sources: []geom.Pt{src}, Targets: []geom.Pt{dst}, Obs: obs})
+		if (want == -1) != !ok {
+			t.Fatalf("trial %d: BFS=%d ok=%v disagree", trial, want, ok)
+		}
+		if ok {
+			if p.Len() != want {
+				t.Fatalf("trial %d: A* %d != BFS %d", trial, p.Len(), want)
+			}
+			if !p.ValidOn(g) {
+				t.Fatalf("trial %d: invalid path", trial)
+			}
+			for _, c := range p {
+				if obs.Blocked(c) && c != src && c != dst {
+					t.Fatalf("trial %d: path through obstacle %v", trial, c)
+				}
+			}
+		}
+	}
+}
+
+// TestBoundedAStarWindowInvariant: any returned path has length within the
+// requested window and stays simple.
+func TestBoundedAStarWindowInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 50; trial++ {
+		g := grid.New(16, 16)
+		obs := grid.NewObsMap(g)
+		for i := 0; i < 25; i++ {
+			obs.Set(geom.Pt{X: rng.Intn(16), Y: rng.Intn(16)}, true)
+		}
+		src := geom.Pt{X: rng.Intn(16), Y: rng.Intn(16)}
+		dst := geom.Pt{X: rng.Intn(16), Y: rng.Intn(16)}
+		if src == dst {
+			continue
+		}
+		obs.Set(src, false)
+		obs.Set(dst, false)
+		d := geom.Dist(src, dst)
+		minLen := d + rng.Intn(10)
+		maxLen := minLen + 1 + rng.Intn(4)
+		p, ok := BoundedAStar(g, Request{
+			Sources: []geom.Pt{src}, Targets: []geom.Pt{dst}, Obs: obs,
+		}, minLen, maxLen)
+		if !ok {
+			continue // failure is allowed; success must be correct
+		}
+		if p.Len() < minLen || p.Len() > maxLen {
+			t.Fatalf("trial %d: len %d outside [%d,%d]", trial, p.Len(), minLen, maxLen)
+		}
+		if !p.Valid() {
+			t.Fatalf("trial %d: non-simple path", trial)
+		}
+		if p[0] != src || p[len(p)-1] != dst {
+			t.Fatalf("trial %d: endpoints moved", trial)
+		}
+	}
+}
+
+// TestBoundedAStarFindsParityFeasibleWindows: on an empty grid, every
+// parity-feasible window must be achievable.
+func TestBoundedAStarFindsParityFeasibleWindows(t *testing.T) {
+	g := grid.New(30, 30)
+	obs := grid.NewObsMap(g)
+	src := geom.Pt{X: 5, Y: 15}
+	dst := geom.Pt{X: 12, Y: 15} // distance 7, odd
+	for minLen := 7; minLen <= 21; minLen++ {
+		maxLen := minLen
+		feasible := (minLen-7)%2 == 0
+		p, ok := BoundedAStar(g, Request{
+			Sources: []geom.Pt{src}, Targets: []geom.Pt{dst}, Obs: obs,
+		}, minLen, maxLen)
+		if feasible && !ok {
+			t.Errorf("window [%d,%d]: parity-feasible but failed", minLen, maxLen)
+		}
+		if !feasible && ok {
+			t.Errorf("window [%d,%d]: parity-infeasible but returned %d", minLen, maxLen, p.Len())
+		}
+	}
+}
+
+// TestExtendPathInvariants: extension preserves endpoints, validity, and
+// adds even length.
+func TestExtendPathInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 50; trial++ {
+		g := grid.New(24, 24)
+		obs := grid.NewObsMap(g)
+		for i := 0; i < 30; i++ {
+			obs.Set(geom.Pt{X: rng.Intn(24), Y: rng.Intn(24)}, true)
+		}
+		// Random L-shaped base path.
+		x0, y0 := 2+rng.Intn(10), 2+rng.Intn(20)
+		x1 := x0 + 3 + rng.Intn(8)
+		var base grid.Path
+		for x := x0; x <= x1; x++ {
+			p := geom.Pt{X: x, Y: y0}
+			obs.Set(p, false)
+			base = append(base, p)
+		}
+		obs.SetPath(base, true)
+		work := obs.Clone()
+		work.SetPath(base, false)
+		target := base.Len() + 2*(1+rng.Intn(5))
+		ext, ok := ExtendPath(work, base, target, target+1)
+		if !ok {
+			continue
+		}
+		if ext.Len() != target {
+			t.Fatalf("trial %d: len %d, want %d (even increments)", trial, ext.Len(), target)
+		}
+		if ext[0] != base[0] || ext[len(ext)-1] != base[len(base)-1] {
+			t.Fatalf("trial %d: endpoints moved", trial)
+		}
+		if !ext.ValidOn(g) {
+			t.Fatalf("trial %d: invalid extension", trial)
+		}
+		for _, c := range ext[1 : len(ext)-1] {
+			if work.Blocked(c) && !base.Contains(c) {
+				t.Fatalf("trial %d: extension through obstacle %v", trial, c)
+			}
+		}
+	}
+}
+
+// TestNegotiateRandomValidity: on random multi-edge instances, success means
+// pairwise-disjoint valid paths avoiding obstacles.
+func TestNegotiateRandomValidity(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 30; trial++ {
+		g := grid.New(20, 20)
+		obs := grid.NewObsMap(g)
+		for i := 0; i < 20; i++ {
+			obs.Set(geom.Pt{X: rng.Intn(20), Y: rng.Intn(20)}, true)
+		}
+		var edges []Edge
+		used := map[geom.Pt]bool{}
+		pick := func() geom.Pt {
+			for {
+				p := geom.Pt{X: rng.Intn(20), Y: rng.Intn(20)}
+				if !used[p] {
+					used[p] = true
+					obs.Set(p, false)
+					return p
+				}
+			}
+		}
+		n := 2 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			edges = append(edges, Edge{ID: i, Sources: []geom.Pt{pick()}, Targets: []geom.Pt{pick()}})
+		}
+		paths, ok := Negotiate(obs, edges, DefaultNegotiateParams())
+		if !ok {
+			continue
+		}
+		if len(paths) != n {
+			t.Fatalf("trial %d: %d paths for %d edges", trial, len(paths), n)
+		}
+		seen := map[geom.Pt]int{}
+		for id, p := range paths {
+			if !p.ValidOn(g) {
+				t.Fatalf("trial %d: invalid path", trial)
+			}
+			if p[0] != edges[id].Sources[0] || p[len(p)-1] != edges[id].Targets[0] {
+				t.Fatalf("trial %d edge %d: endpoints wrong", trial, id)
+			}
+			for _, c := range p {
+				if other, dup := seen[c]; dup && other != id {
+					t.Fatalf("trial %d: cell %v shared by %d and %d", trial, c, other, id)
+				}
+				seen[c] = id
+				if obs.Blocked(c) {
+					t.Fatalf("trial %d: path through obstacle %v", trial, c)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Package tech translates physical chip dimensions into the uniform routing
+// grid the PACOR flow operates on. The paper's problem formulation takes
+// "design rules for minimum channel spacing and minimum channel width" as
+// input and partitions the chip into routing grids accordingly (Section
+// 4.1: "the routing process is performed on the uniform routing grids,
+// which are partitioned according to the minimum channel width and spacing
+// design rule"); this package is that partitioning: one grid cell per
+// channel pitch (width + spacing), so "one channel per cell" subsumes both
+// rules.
+package tech
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/valve"
+)
+
+// Rules are the control-layer design rules in micrometers. Typical mVLSI
+// values (Unger et al., Araci & Quake): channels of 10-100 um with
+// comparable spacing; valves of 6x6 to 100x100 um.
+type Rules struct {
+	ChannelWidthUM float64 // minimum control channel width
+	SpacingUM      float64 // minimum channel-to-channel spacing
+	ValveSizeUM    float64 // valve footprint edge (informational)
+}
+
+// DefaultRules returns a representative mVLSI technology point.
+func DefaultRules() Rules {
+	return Rules{ChannelWidthUM: 20, SpacingUM: 20, ValveSizeUM: 40}
+}
+
+// Validate checks the rules are physically meaningful.
+func (r Rules) Validate() error {
+	if r.ChannelWidthUM <= 0 {
+		return fmt.Errorf("tech: channel width %v must be positive", r.ChannelWidthUM)
+	}
+	if r.SpacingUM <= 0 {
+		return fmt.Errorf("tech: spacing %v must be positive", r.SpacingUM)
+	}
+	if r.ValveSizeUM < 0 {
+		return fmt.Errorf("tech: valve size %v must be non-negative", r.ValveSizeUM)
+	}
+	return nil
+}
+
+// PitchUM is the routing grid pitch: one channel plus one spacing. Two
+// channels in adjacent cells are then separated by at least SpacingUM.
+func (r Rules) PitchUM() float64 { return r.ChannelWidthUM + r.SpacingUM }
+
+// ToGrid converts a physical coordinate to a grid coordinate (floor).
+func (r Rules) ToGrid(um float64) int {
+	return int(math.Floor(um / r.PitchUM()))
+}
+
+// ToUM converts a grid coordinate back to the physical coordinate of the
+// cell's channel centerline.
+func (r Rules) ToUM(cells int) float64 {
+	return (float64(cells) + 0.5) * r.PitchUM()
+}
+
+// GridSize returns the routing grid dimensions for a chip of the given
+// physical size (cells fully inside the die only).
+func (r Rules) GridSize(widthUM, heightUM float64) (w, h int) {
+	return int(math.Floor(widthUM / r.PitchUM())), int(math.Floor(heightUM / r.PitchUM()))
+}
+
+// PhysicalValve is a valve given in physical coordinates.
+type PhysicalValve struct {
+	XUM, YUM float64
+	Seq      valve.Seq
+}
+
+// PhysicalDesign is a control-layer instance in physical units.
+type PhysicalDesign struct {
+	Name              string
+	WidthUM, HeightUM float64
+	Rules             Rules
+	Valves            []PhysicalValve
+	ObstacleRectsUM   [][4]float64 // x0, y0, x1, y1
+	PinPositionsUM    [][2]float64 // must land on the boundary ring
+	LMClusters        [][]int
+	DeltaUM           float64 // length-matching threshold in micrometers
+}
+
+// ToDesign discretizes the physical design onto the routing grid. Valves
+// landing on the same cell, or pins off the boundary ring, are reported as
+// errors — they indicate the technology pitch is too coarse for the layout.
+func (pd *PhysicalDesign) ToDesign() (*valve.Design, error) {
+	if err := pd.Rules.Validate(); err != nil {
+		return nil, err
+	}
+	w, h := pd.Rules.GridSize(pd.WidthUM, pd.HeightUM)
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("tech: chip %gx%g um too small for pitch %g",
+			pd.WidthUM, pd.HeightUM, pd.Rules.PitchUM())
+	}
+	d := &valve.Design{
+		Name: pd.Name, W: w, H: h,
+		Delta:      int(math.Round(pd.DeltaUM / pd.Rules.PitchUM())),
+		LMClusters: pd.LMClusters,
+	}
+	clampPin := func(p geom.Pt) geom.Pt {
+		// Pins must sit on the boundary ring; snap outward.
+		if p.X > 0 && p.X < w-1 && p.Y > 0 && p.Y < h-1 {
+			// Snap to the nearest edge.
+			dl, dr, dt, db := p.X, w-1-p.X, p.Y, h-1-p.Y
+			m := geom.Min(geom.Min(dl, dr), geom.Min(dt, db))
+			switch m {
+			case dl:
+				p.X = 0
+			case dr:
+				p.X = w - 1
+			case dt:
+				p.Y = 0
+			default:
+				p.Y = h - 1
+			}
+		}
+		p.X = geom.Max(0, geom.Min(w-1, p.X))
+		p.Y = geom.Max(0, geom.Min(h-1, p.Y))
+		return p
+	}
+	seen := map[geom.Pt]int{}
+	for i, v := range pd.Valves {
+		cell := geom.Pt{X: pd.Rules.ToGrid(v.XUM), Y: pd.Rules.ToGrid(v.YUM)}
+		if prev, dup := seen[cell]; dup {
+			return nil, fmt.Errorf("tech: valves %d and %d collapse onto cell %v at pitch %g — layout violates the spacing rule",
+				prev, i, cell, pd.Rules.PitchUM())
+		}
+		seen[cell] = i
+		d.Valves = append(d.Valves, valve.Valve{ID: i, Pos: cell, Seq: v.Seq})
+	}
+	for _, r := range pd.ObstacleRectsUM {
+		x0, y0 := pd.Rules.ToGrid(r[0]), pd.Rules.ToGrid(r[1])
+		x1, y1 := pd.Rules.ToGrid(r[2]), pd.Rules.ToGrid(r[3])
+		for y := geom.Max(0, y0); y <= geom.Min(h-1, y1); y++ {
+			for x := geom.Max(0, x0); x <= geom.Min(w-1, x1); x++ {
+				c := geom.Pt{X: x, Y: y}
+				if _, isValve := seen[c]; !isValve {
+					d.Obstacles = append(d.Obstacles, c)
+				}
+			}
+		}
+	}
+	pinSeen := map[geom.Pt]bool{}
+	for _, p := range pd.PinPositionsUM {
+		cell := clampPin(geom.Pt{X: pd.Rules.ToGrid(p[0]), Y: pd.Rules.ToGrid(p[1])})
+		if !pinSeen[cell] {
+			pinSeen[cell] = true
+			d.Pins = append(d.Pins, cell)
+		}
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("tech: discretized design invalid: %w", err)
+	}
+	return d, nil
+}
+
+// ChannelLengthUM converts a routed channel length in grid units back to
+// micrometers.
+func (r Rules) ChannelLengthUM(cells int) float64 {
+	return float64(cells) * r.PitchUM()
+}

@@ -1,0 +1,153 @@
+package tech
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/pacor"
+	"repro/internal/valve"
+)
+
+func TestPitchAndConversion(t *testing.T) {
+	r := Rules{ChannelWidthUM: 20, SpacingUM: 20, ValveSizeUM: 40}
+	if r.PitchUM() != 40 {
+		t.Fatalf("pitch = %v, want 40", r.PitchUM())
+	}
+	if r.ToGrid(0) != 0 || r.ToGrid(39.9) != 0 || r.ToGrid(40) != 1 || r.ToGrid(119) != 2 {
+		t.Error("ToGrid floor conversion wrong")
+	}
+	if r.ToUM(0) != 20 || r.ToUM(2) != 100 {
+		t.Error("ToUM centerline conversion wrong")
+	}
+	w, h := r.GridSize(1000, 400)
+	if w != 25 || h != 10 {
+		t.Errorf("GridSize = %dx%d, want 25x10", w, h)
+	}
+	if r.ChannelLengthUM(10) != 400 {
+		t.Error("ChannelLengthUM wrong")
+	}
+}
+
+func TestRulesValidate(t *testing.T) {
+	bad := []Rules{
+		{ChannelWidthUM: 0, SpacingUM: 10},
+		{ChannelWidthUM: 10, SpacingUM: 0},
+		{ChannelWidthUM: 10, SpacingUM: 10, ValveSizeUM: -1},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	if err := DefaultRules().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func physDesign(t *testing.T) *PhysicalDesign {
+	t.Helper()
+	seq := func(s string) valve.Seq {
+		q, err := valve.ParseSeq(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+	return &PhysicalDesign{
+		Name:     "phys",
+		WidthUM:  1200,
+		HeightUM: 1200,
+		Rules:    DefaultRules(), // pitch 40 -> 30x30 grid
+		Valves: []PhysicalValve{
+			{XUM: 220, YUM: 220, Seq: seq("01")},
+			{XUM: 620, YUM: 260, Seq: seq("01")},
+			{XUM: 420, YUM: 820, Seq: seq("10")},
+		},
+		ObstacleRectsUM: [][4]float64{{500, 500, 580, 620}},
+		PinPositionsUM: [][2]float64{
+			{20, 20}, {1180, 600}, {600, 1180}, {20, 600},
+		},
+		LMClusters: [][]int{{0, 1}},
+		DeltaUM:    40, // one pitch
+	}
+}
+
+func TestToDesignAndRoute(t *testing.T) {
+	pd := physDesign(t)
+	d, err := pd.ToDesign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.W != 30 || d.H != 30 {
+		t.Fatalf("grid %dx%d, want 30x30", d.W, d.H)
+	}
+	if d.Delta != 1 {
+		t.Errorf("delta = %d, want 1 (40um at 40um pitch)", d.Delta)
+	}
+	if len(d.Obstacles) == 0 {
+		t.Error("obstacle rect not discretized")
+	}
+	// End-to-end: the discretized design routes and verifies.
+	res, err := pacor.Route(d, pacor.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompletionRate() != 1 {
+		t.Errorf("completion %.2f", res.CompletionRate())
+	}
+	if err := pacor.Verify(d, res); err != nil {
+		t.Error(err)
+	}
+	// Report channel length back in physical units.
+	um := pd.Rules.ChannelLengthUM(res.TotalLen)
+	if um <= 0 || math.IsNaN(um) {
+		t.Errorf("physical length %v", um)
+	}
+}
+
+func TestToDesignCollapsedValves(t *testing.T) {
+	pd := physDesign(t)
+	pd.Valves[1].XUM = pd.Valves[0].XUM + 5 // same 40um cell
+	pd.Valves[1].YUM = pd.Valves[0].YUM
+	if _, err := pd.ToDesign(); err == nil {
+		t.Error("valves collapsing onto one cell must error")
+	}
+}
+
+func TestToDesignInteriorPinSnaps(t *testing.T) {
+	pd := physDesign(t)
+	pd.PinPositionsUM = [][2]float64{{600, 600}} // dead center
+	d, err := pd.ToDesign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := d.Pins[0]
+	if p.X != 0 && p.Y != 0 && p.X != d.W-1 && p.Y != d.H-1 {
+		t.Errorf("interior pin %v not snapped to boundary", p)
+	}
+}
+
+func TestToDesignTooSmall(t *testing.T) {
+	pd := physDesign(t)
+	pd.WidthUM = 30 // below one pitch
+	if _, err := pd.ToDesign(); err == nil {
+		t.Error("sub-pitch chip must error")
+	}
+}
+
+func TestToDesignDedupesPins(t *testing.T) {
+	pd := physDesign(t)
+	pd.PinPositionsUM = append(pd.PinPositionsUM, pd.PinPositionsUM[0])
+	d, err := pd.ToDesign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[[2]int]bool{}
+	for _, p := range d.Pins {
+		k := [2]int{p.X, p.Y}
+		if seen[k] {
+			t.Errorf("duplicate pin %v", p)
+		}
+		seen[k] = true
+	}
+}

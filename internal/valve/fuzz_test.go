@@ -1,0 +1,76 @@
+package valve
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// pt abbreviates point literals in fuzz seeds.
+func pt(x, y int) geom.Pt { return geom.Pt{X: x, Y: y} }
+
+// FuzzParseSeq: ParseSeq must never panic and must round-trip exactly when
+// it accepts the input.
+func FuzzParseSeq(f *testing.F) {
+	for _, seed := range []string{"", "0", "1", "X", "01X10", "XXXXX", "0z1", "０１"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		q, err := ParseSeq(s)
+		if err != nil {
+			return
+		}
+		if q.String() != s {
+			t.Fatalf("round trip %q -> %q", s, q.String())
+		}
+		// Accepted sequences must be self-compatible.
+		if len(q) > 0 && !q.Compatible(q) {
+			t.Fatalf("sequence %q not self-compatible", s)
+		}
+	})
+}
+
+// FuzzDesignJSON: arbitrary bytes through the Design decoder must never
+// panic; accepted designs must re-serialize and re-validate.
+func FuzzDesignJSON(f *testing.F) {
+	d := mkDesignFuzz()
+	var buf bytes.Buffer
+	if err := d.Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"x","width":3,"height":3,"valves":[{"pos":[1,1],"seq":"0"}],"pins":[[0,0]]}`))
+	f.Add([]byte(`{"valves":[{"pos":[1]}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := got.Write(&out); err != nil {
+			t.Fatalf("accepted design fails to serialize: %v", err)
+		}
+		again, err := Read(&out)
+		if err != nil {
+			t.Fatalf("round-tripped design fails to parse: %v", err)
+		}
+		if len(again.Valves) != len(got.Valves) || again.W != got.W || again.H != got.H {
+			t.Fatal("round trip changed the design")
+		}
+	})
+}
+
+func mkDesignFuzz() *Design {
+	seq := func(s string) Seq { q, _ := ParseSeq(s); return q }
+	return &Design{
+		Name: "fz", W: 8, H: 8, Delta: 1,
+		Valves: []Valve{
+			{ID: 0, Pos: pt(2, 2), Seq: seq("01")},
+			{ID: 1, Pos: pt(5, 5), Seq: seq("0X")},
+		},
+		Pins:       []geom.Pt{pt(0, 3), pt(7, 3)},
+		LMClusters: [][]int{{0, 1}},
+	}
+}

@@ -1,0 +1,108 @@
+package valve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/geom"
+)
+
+// designJSON is the on-disk representation of a Design. Activation sequences
+// are stored as "0-1-X" strings and points as [x, y] pairs to keep design
+// files hand-editable.
+type designJSON struct {
+	Name       string   `json:"name"`
+	Width      int      `json:"width"`
+	Height     int      `json:"height"`
+	Delta      int      `json:"delta"`
+	Valves     []vJSON  `json:"valves"`
+	Obstacles  [][2]int `json:"obstacles,omitempty"`
+	Pins       [][2]int `json:"pins"`
+	LMClusters [][]int  `json:"lm_clusters,omitempty"`
+}
+
+type vJSON struct {
+	Pos [2]int `json:"pos"`
+	Seq string `json:"seq"`
+}
+
+// MarshalJSON implements json.Marshaler for Design.
+func (d *Design) MarshalJSON() ([]byte, error) {
+	dj := designJSON{
+		Name:       d.Name,
+		Width:      d.W,
+		Height:     d.H,
+		Delta:      d.Delta,
+		LMClusters: d.LMClusters,
+	}
+	for _, v := range d.Valves {
+		dj.Valves = append(dj.Valves, vJSON{Pos: [2]int{v.Pos.X, v.Pos.Y}, Seq: v.Seq.String()})
+	}
+	for _, o := range d.Obstacles {
+		dj.Obstacles = append(dj.Obstacles, [2]int{o.X, o.Y})
+	}
+	for _, p := range d.Pins {
+		dj.Pins = append(dj.Pins, [2]int{p.X, p.Y})
+	}
+	return json.Marshal(dj)
+}
+
+// UnmarshalJSON implements json.Unmarshaler for Design.
+func (d *Design) UnmarshalJSON(data []byte) error {
+	var dj designJSON
+	if err := json.Unmarshal(data, &dj); err != nil {
+		return err
+	}
+	d.Name = dj.Name
+	d.W, d.H = dj.Width, dj.Height
+	d.Delta = dj.Delta
+	d.LMClusters = dj.LMClusters
+	d.Valves = nil
+	for i, v := range dj.Valves {
+		seq, err := ParseSeq(v.Seq)
+		if err != nil {
+			return fmt.Errorf("valve %d: %w", i, err)
+		}
+		d.Valves = append(d.Valves, Valve{
+			ID:  i,
+			Pos: geom.Pt{X: v.Pos[0], Y: v.Pos[1]},
+			Seq: seq,
+		})
+	}
+	d.Obstacles = nil
+	for _, o := range dj.Obstacles {
+		d.Obstacles = append(d.Obstacles, geom.Pt{X: o[0], Y: o[1]})
+	}
+	d.Pins = nil
+	for _, p := range dj.Pins {
+		d.Pins = append(d.Pins, geom.Pt{X: p[0], Y: p[1]})
+	}
+	return nil
+}
+
+// Write serializes d as indented JSON to w.
+func (d *Design) Write(w io.Writer) error {
+	data, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// Read parses a Design from r and validates it.
+func Read(r io.Reader) (*Design, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var d Design
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}

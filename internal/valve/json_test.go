@@ -1,0 +1,50 @@
+package valve
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	d := mkDesign()
+	var buf bytes.Buffer
+	if err := d.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != d.Name || got.W != d.W || got.H != d.H || got.Delta != d.Delta {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	if len(got.Valves) != len(d.Valves) {
+		t.Fatalf("valve count %d, want %d", len(got.Valves), len(d.Valves))
+	}
+	for i := range d.Valves {
+		if got.Valves[i].Pos != d.Valves[i].Pos {
+			t.Errorf("valve %d pos %v, want %v", i, got.Valves[i].Pos, d.Valves[i].Pos)
+		}
+		if got.Valves[i].Seq.String() != d.Valves[i].Seq.String() {
+			t.Errorf("valve %d seq %q, want %q", i, got.Valves[i].Seq, d.Valves[i].Seq)
+		}
+	}
+	if len(got.Obstacles) != 1 || len(got.Pins) != 2 || len(got.LMClusters) != 1 {
+		t.Error("lists not round-tripped")
+	}
+}
+
+func TestReadRejectsInvalid(t *testing.T) {
+	// Structurally valid JSON but semantically invalid design (no pins).
+	src := `{"name":"x","width":5,"height":5,"valves":[{"pos":[1,1],"seq":"01"}],"pins":[]}`
+	if _, err := Read(strings.NewReader(src)); err == nil {
+		t.Error("expected validation error for pinless design")
+	}
+	if _, err := Read(strings.NewReader(`{not json`)); err == nil {
+		t.Error("expected parse error")
+	}
+	if _, err := Read(strings.NewReader(`{"name":"x","width":5,"height":5,"valves":[{"pos":[1,1],"seq":"0z"}],"pins":[[0,0]]}`)); err == nil {
+		t.Error("expected sequence parse error")
+	}
+}

@@ -1,0 +1,186 @@
+package valve
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func TestStatusCompatible(t *testing.T) {
+	cases := []struct {
+		a, b Status
+		want bool
+	}{
+		{Open, Open, true},
+		{Closed, Closed, true},
+		{Open, Closed, false},
+		{Closed, Open, false},
+		{Open, DontC, true},
+		{DontC, Closed, true},
+		{DontC, DontC, true},
+	}
+	for _, c := range cases {
+		if got := c.a.Compatible(c.b); got != c.want {
+			t.Errorf("%c ~ %c = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestParseSeq(t *testing.T) {
+	q, err := ParseSeq("01X10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.String() != "01X10" {
+		t.Errorf("round trip = %q", q.String())
+	}
+	if _, err := ParseSeq("012"); err == nil {
+		t.Error("invalid status accepted")
+	}
+	empty, err := ParseSeq("")
+	if err != nil || len(empty) != 0 {
+		t.Error("empty sequence should parse")
+	}
+}
+
+func TestSeqCompatible(t *testing.T) {
+	mk := func(s string) Seq {
+		q, err := ParseSeq(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+	if !mk("0X1").Compatible(mk("001")) {
+		t.Error("X should match 0")
+	}
+	if mk("01").Compatible(mk("00")) {
+		t.Error("0 vs 1 should be incompatible")
+	}
+	if mk("01").Compatible(mk("011")) {
+		t.Error("length mismatch should be incompatible")
+	}
+	if !mk("XXX").Compatible(mk("010")) {
+		t.Error("all-X compatible with anything")
+	}
+}
+
+func TestSeqMerge(t *testing.T) {
+	mk := func(s string) Seq { q, _ := ParseSeq(s); return q }
+	m, ok := mk("0X1X").Merge(mk("X01X"))
+	if !ok || m.String() != "001X" {
+		t.Errorf("Merge = %q ok=%v, want 001X", m.String(), ok)
+	}
+	if _, ok := mk("01").Merge(mk("10")); ok {
+		t.Error("incompatible merge should fail")
+	}
+	if _, ok := mk("0").Merge(mk("01")); ok {
+		t.Error("length-mismatched merge should fail")
+	}
+}
+
+func TestMergePreservesCompatibility(t *testing.T) {
+	// Property: if q ~ r then merge(q,r) is compatible with both.
+	f := func(raw []byte) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		n := len(raw) / 2
+		toSeq := func(b []byte) Seq {
+			s := make(Seq, len(b))
+			for i, x := range b {
+				switch x % 3 {
+				case 0:
+					s[i] = Open
+				case 1:
+					s[i] = Closed
+				default:
+					s[i] = DontC
+				}
+			}
+			return s
+		}
+		q, r := toSeq(raw[:n]), toSeq(raw[n:2*n])
+		m, ok := q.Merge(r)
+		if ok != q.Compatible(r) {
+			return false
+		}
+		if !ok {
+			return true
+		}
+		return m.Compatible(q) && m.Compatible(r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func mkDesign() *Design {
+	seq := func(s string) Seq { q, _ := ParseSeq(s); return q }
+	return &Design{
+		Name: "t",
+		W:    10, H: 10,
+		Delta: 1,
+		Valves: []Valve{
+			{ID: 0, Pos: geom.Pt{X: 2, Y: 2}, Seq: seq("010")},
+			{ID: 1, Pos: geom.Pt{X: 5, Y: 2}, Seq: seq("0X0")},
+			{ID: 2, Pos: geom.Pt{X: 2, Y: 5}, Seq: seq("101")},
+		},
+		Obstacles:  []geom.Pt{{X: 7, Y: 7}},
+		Pins:       []geom.Pt{{X: 0, Y: 0}, {X: 9, Y: 5}},
+		LMClusters: [][]int{{0, 1}},
+	}
+}
+
+func TestDesignValidateOK(t *testing.T) {
+	if err := mkDesign().Validate(); err != nil {
+		t.Fatalf("valid design rejected: %v", err)
+	}
+}
+
+func TestDesignValidateErrors(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Design)
+	}{
+		{"zero size", func(d *Design) { d.W = 0 }},
+		{"negative delta", func(d *Design) { d.Delta = -1 }},
+		{"off-grid valve", func(d *Design) { d.Valves[0].Pos = geom.Pt{X: 99, Y: 0} }},
+		{"bad ID", func(d *Design) { d.Valves[1].ID = 7 }},
+		{"valve on obstacle", func(d *Design) { d.Valves[0].Pos = geom.Pt{X: 7, Y: 7} }},
+		{"duplicate position", func(d *Design) { d.Valves[1].Pos = d.Valves[0].Pos }},
+		{"seq length mismatch", func(d *Design) { d.Valves[2].Seq = d.Valves[2].Seq[:2] }},
+		{"no pins", func(d *Design) { d.Pins = nil }},
+		{"interior pin", func(d *Design) { d.Pins = []geom.Pt{{X: 5, Y: 5}} }},
+		{"off-grid obstacle", func(d *Design) { d.Obstacles = append(d.Obstacles, geom.Pt{X: -1, Y: 0}) }},
+		{"tiny LM cluster", func(d *Design) { d.LMClusters = [][]int{{0}} }},
+		{"unknown valve in cluster", func(d *Design) { d.LMClusters = [][]int{{0, 9}} }},
+		{"valve in two clusters", func(d *Design) { d.LMClusters = [][]int{{0, 1}, {1, 2}} }},
+		{"incompatible LM cluster", func(d *Design) { d.LMClusters = [][]int{{0, 2}} }},
+	}
+	for _, m := range mutations {
+		d := mkDesign()
+		m.mut(d)
+		if err := d.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", m.name)
+		}
+	}
+}
+
+func TestCompatGraph(t *testing.T) {
+	d := mkDesign()
+	adj := d.CompatGraph()
+	if !adj[0][1] || !adj[1][0] {
+		t.Error("010 and 0X0 should be compatible")
+	}
+	if adj[0][2] {
+		t.Error("010 and 101 should be incompatible")
+	}
+	if adj[1][2] {
+		t.Error("0X0 and 101 should be incompatible")
+	}
+	if adj[0][0] {
+		t.Error("diagonal must be false")
+	}
+}

@@ -1,0 +1,85 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/pacor"
+	"repro/internal/pressure"
+	"repro/internal/valve"
+)
+
+// TestPressureSkewReduction closes the loop on the paper's physical
+// motivation (Section 1): simulated pneumatic actuation skew within
+// synchronized clusters must drop by a large factor when the length-matching
+// flow is used, compared to routing the same clusters with plain MST
+// topology and no matching.
+func TestPressureSkewReduction(t *testing.T) {
+	spec := bench.Spec{
+		Name: "skewtest", W: 64, H: 64,
+		Valves: 18, Pins: 120, Obs: 40,
+		ClusterSizes: []int{4, 3, 3, 2, 2},
+		Window:       12,
+		Seed:         314,
+	}
+	d, err := bench.GenerateSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matched := measureSkews(t, d)
+	noLM := *d
+	noLM.Name = "skewtest-nolm"
+	noLM.LMClusters = nil
+	unmatched := measureSkews(t, &noLM)
+
+	var sumM, sumU float64
+	common := 0
+	for k, m := range matched {
+		u, ok := unmatched[k]
+		if !ok {
+			continue
+		}
+		common++
+		sumM += m
+		sumU += u
+	}
+	if common < 4 {
+		t.Fatalf("only %d comparable clusters", common)
+	}
+	t.Logf("total skew: %.1f matched vs %.1f unmatched", sumM, sumU)
+	if sumM*3 > sumU {
+		t.Errorf("length matching should cut total actuation skew by >3x: %.1f vs %.1f", sumM, sumU)
+	}
+}
+
+func measureSkews(t *testing.T, d *valve.Design) map[string]float64 {
+	t.Helper()
+	res, err := pacor.Route(d, pacor.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pacor.Verify(d, res); err != nil {
+		t.Fatal(err)
+	}
+	skews, err := pressure.EvaluateResult(d, res, pressure.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cluster IDs differ between the two partitions; key by valve set.
+	out := map[string]float64{}
+	for i := range res.Clusters {
+		c := &res.Clusters[i]
+		if sk, ok := skews[c.ID]; ok {
+			out[keyOf(c.Valves)] = sk
+		}
+	}
+	return out
+}
+
+func keyOf(valves []int) string {
+	s := ""
+	for _, v := range valves {
+		s += string(rune('0'+v/10)) + string(rune('0'+v%10)) + ","
+	}
+	return s
+}

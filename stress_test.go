@@ -1,0 +1,37 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/pacor"
+)
+
+// TestStressScale runs the flow on a workload larger than any Table 1
+// design (96 valves, 24 LM clusters on a 256x256 grid) and demands full
+// completion with verified design rules — scalability headroom beyond the
+// paper's benchmark suite.
+func TestStressScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress workload skipped in -short mode")
+	}
+	d, err := bench.GenerateSpec(bench.StressSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pacor.Route(d, pacor.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pacor.Verify(d, res); err != nil {
+		t.Fatal(err)
+	}
+	if res.CompletionRate() != 1.0 {
+		t.Errorf("completion %.3f, want 1.0", res.CompletionRate())
+	}
+	if res.MultiClusters != 24 {
+		t.Errorf("clusters = %d, want 24", res.MultiClusters)
+	}
+	t.Logf("stress: %d/%d matched, total length %d, runtime %v",
+		res.MatchedClusters, res.MultiClusters, res.TotalLen, res.Runtime)
+}

@@ -1,0 +1,152 @@
+package repro_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/pacor"
+)
+
+var (
+	runAllOnce  sync.Once
+	runAllCache map[string]map[pacor.Mode]*pacor.Result
+	runAllErr   error
+)
+
+// runAll routes every benchmark with every mode and returns results keyed by
+// design then mode, computing them once per test binary. Chip1/Chip2 are
+// skipped in -short mode.
+func runAll(t *testing.T) map[string]map[pacor.Mode]*pacor.Result {
+	t.Helper()
+	runAllOnce.Do(func() {
+		runAllCache, runAllErr = computeAll()
+	})
+	if runAllErr != nil {
+		t.Fatal(runAllErr)
+	}
+	return runAllCache
+}
+
+func computeAll() (map[string]map[pacor.Mode]*pacor.Result, error) {
+	out := map[string]map[pacor.Mode]*pacor.Result{}
+	for _, name := range bench.Names() {
+		if testing.Short() && (name == "Chip1" || name == "Chip2") {
+			continue
+		}
+		d, err := bench.Generate(name)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", name, err)
+		}
+		out[name] = map[pacor.Mode]*pacor.Result{}
+		for _, mode := range []pacor.Mode{
+			pacor.ModeWithoutSelection, pacor.ModeDetourFirst, pacor.ModePACOR,
+		} {
+			params := pacor.DefaultParams()
+			params.Mode = mode
+			res, err := pacor.Route(d, params)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %v", name, mode, err)
+			}
+			if err := pacor.Verify(d, res); err != nil {
+				return nil, fmt.Errorf("%s/%s: design rules violated: %v", name, mode, err)
+			}
+			out[name][mode] = res
+		}
+	}
+	return out, nil
+}
+
+// TestTable2Completion reproduces the paper's headline claim: 100% routing
+// completion on every design with every flow variant.
+func TestTable2Completion(t *testing.T) {
+	for name, modes := range runAll(t) {
+		for mode, res := range modes {
+			if res.CompletionRate() != 1.0 {
+				t.Errorf("%s/%s: completion %.3f, want 1.0 (%d/%d valves)",
+					name, mode, res.CompletionRate(), res.RoutedValves, res.TotalValves)
+			}
+		}
+	}
+}
+
+// TestTable2Shape reproduces the comparative shape of Table 2: averaged over
+// the designs, the full PACOR flow matches at least as many clusters as both
+// self-comparison baselines, and strictly more than at least one of them.
+func TestTable2Shape(t *testing.T) {
+	all := runAll(t)
+	ratio := map[pacor.Mode]float64{}
+	n := 0
+	for _, modes := range all {
+		ref := modes[pacor.ModePACOR]
+		if ref.MultiClusters == 0 {
+			continue
+		}
+		n++
+		for mode, res := range modes {
+			ratio[mode] += float64(res.MatchedClusters) / float64(ref.MultiClusters)
+		}
+	}
+	if n == 0 {
+		t.Skip("no designs run")
+	}
+	p := ratio[pacor.ModePACOR] / float64(n)
+	w := ratio[pacor.ModeWithoutSelection] / float64(n)
+	df := ratio[pacor.ModeDetourFirst] / float64(n)
+	t.Logf("avg matched ratio: w/o Sel %.3f, Detour First %.3f, PACOR %.3f", w, df, p)
+	if p < w-1e-9 || p < df-1e-9 {
+		t.Errorf("PACOR (%.3f) must average at least as many matched clusters as w/o Sel (%.3f) and Detour First (%.3f)",
+			p, w, df)
+	}
+	if !(p > w+1e-9 || p > df+1e-9) {
+		t.Errorf("PACOR should strictly beat at least one baseline (w/o Sel %.3f, Detour First %.3f, PACOR %.3f)",
+			w, df, p)
+	}
+}
+
+// TestTable2MatchedSpread verifies that every cluster reported matched
+// actually satisfies the length-matching constraint |l(vi)-l(vj)| <= delta.
+func TestTable2MatchedSpread(t *testing.T) {
+	for name, modes := range runAll(t) {
+		d, err := bench.Generate(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for mode, res := range modes {
+			for _, c := range res.Clusters {
+				if !c.Matched {
+					continue
+				}
+				mn, mx := c.FullLens[0], c.FullLens[0]
+				for _, l := range c.FullLens {
+					if l < mn {
+						mn = l
+					}
+					if l > mx {
+						mx = l
+					}
+				}
+				if mx-mn > d.Delta {
+					t.Errorf("%s/%s cluster %d: matched but spread %d > delta %d (%v)",
+						name, mode, c.ID, mx-mn, d.Delta, c.FullLens)
+				}
+			}
+		}
+	}
+}
+
+// TestFig3Candidates reproduces Figure 3: a four-valve cluster in the
+// diagonal arrangement yields multiple distinct candidate Steiner trees,
+// each with zero estimated mismatch.
+func TestFig3Candidates(t *testing.T) {
+	res := fig3Candidates()
+	if len(res) < 2 {
+		t.Fatalf("got %d candidates, want several (Figure 3 shows three)", len(res))
+	}
+	for i, tr := range res {
+		if tr.DeltaL() != 0 {
+			t.Errorf("candidate %d: ΔL = %d, want 0", i, tr.DeltaL())
+		}
+	}
+}
