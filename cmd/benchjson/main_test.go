@@ -1,0 +1,28 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSweepOnce(t *testing.T) {
+	seq := sweepOnce([]string{"S1"}, 1)
+	par := sweepOnce([]string{"S1"}, 4)
+	if seq <= 0 || par <= 0 {
+		t.Fatalf("sweep durations must be positive: %v, %v", seq, par)
+	}
+	if seq > time.Minute || par > time.Minute {
+		t.Fatalf("S1 sweep unexpectedly slow: %v, %v", seq, par)
+	}
+}
+
+func TestS5SizedSearchDeterministic(t *testing.T) {
+	_, obs1, src, dst := s5SizedSearch()
+	_, obs2, _, _ := s5SizedSearch()
+	if obs1.Count() != obs2.Count() {
+		t.Fatalf("obstacle scatter not deterministic: %d vs %d", obs1.Count(), obs2.Count())
+	}
+	if obs1.Blocked(src) || obs1.Blocked(dst) {
+		t.Fatal("endpoints must stay free")
+	}
+}

@@ -3,9 +3,14 @@
 // matched clusters, matched channel length, total channel length, runtime,
 // and the routing completion rate.
 //
+// The design x mode sweep is embarrassingly parallel: each job routes
+// independently (each worker generates its own design and owns its search
+// workspace), so jobs fan out over a worker pool sized by -j while the
+// report keeps the deterministic sequential ordering.
+//
 // Usage:
 //
-//	table2 [-designs Chip1,S3,...] [-verify] [-csv out.csv]
+//	table2 [-designs Chip1,S3,...] [-verify] [-csv out.csv] [-j N] [-stable]
 package main
 
 import (
@@ -14,8 +19,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/bench"
 	"repro/internal/pacor"
@@ -29,40 +36,78 @@ func main() {
 	}
 }
 
+// job is one (design, mode) cell of the sweep. Results land in rows[idx],
+// preserving the sequential output order regardless of completion order.
+type job struct {
+	idx    int
+	design string
+	mode   pacor.Mode
+}
+
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("table2", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	designsFlag := fs.String("designs", "", "comma-separated design names (default: all)")
 	verify := fs.Bool("verify", true, "verify design rules of every solution")
 	csvFlag := fs.String("csv", "", "also write the raw rows as CSV to this file")
+	workers := fs.Int("j", runtime.GOMAXPROCS(0), "parallel routing jobs (1 = sequential)")
+	stable := fs.Bool("stable", false, "zero out runtimes for byte-stable output (determinism checks)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *workers < 1 {
+		*workers = 1
 	}
 
 	names := bench.Names()
 	if *designsFlag != "" {
 		names = strings.Split(*designsFlag, ",")
 	}
-	modes := []pacor.Mode{pacor.ModeWithoutSelection, pacor.ModeDetourFirst, pacor.ModePACOR}
-	var rows []report.Row
+	// Fail fast on unknown designs before spawning workers.
 	for _, name := range names {
-		d, err := bench.Generate(name)
+		if !bench.Known(name) {
+			return fmt.Errorf("unknown design %q", name)
+		}
+	}
+	modes := []pacor.Mode{pacor.ModeWithoutSelection, pacor.ModeDetourFirst, pacor.ModePACOR}
+
+	jobs := make([]job, 0, len(names)*len(modes))
+	for _, name := range names {
+		for _, mode := range modes {
+			jobs = append(jobs, job{idx: len(jobs), design: name, mode: mode})
+		}
+	}
+	rows := make([]report.Row, len(jobs))
+	errs := make([]error, len(jobs))
+
+	next := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range next {
+				rows[j.idx], errs[j.idx] = runJob(j, *verify)
+			}
+		}()
+	}
+	for _, j := range jobs {
+		next <- j
+	}
+	close(next)
+	wg.Wait()
+	// Report the first error in sequential order, independent of worker
+	// scheduling.
+	for _, err := range errs {
 		if err != nil {
 			return err
 		}
-		for _, mode := range modes {
-			params := pacor.DefaultParams()
-			params.Mode = mode
-			res, err := pacor.Route(d, params)
-			if err != nil {
-				return fmt.Errorf("%s/%s: %w", name, mode, err)
-			}
-			if *verify {
-				if err := pacor.Verify(d, res); err != nil {
-					return fmt.Errorf("%s/%s: verification failed: %w", name, mode, err)
-				}
-			}
-			rows = append(rows, report.Row{Design: name, Mode: mode, Result: res})
+	}
+
+	if *stable {
+		for i := range rows {
+			rows[i].Result.Runtime = 0
+			rows[i].Result.StageTimes = nil
 		}
 	}
 	fmt.Fprint(stdout, report.Table2(rows))
@@ -73,6 +118,27 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "wrote %s\n", *csvFlag)
 	}
 	return nil
+}
+
+// runJob routes one design with one mode. The design is generated inside the
+// worker so no mutable state is shared between jobs.
+func runJob(j job, verify bool) (report.Row, error) {
+	d, err := bench.Generate(j.design)
+	if err != nil {
+		return report.Row{}, err
+	}
+	params := pacor.DefaultParams()
+	params.Mode = j.mode
+	res, err := pacor.Route(d, params)
+	if err != nil {
+		return report.Row{}, fmt.Errorf("%s/%s: %w", j.design, j.mode, err)
+	}
+	if verify {
+		if err := pacor.Verify(d, res); err != nil {
+			return report.Row{}, fmt.Errorf("%s/%s: verification failed: %w", j.design, j.mode, err)
+		}
+	}
+	return report.Row{Design: j.design, Mode: j.mode, Result: res}, nil
 }
 
 func writeCSV(path string, rows []report.Row) error {

@@ -51,3 +51,43 @@ func TestRunUnknownDesign(t *testing.T) {
 		t.Error("unknown design must error")
 	}
 }
+
+// TestParallelDeterminism asserts that the parallel sweep produces
+// byte-identical output to the sequential path: routing is fully
+// deterministic per job and the report preserves sequential ordering, so
+// only the (suppressed via -stable) runtimes could ever differ.
+func TestParallelDeterminism(t *testing.T) {
+	outputs := make([]string, 2)
+	for i, j := range []string{"1", "4"} {
+		var out bytes.Buffer
+		if err := run([]string{"-designs", "S1,S2,S3", "-stable", "-j", j}, &out); err != nil {
+			t.Fatalf("-j %s: %v", j, err)
+		}
+		outputs[i] = out.String()
+	}
+	if outputs[0] != outputs[1] {
+		t.Errorf("parallel output differs from sequential:\n--- -j 1 ---\n%s\n--- -j 4 ---\n%s",
+			outputs[0], outputs[1])
+	}
+}
+
+// TestParallelDeterminismCSV covers the CSV path the same way (runtime_ms is
+// zeroed by -stable).
+func TestParallelDeterminismCSV(t *testing.T) {
+	dir := t.TempDir()
+	files := make([]string, 2)
+	for i, j := range []string{"1", "3"} {
+		path := filepath.Join(dir, "t2_"+j+".csv")
+		if err := run([]string{"-designs", "S1,S2", "-stable", "-j", j, "-csv", path}, &bytes.Buffer{}); err != nil {
+			t.Fatalf("-j %s: %v", j, err)
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files[i] = string(b)
+	}
+	if files[0] != files[1] {
+		t.Errorf("parallel CSV differs from sequential:\n%s\nvs\n%s", files[0], files[1])
+	}
+}

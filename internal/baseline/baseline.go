@@ -37,6 +37,7 @@ func Route(d *valve.Design) (*pacor.Result, error) {
 	for _, v := range d.Valves {
 		obs.Set(v.Pos, true)
 	}
+	ws := route.NewWorkspace(g)
 
 	part := cluster.Partition(d)
 	res := &pacor.Result{TotalValves: len(d.Valves)}
@@ -61,7 +62,7 @@ func Route(d *valve.Design) (*pacor.Result, error) {
 		// Internal channels: plain MST (no negotiation, no retry).
 		internalOK := true
 		if len(pts) > 1 {
-			mres, ok := mstroute.RouteCluster(obs, pts, nil)
+			mres, ok := mstroute.RouteClusterWS(ws, obs, pts, nil)
 			cr.Paths = mres.Paths
 			internalOK = ok
 		}
@@ -77,7 +78,7 @@ func Route(d *valve.Design) (*pacor.Result, error) {
 					freePins = append(freePins, p)
 				}
 			}
-			if path, ok := route.AStar(g, route.Request{
+			if path, ok := ws.AStar(g, route.Request{
 				Sources: sources, Targets: freePins, Obs: obs,
 			}); ok {
 				obs.SetPath(path, true)

@@ -71,6 +71,21 @@ func Names() []string {
 	return out
 }
 
+// Known reports whether name is a generatable design (a Table 1 spec or
+// the structured "ChipM" composite) — a cheap pre-flight check for sweeps
+// that fan jobs out before generating anything.
+func Known(name string) bool {
+	if name == "ChipM" {
+		return true
+	}
+	for _, s := range Specs {
+		if s.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
 // Generate builds the named benchmark design. Beyond the seven Table 1
 // names, "ChipM" builds the structured multiplexed-biochip composite.
 func Generate(name string) (*valve.Design, error) {

@@ -75,7 +75,7 @@ const maxRounds = 10
 // reflects the new geometry; on failure both are restored (Algorithm 2
 // steps 22-24) and ok is false.
 func Match(obs *grid.ObsMap, net *Net, delta int) bool {
-	return match(obs, net, delta, false)
+	return match(route.NewWorkspace(obs.Grid()), obs, net, delta, false)
 }
 
 // MatchBestEffort is Match without the all-or-nothing restore: when full
@@ -84,10 +84,21 @@ func Match(obs *grid.ObsMap, net *Net, delta int) bool {
 // ablation comparing the two policies — a reduced spread still reduces
 // simulated actuation skew even when it misses delta.
 func MatchBestEffort(obs *grid.ObsMap, net *Net, delta int) bool {
-	return match(obs, net, delta, true)
+	return match(route.NewWorkspace(obs.Grid()), obs, net, delta, true)
 }
 
-func match(obs *grid.ObsMap, net *Net, delta int, bestEffort bool) bool {
+// MatchWS is Match with a caller-owned search workspace (one per goroutine);
+// every bounded-length reroute search reuses ws instead of allocating.
+func MatchWS(ws *route.Workspace, obs *grid.ObsMap, net *Net, delta int) bool {
+	return match(ws, obs, net, delta, false)
+}
+
+// MatchBestEffortWS is MatchBestEffort with a caller-owned search workspace.
+func MatchBestEffortWS(ws *route.Workspace, obs *grid.ObsMap, net *Net, delta int) bool {
+	return match(ws, obs, net, delta, true)
+}
+
+func match(ws *route.Workspace, obs *grid.ObsMap, net *Net, delta int, bestEffort bool) bool {
 	if net.Matched(delta) {
 		return true
 	}
@@ -118,7 +129,7 @@ func match(obs *grid.ObsMap, net *Net, delta int, bestEffort bool) bool {
 				need := l - seg.Len() // length contributed by other segments
 				ltMin := (maxL - delta) - need
 				ltMax := maxL - need
-				if newSeg, ok := rerouteSegment(obs, net, si, ltMin, ltMax, bestEffort); ok {
+				if newSeg, ok := rerouteSegment(ws, obs, net, si, ltMin, ltMax, bestEffort); ok {
 					obs.SetPath(net.Segments[si], false)
 					obs.SetPath(newSeg, true)
 					net.Segments[si] = newSeg
@@ -159,7 +170,7 @@ func match(obs *grid.ObsMap, net *Net, delta int, bestEffort bool) bool {
 // are freed for the search; everything else in obs blocks. In best-effort
 // mode a partial lengthening below ltMin still counts as success (the
 // spread shrinks even though the window is missed).
-func rerouteSegment(obs *grid.ObsMap, net *Net, si, ltMin, ltMax int, bestEffort bool) (grid.Path, bool) {
+func rerouteSegment(ws *route.Workspace, obs *grid.ObsMap, net *Net, si, ltMin, ltMax int, bestEffort bool) (grid.Path, bool) {
 	seg := net.Segments[si]
 	if len(seg) < 2 || ltMin > ltMax {
 		return nil, false
@@ -190,7 +201,7 @@ func rerouteSegment(obs *grid.ObsMap, net *Net, si, ltMin, ltMax int, bestEffort
 			return p, true
 		}
 	}
-	if p, ok := route.BoundedAStar(g, route.Request{
+	if p, ok := ws.BoundedAStar(g, route.Request{
 		Sources: []geom.Pt{src},
 		Targets: []geom.Pt{dst},
 		Obs:     work,

@@ -79,6 +79,13 @@ func (r *Result) TotalLen() int {
 // if needed). hist, when non-nil, is a per-cell extra-cost array shared with
 // the negotiation stage. ok is false when any terminal failed to attach.
 func RouteCluster(obs *grid.ObsMap, terms []geom.Pt, hist []float64) (*Result, bool) {
+	return RouteClusterWS(route.NewWorkspace(obs.Grid()), obs, terms, hist)
+}
+
+// RouteClusterWS is RouteCluster with a caller-owned search workspace: every
+// A* edge search reuses ws instead of allocating per call. ws must not be
+// shared with another goroutine.
+func RouteClusterWS(ws *route.Workspace, obs *grid.ObsMap, terms []geom.Pt, hist []float64) (*Result, bool) {
 	res := &Result{}
 	if len(terms) <= 1 {
 		return res, true
@@ -93,7 +100,7 @@ func RouteCluster(obs *grid.ObsMap, terms []geom.Pt, hist []float64) (*Result, b
 		// Prim guarantees e[0] is already attached; if its own attachment
 		// failed earlier, fall back to the whole current tree.
 		src := terms[e[1]]
-		p, routed := route.AStar(g, route.Request{
+		p, routed := ws.AStar(g, route.Request{
 			Sources: []geom.Pt{src},
 			Targets: tree,
 			Obs:     obs,

@@ -75,6 +75,10 @@ func Route(d *valve.Design, params Params) (*Result, error) {
 	for _, v := range d.Valves {
 		obs.Set(v.Pos, true)
 	}
+	// The flow's sequential stages share one search workspace; goroutines
+	// (the parallel DME candidate generation) do not route, so no extra
+	// workspaces are needed here. One workspace per goroutine is the rule.
+	ws := route.NewWorkspace(g)
 
 	stageTimes := map[string]time.Duration{}
 	stage := func(name string, since time.Time) {
@@ -107,35 +111,35 @@ func Route(d *valve.Design, params Params) (*Result, error) {
 
 	// Stage 2: length-matching cluster routing.
 	t0 = time.Now()
-	routeLMClusters(d, obs, fcs, params)
+	routeLMClusters(ws, d, obs, fcs, params)
 
 	// Repair pass: re-realize badly routed trees (the paper reconstructs the
 	// DME tree when negotiation exceeds its iteration bound; congested
 	// realizations with hopeless spreads get the same treatment here).
-	refineLMClusters(d, obs, fcs, params)
+	refineLMClusters(ws, d, obs, fcs, params)
 	stage("lmrouting", t0)
 
 	// Detour-first variant matches lengths before escape routing.
 	if params.Mode == ModeDetourFirst {
 		t0 = time.Now()
-		matchAll(obs, fcs, d.Delta)
+		matchAll(ws, obs, fcs, d.Delta)
 		stage("detour", t0)
 	}
 
 	// Stage 3: MST routing for ordinary (and demoted) clusters.
 	t0 = time.Now()
-	fcs = routeOrdinary(d, obs, fcs)
+	fcs = routeOrdinary(ws, d, obs, fcs)
 	stage("mstrouting", t0)
 
 	// Stage 4: escape routing with de-clustering retries.
 	t0 = time.Now()
-	fcs = escapeRoute(d, obs, fcs, params)
+	fcs = escapeRoute(ws, d, obs, fcs, params)
 	stage("escape", t0)
 
 	// Stage 5: final path detouring (PACOR and w/o Sel variants).
 	if params.Mode != ModeDetourFirst {
 		t0 = time.Now()
-		matchAll(obs, fcs, d.Delta)
+		matchAll(ws, obs, fcs, d.Delta)
 		stage("detour", t0)
 	}
 
@@ -147,7 +151,7 @@ func Route(d *valve.Design, params Params) (*Result, error) {
 // routeLMClusters computes candidate trees, selects one per cluster (per
 // mode), and routes all LM clusters jointly with negotiation. Clusters whose
 // edges cannot all be routed are demoted to ordinary MST routing.
-func routeLMClusters(d *valve.Design, obs *grid.ObsMap, fcs []*flowCluster, params Params) {
+func routeLMClusters(ws *route.Workspace, d *valve.Design, obs *grid.ObsMap, fcs []*flowCluster, params Params) {
 	// Candidate construction per cluster is independent (read-only over the
 	// static obstacle map), so it fans out across goroutines; results are
 	// collected by index, keeping the flow deterministic.
@@ -220,7 +224,7 @@ func routeLMClusters(d *valve.Design, obs *grid.ObsMap, fcs []*flowCluster, para
 	if len(edges) == 0 {
 		return
 	}
-	paths, _ := route.Negotiate(obs, edges, params.Negotiate)
+	paths, _ := ws.Negotiate(obs, edges, params.Negotiate)
 
 	// First pass: commit every completely routed cluster, so the rescue
 	// pass below sees the full environment.
@@ -265,7 +269,7 @@ func routeLMClusters(d *valve.Design, obs *grid.ObsMap, fcs []*flowCluster, para
 	// environment before giving up the LM constraint (the paper reconstructs
 	// the DME tree when negotiation exhausts its iterations).
 	for _, fc := range incompleteTrees {
-		if !rescueTreeCluster(d, obs, fc, params) {
+		if !rescueTreeCluster(ws, d, obs, fc, params) {
 			fc.demoted = true
 			fc.kind = kindOrd
 			fc.tree = nil
@@ -276,7 +280,7 @@ func routeLMClusters(d *valve.Design, obs *grid.ObsMap, fcs []*flowCluster, para
 // rescueTreeCluster tries every candidate of an unrealized tree cluster
 // solo against the current obstacle map, committing the first that routes
 // completely. Returns false when no candidate routes.
-func rescueTreeCluster(d *valve.Design, obs *grid.ObsMap, fc *flowCluster, params Params) bool {
+func rescueTreeCluster(ws *route.Workspace, d *valve.Design, obs *grid.ObsMap, fc *flowCluster, params Params) bool {
 	for _, cand := range fc.cands {
 		blocked := false
 		for ni, nd := range cand.Topo.Nodes {
@@ -293,7 +297,7 @@ func rescueTreeCluster(d *valve.Design, obs *grid.ObsMap, fc *flowCluster, param
 			edges = append(edges, route.Edge{
 				ID: ei, Sources: []geom.Pt{e.From}, Targets: []geom.Pt{e.To}})
 		}
-		paths, ok := route.Negotiate(obs, edges, params.Negotiate)
+		paths, ok := ws.Negotiate(obs, edges, params.Negotiate)
 		if !ok {
 			continue
 		}
@@ -361,7 +365,7 @@ func resolveNodeCollisions(d *valve.Design, treeClusters []*flowCluster) {
 // delta, alone against the fixed environment: own channels are ripped and
 // every candidate tree (only the already-selected one in "w/o Sel" mode) is
 // re-routed solo; the realization with the smallest (spread, length) wins.
-func refineLMClusters(d *valve.Design, obs *grid.ObsMap, fcs []*flowCluster, params Params) {
+func refineLMClusters(ws *route.Workspace, d *valve.Design, obs *grid.ObsMap, fcs []*flowCluster, params Params) {
 	allowSwitch := params.Mode != ModeWithoutSelection
 	for _, fc := range fcs {
 		if fc.kind != kindTree || fc.net == nil || fc.demoted {
@@ -403,7 +407,7 @@ func refineLMClusters(d *valve.Design, obs *grid.ObsMap, fcs []*flowCluster, par
 				edges = append(edges, route.Edge{
 					ID: ei, Sources: []geom.Pt{e.From}, Targets: []geom.Pt{e.To}})
 			}
-			paths, ok := route.Negotiate(base, edges, params.Negotiate)
+			paths, ok := ws.Negotiate(base, edges, params.Negotiate)
 			if !ok {
 				continue
 			}
@@ -495,12 +499,12 @@ func (fc *flowCluster) tapCell() geom.Pt {
 }
 
 // matchAll runs Algorithm 2 on every intact LM cluster.
-func matchAll(obs *grid.ObsMap, fcs []*flowCluster, delta int) {
+func matchAll(ws *route.Workspace, obs *grid.ObsMap, fcs []*flowCluster, delta int) {
 	for _, fc := range fcs {
 		if fc.net == nil || fc.demoted {
 			continue
 		}
-		detour.Match(obs, fc.net, delta)
+		detour.MatchWS(ws, obs, fc.net, delta)
 		fc.paths = fc.net.Segments
 	}
 }
@@ -508,7 +512,7 @@ func matchAll(obs *grid.ObsMap, fcs []*flowCluster, delta int) {
 // routeOrdinary routes every ordinary cluster with MST + A*, de-clustering
 // on failure (Figure 2's "Declustering" box). It may append new clusters
 // (split halves) and returns the updated slice.
-func routeOrdinary(d *valve.Design, obs *grid.ObsMap, fcs []*flowCluster) []*flowCluster {
+func routeOrdinary(ws *route.Workspace, d *valve.Design, obs *grid.ObsMap, fcs []*flowCluster) []*flowCluster {
 	queue := make([]*flowCluster, 0, len(fcs))
 	for _, fc := range fcs {
 		if fc.kind == kindOrd {
@@ -532,7 +536,7 @@ func routeOrdinary(d *valve.Design, obs *grid.ObsMap, fcs []*flowCluster) []*flo
 			continue // singleton: no internal channels
 		}
 		work := obs.Clone()
-		res, ok := mstroute.RouteCluster(work, fc.positions(d), nil)
+		res, ok := mstroute.RouteClusterWS(ws, work, fc.positions(d), nil)
 		if ok {
 			obs.CopyFrom(work)
 			fc.paths = res.Paths
@@ -560,7 +564,7 @@ func routeOrdinary(d *valve.Design, obs *grid.ObsMap, fcs []*flowCluster) []*flo
 // singletons, and a trapped singleton triggers rip-up of the blocking
 // clusters' channels: the trapped valve's escape is committed first and the
 // blockers' internal channels re-route around it.
-func escapeRoute(d *valve.Design, obs *grid.ObsMap, fcs []*flowCluster, params Params) []*flowCluster {
+func escapeRoute(ws *route.Workspace, d *valve.Design, obs *grid.ObsMap, fcs []*flowCluster, params Params) []*flowCluster {
 	byID := func() map[int]*flowCluster {
 		m := make(map[int]*flowCluster, len(fcs))
 		for _, fc := range fcs {
@@ -651,7 +655,7 @@ func escapeRoute(d *valve.Design, obs *grid.ObsMap, fcs []*flowCluster, params P
 			}
 			trapped = append(trapped, fc)
 		}
-		if len(trapped) > 0 && ripAndCommit(d, obs, &fcs, &nextID, trapped, usedPins, committed) {
+		if len(trapped) > 0 && ripAndCommit(ws, d, obs, &fcs, &nextID, trapped, usedPins, committed) {
 			progress = true
 		}
 		if !progress {
@@ -712,7 +716,7 @@ func escapeRoute(d *valve.Design, obs *grid.ObsMap, fcs []*flowCluster, params P
 // earlier could re-enclose a later trapped valve. Ordinary blockers are
 // ripped before intact LM blockers (the paper's "higher rip-up cost" for
 // LM clusters). Returns true when at least one escape was committed.
-func ripAndCommit(d *valve.Design, obs *grid.ObsMap, fcsp *[]*flowCluster, nextID *int,
+func ripAndCommit(ws *route.Workspace, d *valve.Design, obs *grid.ObsMap, fcsp *[]*flowCluster, nextID *int,
 	trapped []*flowCluster, usedPins map[geom.Pt]bool, committed map[int]grid.Path) bool {
 	g := obs.Grid()
 	owner := map[geom.Pt]*flowCluster{}
@@ -769,7 +773,7 @@ func ripAndCommit(d *valve.Design, obs *grid.ObsMap, fcsp *[]*flowCluster, nextI
 					freePins = append(freePins, p)
 				}
 			}
-			path, ok := route.AStar(g, route.Request{
+			path, ok := ws.AStar(g, route.Request{
 				Sources: takeoffs,
 				Targets: freePins,
 				Obs:     obs,
@@ -800,7 +804,7 @@ func ripAndCommit(d *valve.Design, obs *grid.ObsMap, fcsp *[]*flowCluster, nextI
 	}
 	// Re-route every ripped cluster around the committed escapes.
 	for _, rb := range ripped {
-		rerouteInternal(d, obs, fcsp, nextID, rb)
+		rerouteInternal(ws, d, obs, fcsp, nextID, rb)
 	}
 	return anyCommitted || len(ripped) > 0
 }
@@ -858,7 +862,7 @@ func findBlockers(obs *grid.ObsMap, takeoffs []geom.Pt, owner map[geom.Pt]*flowC
 // (its LM structure, if any, is forfeited — the paper's rip-up cost). When
 // even MST routing fails, the cluster splits into bare singletons so that
 // every valve can still escape on its own.
-func rerouteInternal(d *valve.Design, obs *grid.ObsMap, fcsp *[]*flowCluster, nextID *int, fc *flowCluster) {
+func rerouteInternal(ws *route.Workspace, d *valve.Design, obs *grid.ObsMap, fcsp *[]*flowCluster, nextID *int, fc *flowCluster) {
 	fc.net = nil
 	fc.tree = nil
 	fc.kind = kindOrd
@@ -868,7 +872,7 @@ func rerouteInternal(d *valve.Design, obs *grid.ObsMap, fcsp *[]*flowCluster, ne
 		return
 	}
 	work := obs.Clone()
-	if res, ok := mstroute.RouteCluster(work, fc.positions(d), nil); ok {
+	if res, ok := mstroute.RouteClusterWS(ws, work, fc.positions(d), nil); ok {
 		obs.CopyFrom(work)
 		fc.paths = res.Paths
 		return

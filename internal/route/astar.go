@@ -2,11 +2,13 @@
 // multi-source multi-target A* (covering the paper's point-to-point,
 // point-to-path, and path-to-path searches), the negotiation-based iterative
 // router of Algorithm 1, and the minimum-length bounded router of Section 6.
+//
+// All searches run on a reusable Workspace (generation-stamped per-cell
+// arrays, no per-call O(W·H) allocation); the package-level functions are
+// convenience wrappers over a pooled workspace.
 package route
 
 import (
-	"container/heap"
-
 	"repro/internal/geom"
 	"repro/internal/grid"
 )
@@ -36,130 +38,12 @@ func (r *Request) inBounds(q geom.Pt) bool {
 
 // AStar finds a cheapest path from any source to any target. The returned
 // path runs source..target. ok is false when no path exists.
-func AStar(g grid.Grid, req Request) (path grid.Path, ok bool) {
-	if len(req.Sources) == 0 || len(req.Targets) == 0 {
-		return nil, false
-	}
-	isTarget := make(map[geom.Pt]bool, len(req.Targets))
-	tb := geom.Rect{MinX: 1, MinY: 1, MaxX: 0, MaxY: 0}
-	for _, t := range req.Targets {
-		if !g.In(t) {
-			continue
-		}
-		isTarget[t] = true
-		tb = tb.Union(geom.RectOf(t, t))
-	}
-	if len(isTarget) == 0 {
-		return nil, false
-	}
-	h := func(p geom.Pt) float64 {
-		// Distance to the target bounding box: admissible lower bound on the
-		// distance to the nearest target.
-		dx := 0
-		if p.X < tb.MinX {
-			dx = tb.MinX - p.X
-		} else if p.X > tb.MaxX {
-			dx = p.X - tb.MaxX
-		}
-		dy := 0
-		if p.Y < tb.MinY {
-			dy = tb.MinY - p.Y
-		} else if p.Y > tb.MaxY {
-			dy = p.Y - tb.MaxY
-		}
-		return float64(dx + dy)
-	}
-
-	n := g.Cells()
-	gCost := make([]float64, n)
-	parent := make([]int32, n)
-	closed := make([]bool, n)
-	inOpen := make([]bool, n)
-	for i := range gCost {
-		gCost[i] = -1
-		parent[i] = -1
-	}
-	pq := &openHeap{}
-	for _, s := range req.Sources {
-		if !g.In(s) {
-			continue
-		}
-		i := g.Index(s)
-		if gCost[i] == 0 {
-			continue
-		}
-		gCost[i] = 0
-		heap.Push(pq, openItem{idx: int32(i), f: h(s)})
-		inOpen[i] = true
-	}
-	var nbuf []geom.Pt
-	for pq.Len() > 0 {
-		it := heap.Pop(pq).(openItem)
-		i := int(it.idx)
-		if closed[i] {
-			continue
-		}
-		closed[i] = true
-		p := g.Pt(i)
-		if isTarget[p] {
-			return reconstruct(g, parent, i), true
-		}
-		nbuf = g.Neighbors(p, nbuf)
-		for _, q := range nbuf {
-			j := g.Index(q)
-			if closed[j] {
-				continue
-			}
-			if !req.inBounds(q) && !isTarget[q] {
-				continue
-			}
-			if req.Obs != nil && req.Obs.Blocked(q) && !isTarget[q] {
-				continue
-			}
-			step := 1.0
-			if req.Hist != nil {
-				step += req.Hist[j]
-			}
-			ng := gCost[i] + step
-			if gCost[j] < 0 || ng < gCost[j] {
-				gCost[j] = ng
-				parent[j] = int32(i)
-				heap.Push(pq, openItem{idx: int32(j), f: ng + h(q)})
-				inOpen[j] = true
-			}
-		}
-	}
-	return nil, false
-}
-
-func reconstruct(g grid.Grid, parent []int32, end int) grid.Path {
-	var rev grid.Path
-	for i := end; i != -1; i = int(parent[i]) {
-		rev = append(rev, g.Pt(i))
-		if parent[i] == -1 {
-			break
-		}
-	}
-	return rev.Reverse()
-}
-
-type openItem struct {
-	idx int32
-	f   float64
-}
-
-type openHeap []openItem
-
-func (h openHeap) Len() int           { return len(h) }
-func (h openHeap) Less(i, j int) bool { return h[i].f < h[j].f }
-func (h openHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *openHeap) Push(x interface{}) {
-	*h = append(*h, x.(openItem))
-}
-func (h *openHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+//
+// This wrapper draws a pooled Workspace; callers in routing inner loops
+// should hold their own Workspace and use its AStar method directly.
+func AStar(g grid.Grid, req Request) (grid.Path, bool) {
+	w := getWorkspace()
+	path, ok := w.AStar(g, req)
+	putWorkspace(w)
+	return path, ok
 }

@@ -1,8 +1,6 @@
 package route
 
 import (
-	"container/heap"
-
 	"repro/internal/geom"
 	"repro/internal/grid"
 )
@@ -18,159 +16,40 @@ import (
 //
 // The search returns ok=false when no conforming path is found within the
 // expansion budget.
+//
+// This wrapper draws a pooled Workspace; callers in routing inner loops
+// should hold their own Workspace and use its BoundedAStar method directly.
 func BoundedAStar(g grid.Grid, req Request, minLen, maxLen int) (grid.Path, bool) {
-	if len(req.Sources) == 0 || len(req.Targets) == 0 || minLen > maxLen || maxLen < 0 {
-		return nil, false
-	}
-	isTarget := make(map[geom.Pt]bool, len(req.Targets))
-	tb := geom.Rect{MinX: 1, MinY: 1, MaxX: 0, MaxY: 0}
-	for _, t := range req.Targets {
-		if g.In(t) {
-			isTarget[t] = true
-			tb = tb.Union(geom.RectOf(t, t))
-		}
-	}
-	if len(isTarget) == 0 {
-		return nil, false
-	}
-	h := func(p geom.Pt) int {
-		dx := 0
-		if p.X < tb.MinX {
-			dx = tb.MinX - p.X
-		} else if p.X > tb.MaxX {
-			dx = p.X - tb.MaxX
-		}
-		dy := 0
-		if p.Y < tb.MinY {
-			dy = tb.MinY - p.Y
-		} else if p.Y > tb.MaxY {
-			dy = p.Y - tb.MaxY
-		}
-		return dx + dy
-	}
-
-	// Node arena for parent chains (states are (cell, length), so per-cell
-	// parent arrays do not suffice).
-	arena := make([]bnode, 0, 4*g.Cells())
-	maxSeen := make([]int32, g.Cells())
-	for i := range maxSeen {
-		maxSeen[i] = -1
-	}
-	// Penalty: under-length states are ordered by decreasing G+H, so the
-	// search stretches paths before settling; conforming states use plain
-	// A* ordering.
-	prio := func(gv, hv int) int {
-		f := gv + hv
-		if f < minLen {
-			return 2*minLen - f
-		}
-		return f
-	}
-
-	pq := &boundedHeap{}
-	for _, s := range req.Sources {
-		if !g.In(s) {
-			continue
-		}
-		i := g.Index(s)
-		arena = append(arena, bnode{cell: int32(i), g: 0, parent: -1})
-		heap.Push(pq, boundedItem{node: int32(len(arena) - 1), f: int32(prio(0, h(s)))})
-		if maxSeen[i] < 0 {
-			maxSeen[i] = 0
-		}
-	}
-
-	// Expansion budget: generous but bounded. A Bounds window shrinks it to
-	// the window area so detour searches stay local and fast.
-	cells := g.Cells()
-	if req.Bounds != nil {
-		if a := req.Bounds.Intersect(g.Bounds()).Area(); a < cells {
-			cells = a
-		}
-	}
-	budget := 16 * cells
-	if budget < 65536 {
-		budget = 65536
-	}
-	var nbuf []geom.Pt
-	for pq.Len() > 0 && budget > 0 {
-		budget--
-		it := heap.Pop(pq).(boundedItem)
-		nd := arena[it.node]
-		p := g.Pt(int(nd.cell))
-		if isTarget[p] && int(nd.g) >= minLen && int(nd.g) <= maxLen {
-			// Cycles are possible in principle (the monotone-G rule only
-			// requires strictly longer revisits), so validate at
-			// reconstruction instead of paying an ancestor-chain walk on
-			// every expansion.
-			if path := reconstructArena(g, arena, int(it.node)); path.Valid() {
-				return path, true
-			}
-			continue
-		}
-		nbuf = g.Neighbors(p, nbuf)
-		for _, q := range nbuf {
-			j := g.Index(q)
-			ng := nd.g + 1
-			if int(ng) > maxLen {
-				continue
-			}
-			if !req.inBounds(q) && !isTarget[q] {
-				continue
-			}
-			if req.Obs != nil && req.Obs.Blocked(q) && !isTarget[q] {
-				continue
-			}
-			// Monotone-G rule: only revisit a cell on a strictly longer path.
-			if ng <= maxSeen[j] && !(isTarget[q] && int(ng) >= minLen) {
-				continue
-			}
-			if ng > maxSeen[j] {
-				maxSeen[j] = ng
-			}
-			arena = append(arena, bnode{cell: int32(j), g: ng, parent: it.node})
-			heap.Push(pq, boundedItem{node: int32(len(arena) - 1), f: int32(prio(int(ng), h(q)))})
-		}
-	}
-	return nil, false
+	w := getWorkspace()
+	path, ok := w.BoundedAStar(g, req, minLen, maxLen)
+	putWorkspace(w)
+	return path, ok
 }
 
 // bnode is one state of the bounded-length search: a cell reached with a
-// specific path length, linked to its predecessor state.
+// specific path length, linked to its predecessor state. States live in the
+// workspace arena (per-cell parent arrays do not suffice because states are
+// (cell, length) pairs).
 type bnode struct {
 	cell   int32
 	g      int32
 	parent int32
 }
 
+// reconstructArena walks the arena's parent chain, allocating the result
+// path exactly once.
 func reconstructArena(g grid.Grid, arena []bnode, idx int) grid.Path {
-	var rev grid.Path
-	for i := idx; i != -1; i = int(arena[i].parent) {
-		rev = append(rev, g.Pt(int(arena[i].cell)))
-		if arena[i].parent == -1 {
-			break
-		}
+	n := 1
+	for i := idx; arena[i].parent >= 0; i = int(arena[i].parent) {
+		n++
 	}
-	return rev.Reverse()
-}
-
-type boundedItem struct {
-	node int32
-	f    int32
-}
-
-type boundedHeap []boundedItem
-
-func (h boundedHeap) Len() int            { return len(h) }
-func (h boundedHeap) Less(i, j int) bool  { return h[i].f < h[j].f }
-func (h boundedHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *boundedHeap) Push(x interface{}) { *h = append(*h, x.(boundedItem)) }
-func (h *boundedHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+	path := make(grid.Path, n)
+	i := idx
+	for k := n - 1; k >= 0; k-- {
+		path[k] = g.Pt(int(arena[i].cell))
+		i = int(arena[i].parent)
+	}
+	return path
 }
 
 // ExtendPath lengthens an existing path by repeatedly inserting unit U-turn

@@ -34,13 +34,33 @@ func DefaultNegotiateParams() NegotiateParams {
 // On failure it returns ok=false along with the paths of the last
 // (incomplete) iteration for diagnostic use; obs is left unmodified either
 // way.
+//
+// This wrapper draws a pooled Workspace; callers in routing inner loops
+// should hold their own Workspace and use its Negotiate method directly.
 func Negotiate(obs *grid.ObsMap, edges []Edge, params NegotiateParams) (map[int]grid.Path, bool) {
+	w := getWorkspace()
+	paths, ok := w.Negotiate(obs, edges, params)
+	putWorkspace(w)
+	return paths, ok
+}
+
+// Negotiate is the workspace-backed form of the package-level Negotiate:
+// the same Algorithm 1, with every inner A* reusing w's search arrays and
+// one scratch obstacle map shared across iterations.
+func (w *Workspace) Negotiate(obs *grid.ObsMap, edges []Edge, params NegotiateParams) (map[int]grid.Path, bool) {
 	g := obs.Grid()
 	hist := make([]float64, g.Cells()) // Step 1: initialize history cost
 	paths := make(map[int]grid.Path, len(edges))
+	var work *grid.ObsMap
 
 	for r := 0; r < params.Gamma; r++ { // Steps 5-16
-		work := obs.Clone() // Step 2: ObsMap with this iteration's paths
+		// Step 2: ObsMap with this iteration's paths. The scratch map is
+		// allocated once and rewound per iteration.
+		if work == nil {
+			work = obs.Clone()
+		} else {
+			work.CopyFrom(obs)
+		}
 		// Every edge's terminals are blocked for the other edges: a channel
 		// may not run through another net's valve or merge point. An edge's
 		// own search is unaffected (sources seed unconditionally, targets
@@ -59,7 +79,7 @@ func Negotiate(obs *grid.ObsMap, edges []Edge, params NegotiateParams) (map[int]
 		}
 		done := true
 		for _, e := range edges { // Steps 7-13
-			p, ok := AStar(g, Request{
+			p, ok := w.AStar(g, Request{
 				Sources: e.Sources,
 				Targets: e.Targets,
 				Obs:     work,

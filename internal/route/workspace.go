@@ -1,0 +1,416 @@
+package route
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+// Workspace holds the per-cell search state of the grid routers so that
+// repeated searches reuse one set of O(W·H) arrays instead of allocating
+// them per call. Invalidation uses a generation stamp: every search bumps
+// gen, and a cell's state (gCost/parent/closed for A*, maxSeen for the
+// bounded search, target membership for both) is valid only when its stamp
+// equals the current generation — no re-zeroing between searches.
+//
+// Ownership rule: a Workspace is NOT safe for concurrent use. Each goroutine
+// must own its workspace; the grid and obstacle map may be shared read-only.
+// The paths returned by searches never alias workspace memory, so they stay
+// valid across later searches on the same workspace.
+type Workspace struct {
+	cells int
+	gen   int32
+	// stamp guards the per-cell search state: state arrays hold garbage from
+	// earlier generations unless stamp[i] == gen.
+	stamp []int32
+	// tstamp marks target cells: cell i is a target iff tstamp[i] == gen.
+	tstamp []int32
+
+	gCost  []float64 // A*: best path cost so far (valid under stamp)
+	parent []int32   // A*: predecessor cell index, -1 at sources
+	closed []bool    // A*: settled cells
+
+	maxSeen []int32 // bounded search: longest path length seen per cell
+
+	open  []openItem    // A* frontier, reused across searches
+	bopen []boundedItem // bounded-search frontier
+	arena []bnode       // bounded-search state arena
+
+	nbuf []geom.Pt // neighbor scratch
+}
+
+// NewWorkspace returns a workspace sized for g. Searches on other grid
+// sizes transparently resize it.
+func NewWorkspace(g grid.Grid) *Workspace {
+	w := &Workspace{}
+	w.grow(g.Cells())
+	return w
+}
+
+// grow (re)allocates the per-cell arrays for n cells and resets generations.
+func (w *Workspace) grow(n int) {
+	w.cells = n
+	w.gen = 0
+	w.stamp = make([]int32, n)
+	w.tstamp = make([]int32, n)
+	w.gCost = make([]float64, n)
+	w.parent = make([]int32, n)
+	w.closed = make([]bool, n)
+	w.maxSeen = make([]int32, n)
+}
+
+// begin starts a new search generation and clears the frontier buffers.
+func (w *Workspace) begin(g grid.Grid) {
+	if n := g.Cells(); n != w.cells {
+		w.grow(n)
+	}
+	if w.gen == math.MaxInt32 {
+		// Stamp wrap-around: after 2^31-1 searches the next generation would
+		// collide with stale stamps; clear them and restart.
+		clear(w.stamp)
+		clear(w.tstamp)
+		w.gen = 0
+	}
+	w.gen++
+	w.open = w.open[:0]
+	w.bopen = w.bopen[:0]
+	w.arena = w.arena[:0]
+}
+
+// touch brings cell i into the current generation with A* initial state and
+// reports whether it was already current.
+func (w *Workspace) touch(i int) bool {
+	if w.stamp[i] == w.gen {
+		return true
+	}
+	w.stamp[i] = w.gen
+	w.gCost[i] = -1
+	w.parent[i] = -1
+	w.closed[i] = false
+	return false
+}
+
+// touchBounded brings cell i into the current generation with bounded-search
+// initial state.
+func (w *Workspace) touchBounded(i int) {
+	if w.stamp[i] != w.gen {
+		w.stamp[i] = w.gen
+		w.maxSeen[i] = -1
+	}
+}
+
+// markTargets stamps the in-grid targets and returns their bounding box and
+// count.
+func (w *Workspace) markTargets(g grid.Grid, targets []geom.Pt) (geom.Rect, int) {
+	tb := geom.Rect{MinX: 1, MinY: 1, MaxX: 0, MaxY: 0}
+	n := 0
+	for _, t := range targets {
+		if !g.In(t) {
+			continue
+		}
+		i := g.Index(t)
+		if w.tstamp[i] != w.gen {
+			w.tstamp[i] = w.gen
+			n++
+		}
+		tb = tb.Union(geom.RectOf(t, t))
+	}
+	return tb, n
+}
+
+// isTarget reports whether cell index i is a target of the current search.
+func (w *Workspace) isTarget(i int) bool { return w.tstamp[i] == w.gen }
+
+// targetH is the admissible heuristic shared by both searches: Manhattan
+// distance from p to the target bounding box.
+func targetH(tb geom.Rect, p geom.Pt) int {
+	dx := 0
+	if p.X < tb.MinX {
+		dx = tb.MinX - p.X
+	} else if p.X > tb.MaxX {
+		dx = p.X - tb.MaxX
+	}
+	dy := 0
+	if p.Y < tb.MinY {
+		dy = tb.MinY - p.Y
+	} else if p.Y > tb.MaxY {
+		dy = p.Y - tb.MaxY
+	}
+	return dx + dy
+}
+
+// AStar is the workspace-backed form of the package-level AStar: identical
+// search semantics, no per-call allocation beyond the returned path.
+func (w *Workspace) AStar(g grid.Grid, req Request) (grid.Path, bool) {
+	if len(req.Sources) == 0 || len(req.Targets) == 0 {
+		return nil, false
+	}
+	w.begin(g)
+	tb, nt := w.markTargets(g, req.Targets)
+	if nt == 0 {
+		return nil, false
+	}
+	for _, s := range req.Sources {
+		if !g.In(s) {
+			continue
+		}
+		i := g.Index(s)
+		if w.touch(i) && w.gCost[i] == 0 {
+			continue
+		}
+		w.gCost[i] = 0
+		pushOpen(&w.open, openItem{idx: int32(i), f: float64(targetH(tb, s))})
+	}
+	for len(w.open) > 0 {
+		it := popOpen(&w.open)
+		i := int(it.idx)
+		if w.closed[i] {
+			continue
+		}
+		w.closed[i] = true
+		p := g.Pt(i)
+		if w.isTarget(i) {
+			return w.reconstruct(g, i), true
+		}
+		w.nbuf = g.Neighbors(p, w.nbuf)
+		for _, q := range w.nbuf {
+			j := g.Index(q)
+			if w.touch(j) && w.closed[j] {
+				continue
+			}
+			if !req.inBounds(q) && !w.isTarget(j) {
+				continue
+			}
+			if req.Obs != nil && req.Obs.Blocked(q) && !w.isTarget(j) {
+				continue
+			}
+			step := 1.0
+			if req.Hist != nil {
+				step += req.Hist[j]
+			}
+			ng := w.gCost[i] + step
+			if w.gCost[j] < 0 || ng < w.gCost[j] {
+				w.gCost[j] = ng
+				w.parent[j] = int32(i)
+				pushOpen(&w.open, openItem{idx: int32(j), f: ng + float64(targetH(tb, q))})
+			}
+		}
+	}
+	return nil, false
+}
+
+// reconstruct walks the parent chain from end, allocating the result path
+// exactly once (chain length is counted first, then filled backwards).
+func (w *Workspace) reconstruct(g grid.Grid, end int) grid.Path {
+	n := 1
+	for i := end; w.parent[i] >= 0; i = int(w.parent[i]) {
+		n++
+	}
+	path := make(grid.Path, n)
+	i := end
+	for k := n - 1; k >= 0; k-- {
+		path[k] = g.Pt(i)
+		i = int(w.parent[i])
+	}
+	return path
+}
+
+// BoundedAStar is the workspace-backed form of the package-level
+// BoundedAStar: identical search semantics, reusing the state arena and
+// per-cell length table across calls.
+func (w *Workspace) BoundedAStar(g grid.Grid, req Request, minLen, maxLen int) (grid.Path, bool) {
+	if len(req.Sources) == 0 || len(req.Targets) == 0 || minLen > maxLen || maxLen < 0 {
+		return nil, false
+	}
+	w.begin(g)
+	tb, nt := w.markTargets(g, req.Targets)
+	if nt == 0 {
+		return nil, false
+	}
+	// Penalty: under-length states are ordered by decreasing G+H, so the
+	// search stretches paths before settling; conforming states use plain
+	// A* ordering.
+	prio := func(gv, hv int) int {
+		f := gv + hv
+		if f < minLen {
+			return 2*minLen - f
+		}
+		return f
+	}
+
+	for _, s := range req.Sources {
+		if !g.In(s) {
+			continue
+		}
+		i := g.Index(s)
+		w.touchBounded(i)
+		w.arena = append(w.arena, bnode{cell: int32(i), g: 0, parent: -1})
+		pushBounded(&w.bopen, boundedItem{node: int32(len(w.arena) - 1), f: int32(prio(0, targetH(tb, s)))})
+		if w.maxSeen[i] < 0 {
+			w.maxSeen[i] = 0
+		}
+	}
+
+	// Expansion budget: generous but bounded. A Bounds window shrinks it to
+	// the window area so detour searches stay local and fast.
+	cells := g.Cells()
+	if req.Bounds != nil {
+		if a := req.Bounds.Intersect(g.Bounds()).Area(); a < cells {
+			cells = a
+		}
+	}
+	budget := 16 * cells
+	if budget < 65536 {
+		budget = 65536
+	}
+	for len(w.bopen) > 0 && budget > 0 {
+		budget--
+		it := popBounded(&w.bopen)
+		nd := w.arena[it.node]
+		p := g.Pt(int(nd.cell))
+		if w.isTarget(int(nd.cell)) && int(nd.g) >= minLen && int(nd.g) <= maxLen {
+			// Cycles are possible in principle (the monotone-G rule only
+			// requires strictly longer revisits), so validate at
+			// reconstruction instead of paying an ancestor-chain walk on
+			// every expansion.
+			if path := reconstructArena(g, w.arena, int(it.node)); path.Valid() {
+				return path, true
+			}
+			continue
+		}
+		w.nbuf = g.Neighbors(p, w.nbuf)
+		for _, q := range w.nbuf {
+			j := g.Index(q)
+			ng := nd.g + 1
+			if int(ng) > maxLen {
+				continue
+			}
+			w.touchBounded(j)
+			if !req.inBounds(q) && !w.isTarget(j) {
+				continue
+			}
+			if req.Obs != nil && req.Obs.Blocked(q) && !w.isTarget(j) {
+				continue
+			}
+			// Monotone-G rule: only revisit a cell on a strictly longer path.
+			if ng <= w.maxSeen[j] && !(w.isTarget(j) && int(ng) >= minLen) {
+				continue
+			}
+			if ng > w.maxSeen[j] {
+				w.maxSeen[j] = ng
+			}
+			w.arena = append(w.arena, bnode{cell: int32(j), g: ng, parent: it.node})
+			pushBounded(&w.bopen, boundedItem{node: int32(len(w.arena) - 1), f: int32(prio(int(ng), targetH(tb, q)))})
+		}
+	}
+	return nil, false
+}
+
+// --- frontier heaps --------------------------------------------------------
+//
+// Manual binary heaps over the reusable slices. The sift algorithms mirror
+// container/heap exactly (same comparisons, same swap order), so tie-breaking
+// among equal-f items — and therefore every routed path — is identical to the
+// previous container/heap implementation, while push/pop avoid the
+// interface boxing allocation of heap.Push.
+
+type openItem struct {
+	idx int32
+	f   float64
+}
+
+func pushOpen(h *[]openItem, it openItem) {
+	s := append(*h, it)
+	j := len(s) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !(s[j].f < s[i].f) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		j = i
+	}
+	*h = s
+}
+
+func popOpen(h *[]openItem) openItem {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && s[j2].f < s[j1].f {
+			j = j2
+		}
+		if !(s[j].f < s[i].f) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
+	it := s[n]
+	*h = s[:n]
+	return it
+}
+
+type boundedItem struct {
+	node int32
+	f    int32
+}
+
+func pushBounded(h *[]boundedItem, it boundedItem) {
+	s := append(*h, it)
+	j := len(s) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !(s[j].f < s[i].f) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		j = i
+	}
+	*h = s
+}
+
+func popBounded(h *[]boundedItem) boundedItem {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && s[j2].f < s[j1].f {
+			j = j2
+		}
+		if !(s[j].f < s[i].f) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
+	it := s[n]
+	*h = s[:n]
+	return it
+}
+
+// --- package-level wrappers ------------------------------------------------
+
+// wsPool backs the package-level AStar/BoundedAStar/Negotiate convenience
+// wrappers: callers without a long-lived workspace still amortize the search
+// arrays across calls. Hot paths (the pacor flow, detour, mstroute,
+// baseline) thread an explicitly owned workspace instead.
+var wsPool = sync.Pool{New: func() interface{} { return &Workspace{} }}
+
+func getWorkspace() *Workspace  { return wsPool.Get().(*Workspace) }
+func putWorkspace(w *Workspace) { wsPool.Put(w) }

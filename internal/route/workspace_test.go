@@ -1,0 +1,182 @@
+package route
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+// scatterObs builds a grid with deterministic random obstacles, keeping the
+// corners free.
+func scatterObs(w, h, blocks int, seed int64) (grid.Grid, *grid.ObsMap) {
+	g := grid.New(w, h)
+	obs := grid.NewObsMap(g)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < blocks; i++ {
+		obs.Set(geom.Pt{X: rng.Intn(w), Y: rng.Intn(h)}, true)
+	}
+	obs.Set(geom.Pt{X: 0, Y: 0}, false)
+	obs.Set(geom.Pt{X: w - 1, Y: h - 1}, false)
+	return g, obs
+}
+
+// TestWorkspaceMatchesWrapper pins the workspace methods to the pooled
+// wrappers: same paths, search for search, including reuse across many
+// searches on one workspace.
+func TestWorkspaceMatchesWrapper(t *testing.T) {
+	g, obs := scatterObs(48, 48, 400, 3)
+	ws := NewWorkspace(g)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		src := geom.Pt{X: rng.Intn(48), Y: rng.Intn(48)}
+		dst := geom.Pt{X: rng.Intn(48), Y: rng.Intn(48)}
+		req := Request{Sources: []geom.Pt{src}, Targets: []geom.Pt{dst}, Obs: obs}
+		p1, ok1 := AStar(g, req)
+		p2, ok2 := ws.AStar(g, req)
+		if ok1 != ok2 {
+			t.Fatalf("search %d (%v->%v): ok %v vs %v", i, src, dst, ok1, ok2)
+		}
+		if ok1 && p1.Len() != p2.Len() {
+			t.Fatalf("search %d (%v->%v): len %d vs %d", i, src, dst, p1.Len(), p2.Len())
+		}
+	}
+}
+
+// TestWorkspaceBoundedReuse runs many bounded searches on one workspace and
+// checks each result against a fresh workspace.
+func TestWorkspaceBoundedReuse(t *testing.T) {
+	g, obs := scatterObs(32, 32, 120, 9)
+	ws := NewWorkspace(g)
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 100; i++ {
+		src := geom.Pt{X: rng.Intn(32), Y: rng.Intn(32)}
+		dst := geom.Pt{X: rng.Intn(32), Y: rng.Intn(32)}
+		d := geom.Dist(src, dst)
+		minL, maxL := d+4, d+6
+		req := Request{Sources: []geom.Pt{src}, Targets: []geom.Pt{dst}, Obs: obs}
+		p1, ok1 := NewWorkspace(g).BoundedAStar(g, req, minL, maxL)
+		p2, ok2 := ws.BoundedAStar(g, req, minL, maxL)
+		if ok1 != ok2 {
+			t.Fatalf("search %d (%v->%v): ok %v vs %v", i, src, dst, ok1, ok2)
+		}
+		if !ok2 {
+			continue
+		}
+		if !p2.Valid() || p2.Len() < minL || p2.Len() > maxL {
+			t.Fatalf("search %d: invalid bounded path len %d not in [%d,%d]", i, p2.Len(), minL, maxL)
+		}
+		if p1.Len() != p2.Len() {
+			t.Fatalf("search %d: len %d vs %d", i, p1.Len(), p2.Len())
+		}
+	}
+}
+
+// TestWorkspaceConcurrent runs many goroutines, each owning a workspace,
+// over one shared read-only obstacle map, and checks every result against a
+// sequentially computed reference. Run under -race this asserts the
+// one-workspace-per-goroutine ownership rule makes shared-grid searches
+// race-free.
+func TestWorkspaceConcurrent(t *testing.T) {
+	g, obs := scatterObs(64, 64, 600, 21)
+	type query struct {
+		src, dst geom.Pt
+		bounded  bool
+	}
+	rng := rand.New(rand.NewSource(31))
+	queries := make([]query, 256)
+	for i := range queries {
+		queries[i] = query{
+			src:     geom.Pt{X: rng.Intn(64), Y: rng.Intn(64)},
+			dst:     geom.Pt{X: rng.Intn(64), Y: rng.Intn(64)},
+			bounded: i%4 == 0,
+		}
+	}
+	search := func(ws *Workspace, q query) (int, bool) {
+		req := Request{Sources: []geom.Pt{q.src}, Targets: []geom.Pt{q.dst}, Obs: obs}
+		var p grid.Path
+		var ok bool
+		if q.bounded {
+			d := geom.Dist(q.src, q.dst)
+			p, ok = ws.BoundedAStar(g, req, d+2, d+4)
+		} else {
+			p, ok = ws.AStar(g, req)
+		}
+		return p.Len(), ok
+	}
+	refWS := NewWorkspace(g)
+	type answer struct {
+		len int
+		ok  bool
+	}
+	ref := make([]answer, len(queries))
+	for i, q := range queries {
+		l, ok := search(refWS, q)
+		ref[i] = answer{l, ok}
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ws := NewWorkspace(g) // each goroutine owns its workspace
+			for i := w; i < len(queries); i += goroutines {
+				l, ok := search(ws, queries[i])
+				if l != ref[i].len || ok != ref[i].ok {
+					t.Errorf("goroutine %d query %d: got (%d,%v), want (%d,%v)",
+						w, i, l, ok, ref[i].len, ref[i].ok)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestWorkspaceGenerationWrap forces the generation counter across its
+// wrap-around and checks searches stay correct (stale stamps must not leak
+// into the new epoch).
+func TestWorkspaceGenerationWrap(t *testing.T) {
+	g, obs := scatterObs(16, 16, 40, 5)
+	ws := NewWorkspace(g)
+	req := Request{
+		Sources: []geom.Pt{{X: 0, Y: 0}},
+		Targets: []geom.Pt{{X: 15, Y: 15}},
+		Obs:     obs,
+	}
+	want, wantOK := ws.AStar(g, req)
+	ws.gen = math.MaxInt32 - 2
+	for i := 0; i < 6; i++ { // crosses MaxInt32 and the reset to 1
+		got, ok := ws.AStar(g, req)
+		if ok != wantOK || got.Len() != want.Len() {
+			t.Fatalf("search %d at gen %d: got (%d,%v), want (%d,%v)",
+				i, ws.gen, got.Len(), ok, want.Len(), wantOK)
+		}
+	}
+	if ws.gen >= math.MaxInt32-2 || ws.gen <= 0 {
+		t.Fatalf("generation did not wrap cleanly: %d", ws.gen)
+	}
+}
+
+// TestWorkspaceResize checks that one workspace serves grids of different
+// sizes back to back.
+func TestWorkspaceResize(t *testing.T) {
+	ws := &Workspace{}
+	for _, wh := range [][2]int{{8, 8}, {32, 16}, {8, 8}, {64, 64}} {
+		g := grid.New(wh[0], wh[1])
+		obs := grid.NewObsMap(g)
+		p, ok := ws.AStar(g, Request{
+			Sources: []geom.Pt{{X: 0, Y: 0}},
+			Targets: []geom.Pt{{X: wh[0] - 1, Y: wh[1] - 1}},
+			Obs:     obs,
+		})
+		if !ok || p.Len() != wh[0]-1+wh[1]-1 {
+			t.Fatalf("%dx%d: len %d ok %v, want shortest %d", wh[0], wh[1], p.Len(), ok, wh[0]+wh[1]-2)
+		}
+	}
+}
