@@ -1,0 +1,72 @@
+// Command pacorvet is the repository's custom static-analysis gate. It
+// runs the internal/lint analyzer suite — determinism (maporder),
+// allocation discipline (hotalloc), numeric tolerance (floateq), error
+// hygiene (liberrs), stdout hygiene (nostdout) — over the packages matched
+// by its arguments and exits nonzero on any finding.
+//
+// Usage:
+//
+//	pacorvet [-list] [patterns...]
+//
+// Patterns are `go list` package patterns (default ./...); a pattern that
+// names a directory of loose .go files (e.g. internal/lint/testdata/src/maporder)
+// is linted directly, which is how the fixture corpus is exercised.
+// Suppress a finding in place with a justified directive:
+//
+//	//pacor:allow <analyzer> <reason>
+//
+// See docs/LINTING.md for the full rule catalogue.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the tool; split from main for testing. Exit codes: 0 clean,
+// 1 findings, 2 usage or load failure.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pacorvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list registered analyzers and exit")
+	dir := fs.String("dir", ".", "module root to lint from")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: pacorvet [-list] [-dir root] [patterns...]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	findings, err := lint.Run(lint.Options{
+		Dir:      *dir,
+		Patterns: fs.Args(),
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "pacorvet: %v\n", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "pacorvet: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// moduleRoot lets the tests lint from the repository root while the test
+// binary runs inside cmd/pacorvet.
+const moduleRoot = "../.."
+
+// TestFixturesFail pins the tool's reason to exist: the fixture corpus is
+// full of violations, so linting it must exit 1 and name each analyzer.
+func TestFixturesFail(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-dir", moduleRoot,
+		"internal/lint/testdata/src/maporder",
+		"internal/lint/testdata/src/hotalloc",
+		"internal/lint/testdata/src/floateq",
+		"internal/lint/testdata/src/liberrs",
+		"internal/lint/testdata/src/nostdout",
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	for _, an := range []string{"[maporder]", "[hotalloc]", "[floateq]", "[liberrs]", "[nostdout]"} {
+		if !strings.Contains(out, an) {
+			t.Errorf("output missing findings from %s:\n%s", an, out)
+		}
+	}
+}
+
+// TestModuleClean mirrors the CI gate from the command side: the real
+// module lints clean.
+func TestModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped with -short")
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-dir", moduleRoot, "./..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean run produced output:\n%s", stdout.String())
+	}
+}
+
+// TestListFlag checks the analyzer listing used in docs and debugging.
+func TestListFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exit code = %d", code)
+	}
+	for _, an := range []string{"maporder", "hotalloc", "floateq", "liberrs", "nostdout"} {
+		if !strings.Contains(stdout.String(), an) {
+			t.Errorf("-list missing %s:\n%s", an, stdout.String())
+		}
+	}
+}
+
+// TestBadPattern checks the usage exit code.
+func TestBadPattern(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-dir", moduleRoot, "./does/not/exist/..."}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad pattern exit code = %d, want 2 (stderr: %s)", code, stderr.String())
+	}
+}

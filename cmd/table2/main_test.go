@@ -71,6 +71,25 @@ func TestParallelDeterminism(t *testing.T) {
 	}
 }
 
+// TestRepeatedSweepDeterminism runs the identical sweep twice and diffs
+// the bytes: Go randomizes map iteration order per range statement, so any
+// map order leaking into routing or reporting (the maporder invariant
+// pacorvet enforces statically) shows up here as a run-to-run diff.
+func TestRepeatedSweepDeterminism(t *testing.T) {
+	outputs := make([]string, 2)
+	for i := range outputs {
+		var out bytes.Buffer
+		if err := run([]string{"-designs", "S1,S2,S3", "-stable", "-j", "4"}, &out); err != nil {
+			t.Fatalf("run %d: %v", i+1, err)
+		}
+		outputs[i] = out.String()
+	}
+	if outputs[0] != outputs[1] {
+		t.Errorf("identical sweeps diverged:\n--- run 1 ---\n%s\n--- run 2 ---\n%s",
+			outputs[0], outputs[1])
+	}
+}
+
 // TestParallelDeterminismCSV covers the CSV path the same way (runtime_ms is
 // zeroed by -stable).
 func TestParallelDeterminismCSV(t *testing.T) {

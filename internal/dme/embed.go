@@ -65,6 +65,10 @@ func Embed(obs *grid.ObsMap, sinks []geom.Pt, topo *Topo, info []mergeInfo, root
 				case BiasHigh:
 					_, ref = region.Core()
 				}
+				// ok is deliberately dropped: when the region has no grid
+				// point (odd-parity degenerate arc), NearestGridPt returns
+				// the nearest outside point and freeNear absorbs the +-1
+				// slack along with occupancy (Lemma 1).
 				q, _ = region.NearestGridPt(ref)
 				q = freeNear(obs, used, q)
 			}

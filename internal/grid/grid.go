@@ -55,6 +55,8 @@ var Dirs = [4]geom.Pt{{X: 1, Y: 0}, {X: -1, Y: 0}, {X: 0, Y: 1}, {X: 0, Y: -1}}
 
 // Neighbors appends the in-grid orthogonal neighbors of p to dst and returns
 // it. dst is reused to avoid per-call allocation in routing inner loops.
+//
+//pacor:allow hotalloc fills a caller-provided buffer; callers pass cap-4 scratch that never regrows
 func (g Grid) Neighbors(p geom.Pt, dst []geom.Pt) []geom.Pt {
 	dst = dst[:0]
 	for _, d := range Dirs {
@@ -130,6 +132,8 @@ func (m *ObsMap) Count() int {
 }
 
 // Clone returns an independent copy of the map.
+//
+//pacor:allow hotalloc clone constructs a fresh map by contract; hot paths use CopyFrom instead
 func (m *ObsMap) Clone() *ObsMap {
 	c := &ObsMap{g: m.g, block: make([]bool, len(m.block))}
 	copy(c.block, m.block)
@@ -160,6 +164,8 @@ func (p Path) Len() int {
 
 // Valid reports whether consecutive cells are orthogonal unit steps and no
 // cell repeats. Self-crossing channels would short-circuit pressure paths.
+//
+//pacor:allow hotalloc verification utility, runs per finished path, not per search step
 func (p Path) Valid() bool {
 	seen := make(map[geom.Pt]bool, len(p))
 	for i, c := range p {
@@ -188,6 +194,8 @@ func (p Path) ValidOn(g Grid) bool {
 }
 
 // Reverse returns the path traversed backwards.
+//
+//pacor:allow hotalloc returns a fresh path by contract
 func (p Path) Reverse() Path {
 	r := make(Path, len(p))
 	for i, c := range p {
@@ -197,6 +205,8 @@ func (p Path) Reverse() Path {
 }
 
 // Clone returns a copy of the path.
+//
+//pacor:allow hotalloc returns a fresh path by contract
 func (p Path) Clone() Path {
 	c := make(Path, len(p))
 	copy(c, p)

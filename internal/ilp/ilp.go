@@ -129,7 +129,6 @@ func Solve(p *Problem) (*Solution, error) {
 			coef := make([]float64, n)
 			coef[j] = 1
 			cons = append(cons, lp.Constraint{Coef: coef, Op: lp.EQ, RHS: float64(f)})
-			_ = up
 		}
 		return lp.Solve(&lp.Problem{C: p.C, Constraints: cons, Upper: up})
 	}

@@ -1,0 +1,346 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Options configures one lint run.
+type Options struct {
+	// Dir is the module root (where go.mod lives). Defaults to ".".
+	Dir string
+	// Patterns are `go list` package patterns ("./..."), or paths of
+	// directories holding loose .go files (fixtures under testdata/, which
+	// `go list` refuses to enumerate). The two kinds can be mixed.
+	Patterns []string
+	// Analyzers is the registry to run; Analyzers() when empty.
+	Analyzers []*Analyzer
+	// Log receives progress/diagnostic output; discarded when nil.
+	Log io.Writer
+}
+
+// Run loads every package matched by opts.Patterns, type-checks it, runs
+// the analyzer registry, and returns the surviving (unsuppressed) findings
+// sorted by position. Type-check errors are tolerated — analyzers run with
+// partial information — but unreadable patterns are reported as errors.
+func Run(opts Options) ([]Finding, error) {
+	if opts.Dir == "" {
+		opts.Dir = "."
+	}
+	if len(opts.Patterns) == 0 {
+		opts.Patterns = []string{"./..."}
+	}
+	if len(opts.Analyzers) == 0 {
+		opts.Analyzers = Analyzers()
+	}
+	if opts.Log == nil {
+		opts.Log = io.Discard
+	}
+
+	var dirPatterns, listPatterns []string
+	for _, p := range opts.Patterns {
+		if isGoFileDir(opts.Dir, p) {
+			dirPatterns = append(dirPatterns, p)
+		} else {
+			listPatterns = append(listPatterns, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset:    fset,
+		dir:     opts.Dir,
+		source:  importer.ForCompiler(fset, "source", nil),
+		checked: map[string]*types.Package{},
+	}
+
+	var pkgs []*checkedPackage
+	if len(listPatterns) > 0 {
+		mod, err := ld.loadModule(listPatterns)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, mod...)
+	}
+	for _, d := range dirPatterns {
+		p, err := ld.loadDir(d)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+
+	var findings []Finding
+	for _, pkg := range pkgs {
+		findings = append(findings, lintPackage(pkg, opts.Analyzers)...)
+	}
+	findings = relativize(findings, opts.Dir)
+	sortFindings(findings)
+	return findings, nil
+}
+
+// checkedPackage is one parsed and (best-effort) type-checked package.
+type checkedPackage struct {
+	fset    *token.FileSet
+	path    string
+	name    string
+	files   []*ast.File
+	pkg     *types.Package
+	info    *types.Info
+	typeErr []error
+}
+
+// lintPackage runs every analyzer over pkg and filters the findings
+// through the package's //pacor:allow directives.
+func lintPackage(pkg *checkedPackage, analyzers []*Analyzer) []Finding {
+	// Directive tables per file.
+	allow := map[string]fileDirectives{} // filename -> directives
+	hot := map[*ast.FuncDecl]bool{}
+	var findings []Finding
+	for _, f := range pkg.files {
+		d := parseDirectives(pkg.fset, f)
+		name := pkg.fset.Position(f.Pos()).Filename
+		allow[name] = d
+		for _, bad := range d.unjustified {
+			findings = append(findings, Finding{
+				Pos:      pkg.fset.Position(bad.pos),
+				Analyzer: "directive",
+				Message:  "//pacor:allow needs a justification: //pacor:allow <analyzer> <reason>",
+			})
+		}
+		for fn := range hotFuncs(pkg.fset, f) {
+			hot[fn] = true
+		}
+	}
+
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.fset,
+			Files:    pkg.files,
+			PkgPath:  pkg.path,
+			PkgName:  pkg.name,
+			Pkg:      pkg.pkg,
+			Info:     pkg.info,
+			hot:      hot,
+			report: func(f Finding) {
+				if allow[f.Pos.Filename].suppressed(f.Analyzer, f.Pos.Line) {
+					return
+				}
+				findings = append(findings, f)
+			},
+		}
+		a.Run(pass)
+	}
+	return findings
+}
+
+// relativize rewrites absolute finding paths relative to dir for stable,
+// readable output.
+func relativize(fs []Finding, dir string) []Finding {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return fs
+	}
+	for i := range fs {
+		if rel, err := filepath.Rel(abs, fs[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			fs[i].Pos.Filename = rel
+		}
+	}
+	return fs
+}
+
+// isGoFileDir reports whether pattern names an existing directory (relative
+// to dir) that directly contains .go files — the fixture-loading mode.
+func isGoFileDir(dir, pattern string) bool {
+	p := pattern
+	if !filepath.IsAbs(p) {
+		p = filepath.Join(dir, p)
+	}
+	st, err := os.Stat(p)
+	if err != nil || !st.IsDir() {
+		return false
+	}
+	matches, _ := filepath.Glob(filepath.Join(p, "*.go"))
+	return len(matches) > 0
+}
+
+// loader incrementally parses and type-checks packages, serving
+// module-internal imports from its own cache and everything else (the
+// standard library) from the stdlib source importer.
+type loader struct {
+	fset    *token.FileSet
+	dir     string
+	source  types.Importer
+	checked map[string]*types.Package
+}
+
+// Import implements types.Importer: module packages come from the cache
+// (they are checked in dependency order before their importers), the
+// standard library from the source importer.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if p, ok := ld.checked[path]; ok && p != nil {
+		return p, nil
+	}
+	return ld.source.Import(path)
+}
+
+// listedPackage is the subset of `go list -json` output the driver needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Standard   bool
+	Deps       []string
+}
+
+// loadModule runs `go list` for patterns, then parses and type-checks the
+// matched packages in dependency order.
+func (ld *loader) loadModule(patterns []string) ([]*checkedPackage, error) {
+	// -deps emits dependencies before dependents, which is exactly the
+	// order the cache-based importer needs.
+	all, err := goList(ld.dir, append([]string{"-deps"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	targets, err := goList(ld.dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	isTarget := map[string]bool{}
+	for _, t := range targets {
+		isTarget[t.ImportPath] = true
+	}
+
+	var out []*checkedPackage
+	for _, lp := range all {
+		if lp.Standard || len(lp.GoFiles) == 0 {
+			continue
+		}
+		var paths []string
+		for _, f := range lp.GoFiles {
+			paths = append(paths, filepath.Join(lp.Dir, f))
+		}
+		cp, err := ld.check(lp.ImportPath, lp.Name, paths, "")
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %v", lp.ImportPath, err)
+		}
+		if isTarget[lp.ImportPath] {
+			out = append(out, cp)
+		}
+	}
+	return out, nil
+}
+
+// loadDir parses and type-checks the loose .go files in one directory
+// (testdata fixtures). The package path defaults to "fixture/<base>" and
+// can be overridden with //pacor:pkgpath.
+func (ld *loader) loadDir(dir string) (*checkedPackage, error) {
+	abs := dir
+	if !filepath.IsAbs(abs) {
+		abs = filepath.Join(ld.dir, dir)
+	}
+	matches, err := filepath.Glob(filepath.Join(abs, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(matches)
+	return ld.checkFiles(matches, "fixture/"+filepath.Base(abs))
+}
+
+// checkFiles parses the given files as one package and type-checks them.
+func (ld *loader) checkFiles(paths []string, fallbackPath string) (*checkedPackage, error) {
+	cp, err := ld.check("", "", paths, fallbackPath)
+	return cp, err
+}
+
+// check parses paths into one package and type-checks it with the cache
+// importer. Type errors are collected, not fatal; parse errors are fatal.
+func (ld *loader) check(importPath, pkgName string, paths []string, fallbackPath string) (*checkedPackage, error) {
+	var files []*ast.File
+	for _, p := range paths {
+		f, err := parser.ParseFile(ld.fset, p, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %v", paths)
+	}
+	if pkgName == "" {
+		pkgName = files[0].Name.Name
+	}
+	if importPath == "" {
+		importPath = fallbackPath
+		for _, f := range files {
+			if d := parseDirectives(ld.fset, f); d.pkgpath != "" {
+				importPath = d.pkgpath
+			}
+		}
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: ld,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	pkg, _ := conf.Check(importPath, ld.fset, files, info) // errors collected above
+	if pkg != nil {
+		ld.checked[importPath] = pkg
+	}
+	return &checkedPackage{
+		fset:    ld.fset,
+		path:    importPath,
+		name:    pkgName,
+		files:   files,
+		pkg:     pkg,
+		info:    info,
+		typeErr: typeErrs,
+	}, nil
+}
+
+// goList shells out to `go list -json` and decodes the JSON stream.
+func goList(dir string, args []string) ([]listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list", "-json"}, args...)...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,183 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts the expectation patterns from a // want comment. Both
+// quoting styles are accepted: // want "..." and // want `...`.
+var wantRe = regexp.MustCompile("// want (.+)$")
+var wantArgRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// expectation is one // want annotation: a regexp that must match a
+// finding's message on the same file and line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// collectWants scans the fixture files under dir (relative to the lint
+// package) for // want annotations.
+func collectWants(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*expectation
+	for _, path := range matches {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			args := wantArgRe.FindAllStringSubmatch(m[1], -1)
+			if len(args) == 0 {
+				t.Fatalf("%s:%d: malformed want comment: %s", path, i+1, line)
+			}
+			for _, a := range args {
+				pat := a[1]
+				if pat == "" {
+					pat = a[2]
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", path, i+1, pat, err)
+				}
+				wants = append(wants, &expectation{file: path, line: i + 1, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture lints one testdata directory with one analyzer and checks the
+// findings against the // want annotations, both ways: every finding must
+// be wanted, every want must be found.
+func runFixture(t *testing.T, a *Analyzer, dir string) {
+	t.Helper()
+	findings, err := Run(Options{
+		Patterns:  []string{dir},
+		Analyzers: []*Analyzer{a},
+	})
+	if err != nil {
+		t.Fatalf("lint run: %v", err)
+	}
+	wants := collectWants(t, dir)
+
+	for _, f := range findings {
+		if f.Analyzer == "directive" {
+			t.Errorf("fixture has a directive problem: %s", f)
+			continue
+		}
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != f.Pos.Filename || w.line != f.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(f.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestMapOrderFixture(t *testing.T) { runFixture(t, AnalyzerMapOrder, "testdata/src/maporder") }
+func TestHotAllocFixture(t *testing.T) { runFixture(t, AnalyzerHotAlloc, "testdata/src/hotalloc") }
+func TestHotMarkFixture(t *testing.T)  { runFixture(t, AnalyzerHotAlloc, "testdata/src/hotmark") }
+func TestFloatEqFixture(t *testing.T)  { runFixture(t, AnalyzerFloatEq, "testdata/src/floateq") }
+func TestLibErrsFixture(t *testing.T)  { runFixture(t, AnalyzerLibErrs, "testdata/src/liberrs") }
+func TestNoStdoutFixture(t *testing.T) { runFixture(t, AnalyzerNoStdout, "testdata/src/nostdout") }
+
+// TestDirectiveValidation checks that an unjustified //pacor:allow is
+// itself reported and suppresses nothing.
+func TestDirectiveValidation(t *testing.T) {
+	findings, err := Run(Options{
+		Patterns:  []string{"testdata/src/directive"},
+		Analyzers: []*Analyzer{AnalyzerLibErrs},
+	})
+	if err != nil {
+		t.Fatalf("lint run: %v", err)
+	}
+	var gotDirective, gotLibErrs bool
+	for _, f := range findings {
+		switch f.Analyzer {
+		case "directive":
+			gotDirective = true
+		case "liberrs":
+			gotLibErrs = true
+		}
+	}
+	if !gotDirective {
+		t.Error("unjustified //pacor:allow was not reported")
+	}
+	if !gotLibErrs {
+		t.Error("unjustified //pacor:allow still suppressed the finding")
+	}
+	if len(findings) != 2 {
+		t.Errorf("want exactly 2 findings, got %d: %v", len(findings), findings)
+	}
+}
+
+// TestFindingString pins the report format the CI gate greps.
+func TestFindingString(t *testing.T) {
+	f := Finding{Analyzer: "maporder", Message: "boom"}
+	f.Pos.Filename = "a/b.go"
+	f.Pos.Line = 3
+	f.Pos.Column = 7
+	if got, want := f.String(), "a/b.go:3:7: [maporder] boom"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// TestAnalyzersRegistry pins the registered analyzer set.
+func TestAnalyzersRegistry(t *testing.T) {
+	var names []string
+	for _, a := range Analyzers() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v incompletely registered", a)
+		}
+		names = append(names, a.Name)
+	}
+	want := "maporder hotalloc floateq liberrs nostdout"
+	if got := strings.Join(names, " "); got != want {
+		t.Errorf("registry = %q, want %q", got, want)
+	}
+}
+
+// TestFixtureSuiteFails mirrors the CI sanity check: the whole fixture
+// corpus must produce findings under the full registry (a tool that
+// passes everything is indistinguishable from one that checks nothing).
+func TestFixtureSuiteFails(t *testing.T) {
+	dirs, err := filepath.Glob("testdata/src/*")
+	if err != nil || len(dirs) == 0 {
+		t.Fatalf("no fixtures found: %v", err)
+	}
+	findings, err := Run(Options{Patterns: dirs})
+	if err != nil {
+		t.Fatalf("lint run: %v", err)
+	}
+	if len(findings) == 0 {
+		t.Fatal("fixture corpus produced zero findings under the full registry")
+	}
+}

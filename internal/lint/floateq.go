@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerFloatEq guards numeric stability in the LP/ILP/geometry/DME
+// kernels: after arithmetic, two float64 values that are mathematically
+// equal rarely compare ==, so direct ==/!= hides rank-deficiency in the
+// simplex tableau and off-by-ulp merging segments in DME. Compare against
+// a tolerance instead (math.Abs(a-b) <= eps). Exact comparisons that are
+// genuinely intended — sentinel infinities, checked copies — get a
+// justified //pacor:allow floateq.
+var AnalyzerFloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "no direct ==/!= on float operands in the numeric packages; use tolerance comparison",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(p *Pass) {
+	if !pathHasSuffix(p.PkgPath, floatPackages...) {
+		return
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(p.TypeOf(be.X)) || !isFloat(p.TypeOf(be.Y)) {
+				return true
+			}
+			// Constant folding: two compile-time constants compare exactly.
+			if isConstExpr(p, be.X) && isConstExpr(p, be.Y) {
+				return true
+			}
+			// Comparing against an explicit infinity sentinel is exact by
+			// construction (IEEE 754 infinities survive arithmetic).
+			if isInfCall(be.X) || isInfCall(be.Y) {
+				return true
+			}
+			p.Reportf(be.Pos(), "float %s comparison; use a tolerance (math.Abs(a-b) <= eps)", be.Op)
+			return true
+		})
+	}
+}
+
+// isFloat reports whether t is a (possibly untyped) floating-point type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isConstExpr reports whether e has a compile-time constant value.
+func isConstExpr(p *Pass, e ast.Expr) bool {
+	if p.Info == nil {
+		return false
+	}
+	tv, ok := p.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// isInfCall reports whether e is a call to math.Inf.
+func isInfCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Inf" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == "math"
+}

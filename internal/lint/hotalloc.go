@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerHotAlloc guards the zero-allocation invariant on the routing hot
+// path: functions in the hot packages (internal/route, internal/grid) and
+// any function marked //pacor:hot must not allocate per call. It flags
+// make, new, append growth, pointer composite literals, map/slice
+// composite literals, and container/heap usage (the boxed heap the
+// workspace refactor removed). Constructor-shaped functions (New*, init)
+// are exempt: one-time construction is how the reusable buffers come to
+// exist in the first place. Deliberate amortized growth is suppressed at
+// the site with a justified //pacor:allow hotalloc.
+var AnalyzerHotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "no per-call allocation (make/new/append/composite literals/container-heap) in hot-path functions",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(p *Pass) {
+	hotPkg := pathHasSuffix(p.PkgPath, hotPackages...)
+	for _, file := range p.Files {
+		// container/heap has no place in a hot package at all: the inline
+		// generation-stamped heaps exist precisely to avoid its interface
+		// boxing.
+		if hotPkg {
+			for _, imp := range file.Imports {
+				if imp.Path.Value == `"container/heap"` {
+					p.Reportf(imp.Pos(), "container/heap boxes every node; use the workspace's inline heap")
+				}
+			}
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !hotPkg && !p.HotFunc(fn) {
+				continue
+			}
+			if isConstructor(fn) && !p.HotFunc(fn) {
+				continue
+			}
+			checkAllocs(p, fn)
+		}
+	}
+}
+
+// isConstructor reports whether fn is construction-time code exempt from
+// the allocation rule.
+func isConstructor(fn *ast.FuncDecl) bool {
+	return strings.HasPrefix(fn.Name.Name, "New") || fn.Name.Name == "init"
+}
+
+// checkAllocs reports allocation sites inside one hot function.
+func checkAllocs(p *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Closures are checked as part of the enclosing function: they
+			// run on the same hot path.
+			return true
+		case *ast.CallExpr:
+			switch {
+			case isBuiltin(p, n.Fun, "make"):
+				p.Reportf(n.Pos(), "make in hot function %s allocates per call; reuse a workspace buffer", fn.Name.Name)
+			case isBuiltin(p, n.Fun, "new"):
+				p.Reportf(n.Pos(), "new in hot function %s allocates per call; reuse a workspace buffer", fn.Name.Name)
+			case isBuiltin(p, n.Fun, "append"):
+				p.Reportf(n.Pos(), "append in hot function %s may grow its backing array; preallocate capacity", fn.Name.Name)
+			case isPkgCall(p, n, "container/heap"):
+				p.Reportf(n.Pos(), "container/heap call in hot function %s boxes its argument", fn.Name.Name)
+			}
+		case *ast.UnaryExpr:
+			// &T{...} escapes-by-construction in most hot-path uses.
+			if n.Op.String() == "&" {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					p.Reportf(n.Pos(), "pointer composite literal in hot function %s allocates", fn.Name.Name)
+				}
+			}
+		case *ast.CompositeLit:
+			t := p.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				p.Reportf(n.Pos(), "%s composite literal in hot function %s allocates", kindName(t), fn.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// kindName names a slice/map type for the finding message.
+func kindName(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return t.String()
+}
+
+// isPkgCall reports whether call's function is a selector on the package
+// imported from pkgPath (heap.Push, heap.Pop, ...).
+func isPkgCall(p *Pass, call *ast.CallExpr, pkgPath string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && isPkgIdent(p, id, pkgPath)
+}

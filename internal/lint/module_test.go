@@ -1,0 +1,33 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestModuleClean is the in-repo mirror of the CI gate: the whole module
+// must produce zero unsuppressed findings under the full registry. A
+// failure here means either a real invariant regression or a new
+// violation that needs fixing (preferred) or a justified //pacor:allow.
+func TestModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped with -short")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := Run(Options{
+		Dir:      root,
+		Patterns: []string{"./..."},
+	})
+	if err != nil {
+		t.Fatalf("lint run on module: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Logf("fix the findings above or suppress each with a justified //pacor:allow (see docs/LINTING.md)")
+	}
+}

@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// AnalyzerNoStdout keeps process output where it belongs: main packages
+// under cmd/ and examples/, or an injected io.Writer. A library package
+// that writes to os.Stdout (fmt.Print*, os.Stdout, print/println) corrupts
+// machine-readable output — the parallel table2 sweep diffs stdout
+// byte-for-byte — and can't be silenced by callers.
+var AnalyzerNoStdout = &Analyzer{
+	Name: "nostdout",
+	Doc:  "library packages must not write to stdout; print via cmd/ or an injected writer",
+	Run:  runNoStdout,
+}
+
+// Printing fmt functions that implicitly target os.Stdout.
+var stdoutFmtFuncs = map[string]bool{"Print": true, "Printf": true, "Println": true}
+
+func runNoStdout(p *Pass) {
+	// Main packages own their stdout.
+	if p.PkgName == "main" {
+		return
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+					if id, ok := sel.X.(*ast.Ident); ok && isPkgIdent(p, id, "fmt") && stdoutFmtFuncs[sel.Sel.Name] {
+						p.Reportf(n.Pos(), "fmt.%s writes to process stdout from a library package; use an injected io.Writer", sel.Sel.Name)
+					}
+				}
+				if id, ok := n.Fun.(*ast.Ident); ok && (id.Name == "print" || id.Name == "println") && isBuiltin(p, n.Fun, id.Name) {
+					p.Reportf(n.Pos(), "builtin %s writes to stderr and survives into release builds; use an injected writer", id.Name)
+				}
+			case *ast.SelectorExpr:
+				if id, ok := n.X.(*ast.Ident); ok && isPkgIdent(p, id, "os") && n.Sel.Name == "Stdout" {
+					p.Reportf(n.Pos(), "os.Stdout referenced from a library package; accept an io.Writer instead")
+				}
+			}
+			return true
+		})
+	}
+}

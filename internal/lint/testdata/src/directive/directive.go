@@ -1,0 +1,19 @@
+// Package directive is a fixture for driver-level directive validation:
+// an allow without a justification is itself a finding, and does not
+// suppress anything.
+package directive
+
+//pacor:pkgpath fixture/internal/flow
+
+import "errors"
+
+func fallible() error { return errors.New("boom") }
+
+// naked has an unjustified allow: both the directive and the original
+// finding are reported.
+func naked() {
+	_ = fallible() //pacor:allow liberrs
+	// The line above produces two findings (checked by the driver test,
+	// not by want-annotations, because the directive finding carries the
+	// pseudo-analyzer name "directive").
+}

@@ -1,0 +1,47 @@
+// Package floateq is a fixture for the floateq analyzer; the pkgpath
+// directive places it inside a numeric package.
+package floateq
+
+//pacor:pkgpath fixture/internal/lp
+
+import "math"
+
+const eps = 1e-9
+
+// pivots compares computed floats directly: the simplex killer.
+func pivots(a, b float64) bool {
+	if a == b { // want `float == comparison; use a tolerance`
+		return true
+	}
+	return a != b+1 // want `float != comparison; use a tolerance`
+}
+
+// tolerant is the blessed pattern.
+func tolerant(a, b float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+// ints are exact: integer comparison is not a finding.
+func ints(a, b int) bool {
+	return a == b
+}
+
+// constants fold at compile time: exact by definition.
+func constants() bool {
+	return 0.1+0.2 == 0.30000000000000004
+}
+
+// infinity sentinels survive arithmetic exactly.
+func infinity(x float64) bool {
+	return x == math.Inf(1)
+}
+
+// float32 is just as unstable as float64.
+func narrow(a, b float32) bool {
+	return a == b // want `float == comparison; use a tolerance`
+}
+
+// suppressed documents a genuinely exact comparison.
+func suppressed(x, sentinel float64) bool {
+	return x == sentinel //pacor:allow floateq sentinel copied verbatim, never computed
+}

@@ -1,0 +1,56 @@
+// Package hotalloc is a fixture for the hotalloc analyzer; the pkgpath
+// directive below places it inside a hot package.
+package hotalloc
+
+//pacor:pkgpath fixture/internal/route
+
+import "container/heap" // want `container/heap boxes every node`
+
+// search is an inner-loop function: every allocation is a finding.
+func search(n int, open *intHeap) []int32 {
+	stamp := make([]int32, n) // want `make in hot function search allocates per call`
+	var out []int32
+	out = append(out, stamp...) // want `append in hot function search may grow its backing array`
+	p := new(int32)             // want `new in hot function search allocates per call`
+	_ = p
+	heap.Push(open, 1)  // want `container/heap call in hot function search boxes its argument`
+	box := &node{id: 1} // want `pointer composite literal in hot function search allocates`
+	_ = box
+	lit := []int{1, 2, 3} // want `slice composite literal in hot function search allocates`
+	_ = lit
+	seen := map[int]bool{} // want `map composite literal in hot function search allocates`
+	_ = seen
+	return out
+}
+
+// NewBuffers is constructor-shaped: one-time construction is exempt.
+func NewBuffers(n int) []int32 {
+	return make([]int32, n)
+}
+
+// value composite literals live on the stack: not a finding.
+func valueLit() node {
+	return node{id: 2}
+}
+
+// amortized shows the justified opt-out for deliberate growth.
+func amortized(arena []int32, v int32) []int32 {
+	arena = append(arena, v) //pacor:allow hotalloc amortized arena growth reused across searches
+	return arena
+}
+
+type node struct{ id int }
+
+type intHeap []int
+
+func (h intHeap) Len() int            { return len(h) }
+func (h intHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h intHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *intHeap) Push(x interface{}) { *h = append(*h, x.(int)) } // want `append in hot function Push may grow its backing array`
+func (h *intHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,23 @@
+// Package hotmark is a fixture for //pacor:hot function marking: the
+// package path is cold, only the marked function is checked.
+package hotmark
+
+// inner is the hand-marked hot loop.
+//
+//pacor:hot
+func inner(buf []int, v int) []int {
+	return append(buf, v) // want `append in hot function inner may grow its backing array`
+}
+
+// cold is unmarked: allocations here are fine.
+func cold(n int) []int {
+	return make([]int, n)
+}
+
+// NewHot is marked hot AND constructor-named: the mark wins, because
+// marking a constructor hot is an explicit request to check it.
+//
+//pacor:hot
+func NewHot(n int) []int {
+	return make([]int, n) // want `make in hot function NewHot allocates per call`
+}

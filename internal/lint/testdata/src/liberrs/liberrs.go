@@ -1,0 +1,50 @@
+// Package liberrs is a fixture for the liberrs analyzer; the pkgpath
+// directive places it inside a library package.
+package liberrs
+
+//pacor:pkgpath fixture/internal/flow
+
+import (
+	"errors"
+	"strconv"
+)
+
+func fallible() error          { return errors.New("boom") }
+func twoResults() (int, error) { return 0, errors.New("boom") }
+func harmless() int            { return 1 }
+
+var state int
+
+// dropped discards errors in every shape the analyzer catches.
+func dropped() {
+	fallible()          // want `call discards its error result \(fallible\)`
+	_ = fallible()      // want `blank assignment discards error from fallible`
+	_, _ = twoResults() // want `blank assignment discards error from twoResults`
+}
+
+// deadDiscard assigns a side-effect-free value to blank.
+func deadDiscard(up []float64) {
+	_ = up    // want "dead discard `_ = up`"
+	_ = state // want "dead discard `_ = state`"
+}
+
+// kept keeps a result: the v, _ := f() idiom stays legal.
+func kept(s string) int {
+	n, _ := strconv.Atoi(s)
+	return n
+}
+
+// pureCall has no error result: nothing to discard.
+func pureCall() {
+	harmless()
+}
+
+// deferred cleanup is conventional and exempt.
+func deferred(c interface{ Close() error }) {
+	defer c.Close()
+}
+
+// suppressed is the justified opt-out.
+func suppressed() {
+	_ = fallible() //pacor:allow liberrs best-effort cleanup, failure is benign
+}

@@ -1,0 +1,78 @@
+// Package maporder is a fixture for the maporder analyzer.
+package maporder
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// leakAppend appends map keys and never sorts: order reaches the caller.
+func leakAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to "keys" inside map range without a later sort`
+	}
+	return keys
+}
+
+// sortedAppend is the blessed pattern: collect, then sort.
+func sortedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortSliceAppend sorts through sort.Slice, also fine.
+func sortSliceAppend(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// leakPrint writes inside the loop: emission order is random.
+func leakPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(os.Stderr, "%s=%d\n", k, v) // want `Fprintf inside map range emits in iteration order`
+	}
+}
+
+// leakSend feeds a channel in iteration order.
+func leakSend(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `channel send inside map range leaks iteration order`
+	}
+}
+
+// innerAppend appends to a slice declared inside the loop: no leak.
+func innerAppend(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		total += len(local)
+	}
+	return total
+}
+
+// sliceRange ranges over a slice: ordered, nothing to report.
+func sliceRange(s []string, ch chan string) {
+	for _, v := range s {
+		ch <- v
+	}
+}
+
+// suppressed demonstrates a justified opt-out.
+func suppressed(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) //pacor:allow maporder order randomized downstream anyway
+	}
+	return keys
+}

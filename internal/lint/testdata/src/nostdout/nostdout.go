@@ -1,0 +1,44 @@
+// Package nostdout is a fixture for the nostdout analyzer: a library
+// package (non-main) that writes where it should not.
+package nostdout
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// chatty prints straight to process stdout.
+func chatty(x int) {
+	fmt.Println("x =", x)     // want `fmt.Println writes to process stdout`
+	fmt.Printf("x = %d\n", x) // want `fmt.Printf writes to process stdout`
+	fmt.Print(x)              // want `fmt.Print writes to process stdout`
+	print("dbg")              // want `builtin print writes to stderr`
+	println("dbg")            // want `builtin println writes to stderr`
+}
+
+// grabsStdout smuggles the process stream out by reference.
+func grabsStdout() io.Writer {
+	return os.Stdout // want `os.Stdout referenced from a library package`
+}
+
+// injected is the blessed pattern: the caller decides where output goes.
+func injected(w io.Writer, x int) {
+	fmt.Fprintf(w, "x = %d\n", x)
+}
+
+// formatted builds strings without printing: fine.
+func formatted(x int) string {
+	return fmt.Sprintf("x = %d", x)
+}
+
+// stderr is permitted: diagnostics belong there and don't corrupt
+// machine-readable stdout.
+func stderr(msg string) {
+	fmt.Fprintln(os.Stderr, msg)
+}
+
+// suppressed is the justified opt-out.
+func suppressed() {
+	fmt.Println("banner") //pacor:allow nostdout interactive banner requested by caller
+}

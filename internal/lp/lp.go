@@ -252,6 +252,7 @@ func (t *tableau) reducedCost(j int) float64 {
 		cb := t.obj[t.basis[i]]
 		// A basic artificial surviving into phase 2 sits at value 0 in a
 		// redundant row; treat its cost as 0 rather than -inf.
+		//pacor:allow floateq exact check against assigned sentinel costs, never computed values
 		if cb != 0 && !math.IsInf(cb, -1) {
 			r -= cb * t.a[i][j]
 		}
@@ -336,7 +337,9 @@ func (t *tableau) pivot(leave, enter int) {
 			continue
 		}
 		f := t.a[i][enter]
-		if f == 0 {
+		// Exact zero skip: eliminating with f == 0 is a no-op; a tolerance
+		// here would wrongly skip rows with small but real pivot factors.
+		if f == 0 { //pacor:allow floateq exact-zero fast path, tolerance would skip real eliminations
 			continue
 		}
 		for j := 0; j < t.cols; j++ {

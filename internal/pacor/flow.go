@@ -2,6 +2,8 @@ package pacor
 
 import (
 	"fmt"
+	"io"
+	"os"
 	"sort"
 	"sync"
 	"time"
@@ -18,8 +20,29 @@ import (
 	"repro/internal/valve"
 )
 
-// debugEscape enables escape-stage tracing (tests and debugging only).
+// debugEscape routes escape-stage tracing to stderr when enabled via
+// SetDebugEscape (tests and debugging only); Params.Trace takes
+// precedence and needs no global state.
 var debugEscape = false
+
+// tracef writes escape-stage diagnostics to w; a nil writer silences it.
+func tracef(w io.Writer, format string, args ...any) {
+	if w == nil {
+		return
+	}
+	_, _ = fmt.Fprintf(w, format, args...) //pacor:allow liberrs trace output is best-effort diagnostics
+}
+
+// traceWriter resolves the effective trace destination for one flow run.
+func traceWriter(params Params) io.Writer {
+	if params.Trace != nil {
+		return params.Trace
+	}
+	if debugEscape {
+		return os.Stderr
+	}
+	return nil
+}
 
 // cluster kinds
 const (
@@ -565,6 +588,7 @@ func routeOrdinary(ws *route.Workspace, d *valve.Design, obs *grid.ObsMap, fcs [
 // clusters' channels: the trapped valve's escape is committed first and the
 // blockers' internal channels re-route around it.
 func escapeRoute(ws *route.Workspace, d *valve.Design, obs *grid.ObsMap, fcs []*flowCluster, params Params) []*flowCluster {
+	trace := traceWriter(params)
 	byID := func() map[int]*flowCluster {
 		m := make(map[int]*flowCluster, len(fcs))
 		for _, fc := range fcs {
@@ -607,9 +631,7 @@ func escapeRoute(ws *route.Workspace, d *valve.Design, obs *grid.ObsMap, fcs []*
 			}
 		}
 		res = escape.Route(obs, terms, pins)
-		if debugEscape {
-			fmt.Printf("escape round %d: %d terms, unrouted %v\n", round, len(terms), res.Unrouted)
-		}
+		tracef(trace, "escape round %d: %d terms, unrouted %v\n", round, len(terms), res.Unrouted)
 		if len(res.Unrouted) == 0 {
 			break
 		}
@@ -655,7 +677,7 @@ func escapeRoute(ws *route.Workspace, d *valve.Design, obs *grid.ObsMap, fcs []*
 			}
 			trapped = append(trapped, fc)
 		}
-		if len(trapped) > 0 && ripAndCommit(ws, d, obs, &fcs, &nextID, trapped, usedPins, committed) {
+		if len(trapped) > 0 && ripAndCommit(ws, d, obs, &fcs, &nextID, trapped, usedPins, committed, trace) {
 			progress = true
 		}
 		if !progress {
@@ -717,7 +739,7 @@ func escapeRoute(ws *route.Workspace, d *valve.Design, obs *grid.ObsMap, fcs []*
 // ripped before intact LM blockers (the paper's "higher rip-up cost" for
 // LM clusters). Returns true when at least one escape was committed.
 func ripAndCommit(ws *route.Workspace, d *valve.Design, obs *grid.ObsMap, fcsp *[]*flowCluster, nextID *int,
-	trapped []*flowCluster, usedPins map[geom.Pt]bool, committed map[int]grid.Path) bool {
+	trapped []*flowCluster, usedPins map[geom.Pt]bool, committed map[int]grid.Path, trace io.Writer) bool {
 	g := obs.Grid()
 	owner := map[geom.Pt]*flowCluster{}
 	for _, fc := range *fcsp {
@@ -798,8 +820,8 @@ func ripAndCommit(ws *route.Workspace, d *valve.Design, obs *grid.ObsMap, fcsp *
 				break
 			}
 		}
-		if debugEscape && !done {
-			fmt.Printf("ripAndCommit: cluster %d still trapped after %d blockers\n", tc.id, len(blockers))
+		if !done {
+			tracef(trace, "ripAndCommit: cluster %d still trapped after %d blockers\n", tc.id, len(blockers))
 		}
 	}
 	// Re-route every ripped cluster around the committed escapes.

@@ -7,6 +7,8 @@
 package pacor
 
 import (
+	"io"
+
 	"repro/internal/route"
 	"repro/internal/seltree"
 )
@@ -57,6 +59,10 @@ type Params struct {
 	// clustering stage with exact maximum-clique extraction (slower; for
 	// small designs and ablations).
 	ExactClustering bool
+	// Trace, when non-nil, receives escape-stage diagnostics. Library code
+	// never writes to process stdout (the nostdout invariant): callers that
+	// want tracing inject the destination here.
+	Trace io.Writer
 }
 
 // DefaultParams returns the paper's settings.

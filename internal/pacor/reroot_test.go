@@ -1,6 +1,8 @@
 package pacor
 
 import (
+	"bytes"
+	"strings"
 	"testing"
 
 	"repro/internal/detour"
@@ -100,4 +102,28 @@ func TestResultHelpers(t *testing.T) {
 	}
 	SetDebugEscape(true)
 	SetDebugEscape(false)
+}
+
+// TestTraceOption checks that escape-stage tracing goes to the injected
+// writer — and only there — instead of process stdout.
+func TestTraceOption(t *testing.T) {
+	d := testDesign(t)
+	var buf bytes.Buffer
+	params := DefaultParams()
+	params.Trace = &buf
+	if _, err := Route(d, params); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "escape round") {
+		t.Errorf("trace writer got no escape-round lines; got %q", buf.String())
+	}
+
+	// Quiet by default: no trace writer, no output.
+	buf.Reset()
+	if _, err := Route(d, DefaultParams()); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("default params wrote %q to a stale buffer", buf.String())
+	}
 }

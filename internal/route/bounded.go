@@ -38,6 +38,8 @@ type bnode struct {
 
 // reconstructArena walks the arena's parent chain, allocating the result
 // path exactly once.
+//
+//pacor:allow hotalloc single exact-size allocation for the result path returned to the caller
 func reconstructArena(g grid.Grid, arena []bnode, idx int) grid.Path {
 	n := 1
 	for i := idx; arena[i].parent >= 0; i = int(arena[i].parent) {
@@ -59,6 +61,8 @@ func reconstructArena(g grid.Grid, arena []bnode, idx int) grid.Path {
 // reachable target when free space admits the detours. The path's own cells
 // count as blocked for the detour cells; obs blocks as usual. It returns the
 // extended path and whether the window was reached.
+//
+//pacor:allow hotalloc detour post-pass runs once per net, not per search step; paths are value results
 func ExtendPath(obs *grid.ObsMap, path grid.Path, minLen, maxLen int) (grid.Path, bool) {
 	if path.Len() > maxLen {
 		return path, false

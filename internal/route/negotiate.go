@@ -49,7 +49,9 @@ func Negotiate(obs *grid.ObsMap, edges []Edge, params NegotiateParams) (map[int]
 // one scratch obstacle map shared across iterations.
 func (w *Workspace) Negotiate(obs *grid.ObsMap, edges []Edge, params NegotiateParams) (map[int]grid.Path, bool) {
 	g := obs.Grid()
+	//pacor:allow hotalloc once per negotiation run, amortized over gamma iterations of inner searches
 	hist := make([]float64, g.Cells()) // Step 1: initialize history cost
+	//pacor:allow hotalloc result map returned to the caller, sized up front
 	paths := make(map[int]grid.Path, len(edges))
 	var work *grid.ObsMap
 

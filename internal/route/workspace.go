@@ -50,6 +50,8 @@ func NewWorkspace(g grid.Grid) *Workspace {
 }
 
 // grow (re)allocates the per-cell arrays for n cells and resets generations.
+//
+//pacor:allow hotalloc runs only when the grid size changes; steady-state searches never reach it
 func (w *Workspace) grow(n int) {
 	w.cells = n
 	w.gen = 0
@@ -203,6 +205,8 @@ func (w *Workspace) AStar(g grid.Grid, req Request) (grid.Path, bool) {
 
 // reconstruct walks the parent chain from end, allocating the result path
 // exactly once (chain length is counted first, then filled backwards).
+//
+//pacor:allow hotalloc single exact-size allocation for the result path returned to the caller
 func (w *Workspace) reconstruct(g grid.Grid, end int) grid.Path {
 	n := 1
 	for i := end; w.parent[i] >= 0; i = int(w.parent[i]) {
@@ -246,7 +250,7 @@ func (w *Workspace) BoundedAStar(g grid.Grid, req Request, minLen, maxLen int) (
 		}
 		i := g.Index(s)
 		w.touchBounded(i)
-		w.arena = append(w.arena, bnode{cell: int32(i), g: 0, parent: -1})
+		w.arena = append(w.arena, bnode{cell: int32(i), g: 0, parent: -1}) //pacor:allow hotalloc amortized arena growth, capacity reused across searches
 		pushBounded(&w.bopen, boundedItem{node: int32(len(w.arena) - 1), f: int32(prio(0, targetH(tb, s)))})
 		if w.maxSeen[i] < 0 {
 			w.maxSeen[i] = 0
@@ -301,7 +305,7 @@ func (w *Workspace) BoundedAStar(g grid.Grid, req Request, minLen, maxLen int) (
 			if ng > w.maxSeen[j] {
 				w.maxSeen[j] = ng
 			}
-			w.arena = append(w.arena, bnode{cell: int32(j), g: ng, parent: it.node})
+			w.arena = append(w.arena, bnode{cell: int32(j), g: ng, parent: it.node}) //pacor:allow hotalloc amortized arena growth, capacity reused across searches
 			pushBounded(&w.bopen, boundedItem{node: int32(len(w.arena) - 1), f: int32(prio(int(ng), targetH(tb, q)))})
 		}
 	}
@@ -322,7 +326,7 @@ type openItem struct {
 }
 
 func pushOpen(h *[]openItem, it openItem) {
-	s := append(*h, it)
+	s := append(*h, it) //pacor:allow hotalloc amortized heap growth, capacity reused across searches
 	j := len(s) - 1
 	for j > 0 {
 		i := (j - 1) / 2
@@ -366,7 +370,7 @@ type boundedItem struct {
 }
 
 func pushBounded(h *[]boundedItem, it boundedItem) {
-	s := append(*h, it)
+	s := append(*h, it) //pacor:allow hotalloc amortized heap growth, capacity reused across searches
 	j := len(s) - 1
 	for j > 0 {
 		i := (j - 1) / 2
