@@ -4,11 +4,20 @@
 //
 // The measured set mirrors the hot paths this trajectory tracks: steady-state
 // A* on a reusable workspace vs a fresh workspace per search, the full PACOR
-// flow per design, and the sequential vs parallel Table 2 sweep.
+// flow per design (sequentially and per worker count of the deterministic
+// parallel scheduler), and the sequential vs parallel Table 2 sweep.
+//
+// Every measurement records the GOMAXPROCS it actually ran under (plus the
+// host's CPU count at the snapshot level): a parallel speedup claim is
+// meaningless without the processor count behind it, and the two can differ
+// per benchmark when the environment changes GOMAXPROCS mid-run. When a
+// baseline snapshot is given, measurements sharing a name with a baseline
+// entry carry the baseline ns/op and the resulting speedup ratio.
 //
 // Usage:
 //
-//	benchjson [-out BENCH_PR1.json] [-designs S1,S3,S5] [-sweep S1,S2,S3,S4,S5]
+//	benchjson [-out BENCH_PR3.json] [-pr 3] [-baseline BENCH_PR1.json]
+//	          [-designs S1,S3,S5] [-sweep S1,S2,S3,S4,S5]
 package main
 
 import (
@@ -18,6 +27,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -32,34 +42,49 @@ import (
 
 // Measurement is one benchmark result in the snapshot.
 type Measurement struct {
-	NsPerOp     int64   `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	N           int     `json:"n"`
-	Note        string  `json:"note,omitempty"`
-	SpeedupVs   string  `json:"speedup_vs,omitempty"`
-	Speedup     float64 `json:"speedup,omitempty"`
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	N           int   `json:"n"`
+	// GoMaxProcs is the GOMAXPROCS this measurement actually ran under —
+	// recorded per benchmark, not assumed from the snapshot header.
+	GoMaxProcs int     `json:"gomaxprocs,omitempty"`
+	Note       string  `json:"note,omitempty"`
+	SpeedupVs  string  `json:"speedup_vs,omitempty"`
+	Speedup    float64 `json:"speedup,omitempty"`
+	// BaselineNsPerOp / SpeedupVsBaseline compare against the same-named
+	// entry of the -baseline snapshot (ratio > 1 means this run is faster).
+	BaselineNsPerOp   int64   `json:"baseline_ns_per_op,omitempty"`
+	SpeedupVsBaseline float64 `json:"speedup_vs_baseline,omitempty"`
 }
 
 // Snapshot is the emitted file layout.
 type Snapshot struct {
-	PR         int                    `json:"pr"`
-	Go         string                 `json:"go"`
-	MaxProcs   int                    `json:"gomaxprocs"`
-	Seed       map[string]Measurement `json:"seed_baseline"`
+	PR       int    `json:"pr"`
+	Go       string `json:"go"`
+	MaxProcs int    `json:"gomaxprocs"`
+	// NumCPU is the host's logical CPU count; speedup claims from parallel
+	// benchmarks are bounded by it no matter what GOMAXPROCS says.
+	NumCPU     int                    `json:"numcpu"`
+	Baseline   string                 `json:"baseline,omitempty"`
+	Notes      string                 `json:"notes,omitempty"`
+	Seed       map[string]Measurement `json:"seed_baseline,omitempty"`
 	Benchmarks map[string]Measurement `json:"benchmarks"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR1.json", "output file")
+	out := flag.String("out", "BENCH_PR3.json", "output file")
+	pr := flag.Int("pr", 3, "PR number stamped into the snapshot")
+	baseline := flag.String("baseline", "BENCH_PR1.json", "prior snapshot to diff against (empty = none)")
 	designs := flag.String("designs", "S1,S3,S5", "designs for the full-flow benchmarks")
 	sweep := flag.String("sweep", "S1,S2,S3,S4,S5", "designs for the sequential-vs-parallel sweep timing")
 	flag.Parse()
 
 	snap := Snapshot{
-		PR:       1,
+		PR:       *pr,
 		Go:       runtime.Version(),
 		MaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:   runtime.NumCPU(),
 		// The seed A* (per-call slices + container/heap boxing) no longer
 		// exists in the tree; its cost on the exact AStarS5 scenario below,
 		// measured at the seed commit on this hardware, is pinned here as
@@ -70,6 +95,7 @@ func main() {
 				AllocsPerOp: 47434,
 				BytesPerOp:  1481416,
 				N:           20,
+				GoMaxProcs:  1,
 				Note:        "seed route.AStar before the workspace refactor (four O(W*H) slices + map targets + heap boxing per push)",
 			},
 		},
@@ -82,10 +108,11 @@ func main() {
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			N:           r.N,
+			GoMaxProcs:  runtime.GOMAXPROCS(0),
 			Note:        note,
 		}
-		fmt.Printf("%-28s %12d ns/op %10d B/op %8d allocs/op\n",
-			name, r.NsPerOp(), r.AllocedBytesPerOp(), r.AllocsPerOp())
+		fmt.Printf("%-28s %12d ns/op %10d B/op %8d allocs/op (gomaxprocs %d)\n",
+			name, r.NsPerOp(), r.AllocedBytesPerOp(), r.AllocsPerOp(), runtime.GOMAXPROCS(0))
 	}
 
 	g, obs, src, dst := s5SizedSearch()
@@ -125,16 +152,47 @@ func main() {
 		}), "full PACOR flow, default params")
 	}
 
+	// The deterministic in-flow parallelism: the full S5 flow per worker
+	// count of route.RunScheduled. Output is byte-identical across counts,
+	// so these isolate the scheduler's cost/benefit.
+	if d5, err := bench.Generate("S5"); err == nil {
+		var j1 int64
+		for _, workers := range []int{1, 2, 4, 8} {
+			params := pacor.DefaultParams()
+			params.Workers = workers
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := pacor.Route(d5, params); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			name := fmt.Sprintf("FlowS5Workers%d", workers)
+			record(name, r, fmt.Sprintf("full S5 flow, scheduler workers=%d (byte-identical output)", workers))
+			if workers == 1 {
+				j1 = r.NsPerOp()
+			} else {
+				m := snap.Benchmarks[name]
+				m.SpeedupVs = "FlowS5Workers1"
+				m.Speedup = float64(j1) / float64(r.NsPerOp())
+				snap.Benchmarks[name] = m
+			}
+		}
+	} else {
+		fatal(err)
+	}
+
 	// Sequential vs parallel sweep: one pass over designs x modes each way.
 	names := strings.Split(*sweep, ",")
 	seq := sweepOnce(names, 1)
 	par := sweepOnce(names, runtime.GOMAXPROCS(0))
 	snap.Benchmarks["Table2SweepSequential"] = Measurement{
-		NsPerOp: seq.Nanoseconds(), N: 1,
+		NsPerOp: seq.Nanoseconds(), N: 1, GoMaxProcs: runtime.GOMAXPROCS(0),
 		Note: fmt.Sprintf("designs %s x 3 modes, 1 worker", *sweep),
 	}
 	snap.Benchmarks["Table2SweepParallel"] = Measurement{
-		NsPerOp: par.Nanoseconds(), N: 1,
+		NsPerOp: par.Nanoseconds(), N: 1, GoMaxProcs: runtime.GOMAXPROCS(0),
 		Note:      fmt.Sprintf("designs %s x 3 modes, %d workers", *sweep, runtime.GOMAXPROCS(0)),
 		SpeedupVs: "Table2SweepSequential",
 		Speedup:   float64(seq.Nanoseconds()) / float64(par.Nanoseconds()),
@@ -142,6 +200,16 @@ func main() {
 	fmt.Printf("%-28s %12d ns (1 worker)\n", "Table2SweepSequential", seq.Nanoseconds())
 	fmt.Printf("%-28s %12d ns (%d workers, %.2fx)\n", "Table2SweepParallel",
 		par.Nanoseconds(), runtime.GOMAXPROCS(0), float64(seq.Nanoseconds())/float64(par.Nanoseconds()))
+
+	if runtime.NumCPU() == 1 {
+		snap.Notes = "single-CPU host: parallel worker counts cannot exceed 1x wall-clock; " +
+			"the j>1 rows measure scheduler overhead, not attainable speedup"
+	}
+	if *baseline != "" {
+		if err := annotateBaseline(&snap, *baseline); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: baseline:", err)
+		}
+	}
 
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
@@ -151,6 +219,38 @@ func main() {
 		fatal(err)
 	}
 	fmt.Println("wrote", *out)
+}
+
+// annotateBaseline loads a prior snapshot and stamps, on every measurement
+// sharing a name with a baseline entry, the baseline ns/op and the speedup
+// ratio of this run over it.
+func annotateBaseline(snap *Snapshot, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Snapshot
+	if err := json.Unmarshal(data, &base); err != nil {
+		return err
+	}
+	snap.Baseline = path
+	names := make([]string, 0, len(snap.Benchmarks))
+	for name := range snap.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := snap.Benchmarks[name]
+		bm, ok := base.Benchmarks[name]
+		if !ok || bm.NsPerOp == 0 || m.NsPerOp == 0 {
+			continue
+		}
+		m.BaselineNsPerOp = bm.NsPerOp
+		m.SpeedupVsBaseline = float64(bm.NsPerOp) / float64(m.NsPerOp)
+		snap.Benchmarks[name] = m
+		fmt.Printf("%-28s vs PR%d: %.2fx\n", name, base.PR, m.SpeedupVsBaseline)
+	}
+	return nil
 }
 
 // sweepOnce routes every design x mode with the given worker count and

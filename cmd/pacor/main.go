@@ -3,8 +3,12 @@
 //
 // Usage:
 //
-//	pacor [-mode pacor|wosel|detourfirst] [-render] [-clusters] design.json
+//	pacor [-mode pacor|wosel|detourfirst] [-j N] [-render] [-clusters] design.json
 //	pacor -bench S3 [-mode ...] [-render] [-svg out.svg] [-skew] [-json out.json]
+//	pacor -bench S5 -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// -j sizes the worker pool of the parallel routing stages; every worker
+// count produces byte-identical routing (see route.RunScheduled).
 //
 // The design is a JSON file (see internal/valve); -bench routes one of the
 // built-in Table 1 benchmarks instead. Exit status 1 indicates a routing or
@@ -16,6 +20,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 
 	"repro/internal/bench"
@@ -43,8 +49,32 @@ func run(args []string, stdout io.Writer) error {
 	svgFlag := fs.String("svg", "", "write an SVG rendering to this file")
 	jsonFlag := fs.String("json", "", "write the routing result as JSON to this file")
 	skewFlag := fs.Bool("skew", false, "simulate pressure propagation and report per-cluster actuation skew")
+	jFlag := fs.Int("j", 1, "worker pool for the parallel routing stages (any value routes identically)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			if err := writeHeapProfile(*memProfile); err != nil {
+				fmt.Fprintln(os.Stderr, "pacor: memprofile:", err)
+			}
+		}()
 	}
 
 	var mode pacor.Mode
@@ -80,6 +110,7 @@ func run(args []string, stdout io.Writer) error {
 
 	params := pacor.DefaultParams()
 	params.Mode = mode
+	params.Workers = *jFlag
 	res, err := pacor.Route(d, params)
 	if err != nil {
 		return err
@@ -140,4 +171,19 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("routing incomplete: %d/%d valves", res.RoutedValves, res.TotalValves)
 	}
 	return nil
+}
+
+// writeHeapProfile snapshots the heap (after a final GC, so retained memory
+// dominates over garbage) into path.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -11,6 +11,7 @@
 // Usage:
 //
 //	table2 [-designs Chip1,S3,...] [-verify] [-csv out.csv] [-j N] [-stable]
+//	table2 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -52,11 +54,34 @@ func run(args []string, stdout io.Writer) error {
 	csvFlag := fs.String("csv", "", "also write the raw rows as CSV to this file")
 	workers := fs.Int("j", runtime.GOMAXPROCS(0), "parallel routing jobs (1 = sequential)")
 	stable := fs.Bool("stable", false, "zero out runtimes for byte-stable output (determinism checks)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *workers < 1 {
 		*workers = 1
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			if err := writeHeapProfile(*memProfile); err != nil {
+				fmt.Fprintln(os.Stderr, "table2: memprofile:", err)
+			}
+		}()
 	}
 
 	names := bench.Names()
@@ -139,6 +164,21 @@ func runJob(j job, verify bool) (report.Row, error) {
 		}
 	}
 	return report.Row{Design: j.design, Mode: j.mode, Result: res}, nil
+}
+
+// writeHeapProfile snapshots the heap (after a final GC, so retained memory
+// dominates over garbage) into path.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func writeCSV(path string, rows []report.Row) error {

@@ -64,6 +64,13 @@ func checkAllocs(p *Pass, fn *ast.FuncDecl) {
 			// Closures are checked as part of the enclosing function: they
 			// run on the same hot path.
 			return true
+		case *ast.GoStmt:
+			// Spawning a goroutine from a closure allocates the capture (and
+			// the g stack) per call. Worker pools amortize this over a batch
+			// of work and say so with a justified //pacor:allow.
+			if _, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				p.Reportf(n.Pos(), "goroutine closure in hot function %s allocates its capture per spawn", fn.Name.Name)
+			}
 		case *ast.CallExpr:
 			switch {
 			case isBuiltin(p, n.Fun, "make"):

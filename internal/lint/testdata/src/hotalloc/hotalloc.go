@@ -39,6 +39,41 @@ func amortized(arena []int32, v int32) []int32 {
 	return arena
 }
 
+// fanOut spawns per-call goroutines: the closure capture allocates on every
+// spawn, and allocation inside the closure body runs on the same hot path as
+// the enclosing function.
+func fanOut(n int, out chan []int32) {
+	for i := 0; i < n; i++ {
+		go func() { // want `goroutine closure in hot function fanOut allocates its capture per spawn`
+			buf := make([]int32, n) // want `make in hot function fanOut allocates per call`
+			out <- buf
+		}()
+	}
+}
+
+// stashedClosure allocates a capturing closure without go: the FuncLit body
+// is still hot-path code, so the append inside it is a finding even though
+// the closure value itself is not.
+func stashedClosure(sink *func(int32)) {
+	var acc []int32
+	*sink = func(v int32) {
+		acc = append(acc, v) // want `append in hot function stashedClosure may grow its backing array`
+	}
+}
+
+// workerPool shows the sanctioned shape: one spawn per batch, amortized over
+// the batch's items, suppressed with a justification at the spawn site.
+func workerPool(items []int32, work func(int32)) {
+	done := make(chan struct{}) //pacor:allow hotalloc one channel per batch, amortized over its items
+	go func() {                 //pacor:allow hotalloc one worker spawn per batch, amortized over its items
+		for _, it := range items {
+			work(it)
+		}
+		close(done)
+	}()
+	<-done
+}
+
 type node struct{ id int }
 
 type intHeap []int

@@ -98,10 +98,14 @@ func Route(d *valve.Design, params Params) (*Result, error) {
 	for _, v := range d.Valves {
 		obs.Set(v.Pos, true)
 	}
-	// The flow's sequential stages share one search workspace; goroutines
-	// (the parallel DME candidate generation) do not route, so no extra
-	// workspaces are needed here. One workspace per goroutine is the rule.
+	// The flow's sequential stages share one search workspace; the parallel
+	// stages (negotiation rounds, per-cluster batches) draw one workspace per
+	// worker from the grid-keyed pool inside route.RunScheduled. One
+	// workspace per goroutine is the rule.
 	ws := route.NewWorkspace(g)
+	if params.Negotiate.Workers == 0 {
+		params.Negotiate.Workers = params.Workers
+	}
 
 	stageTimes := map[string]time.Duration{}
 	stage := func(name string, since time.Time) {
@@ -151,7 +155,7 @@ func Route(d *valve.Design, params Params) (*Result, error) {
 
 	// Stage 3: MST routing for ordinary (and demoted) clusters.
 	t0 = time.Now()
-	fcs = routeOrdinary(ws, d, obs, fcs)
+	fcs = routeOrdinary(d, obs, fcs, params.Workers)
 	stage("mstrouting", t0)
 
 	// Stage 4: escape routing with de-clustering retries.
@@ -535,7 +539,14 @@ func matchAll(ws *route.Workspace, obs *grid.ObsMap, fcs []*flowCluster, delta i
 // routeOrdinary routes every ordinary cluster with MST + A*, de-clustering
 // on failure (Figure 2's "Declustering" box). It may append new clusters
 // (split halves) and returns the updated slice.
-func routeOrdinary(ws *route.Workspace, d *valve.Design, obs *grid.ObsMap, fcs []*flowCluster) []*flowCluster {
+//
+// Each pass over the queue runs as one batch through the spatial-dependency
+// scheduler: clusters whose windows are disjoint route concurrently, results
+// commit onto obs in queue order, so the routed paths — and the split/retry
+// cascade they trigger — are byte-identical to the sequential FIFO loop for
+// every worker count. Split halves form the next batch, mirroring the
+// sequential queue where they are appended behind all current entries.
+func routeOrdinary(d *valve.Design, obs *grid.ObsMap, fcs []*flowCluster, workers int) []*flowCluster {
 	queue := make([]*flowCluster, 0, len(fcs))
 	for _, fc := range fcs {
 		if fc.kind == kindOrd {
@@ -552,30 +563,37 @@ func routeOrdinary(ws *route.Workspace, d *valve.Design, obs *grid.ObsMap, fcs [
 			nextID = fc.id + 1
 		}
 	}
+	g := obs.Grid()
 	for len(queue) > 0 {
-		fc := queue[0]
-		queue = queue[1:]
-		if len(fc.valves) <= 1 {
-			continue // singleton: no internal channels
+		batch := queue[:0:0]
+		for _, fc := range queue {
+			if len(fc.valves) > 1 { // singletons have no internal channels
+				batch = append(batch, fc)
+			}
 		}
-		work := obs.Clone()
-		res, ok := mstroute.RouteClusterWS(ws, work, fc.positions(d), nil)
-		if ok {
-			obs.CopyFrom(work)
-			fc.paths = res.Paths
-			continue
+		queue = nil
+		tasks := make([]route.ScheduledTask, len(batch))
+		for i := range batch {
+			tasks[i] = mstClusterTask(g, batch[i].positions(d))
 		}
-		// De-cluster: split spatially and retry the halves.
-		halves := cluster.Split(d, cluster.Cluster{ID: fc.id, Valves: fc.valves})
-		if len(halves) < 2 {
-			continue
-		}
-		fc.valves = halves[0].Valves
-		fc.demoted = true
-		other := &flowCluster{id: nextID, valves: halves[1].Valves, kind: kindOrd, demoted: true}
-		nextID++
-		fcs = append(fcs, other)
-		queue = append(queue, fc, other)
+		route.RunScheduled(obs, tasks, workers, func(i int, out route.TaskOutcome) {
+			fc := batch[i]
+			if out.OK {
+				fc.paths = out.Paths
+				return
+			}
+			// De-cluster: split spatially and retry the halves next batch.
+			halves := cluster.Split(d, cluster.Cluster{ID: fc.id, Valves: fc.valves})
+			if len(halves) < 2 {
+				return
+			}
+			fc.valves = halves[0].Valves
+			fc.demoted = true
+			other := &flowCluster{id: nextID, valves: halves[1].Valves, kind: kindOrd, demoted: true}
+			nextID++
+			fcs = append(fcs, other)
+			queue = append(queue, fc, other)
+		})
 	}
 	return fcs
 }
@@ -612,18 +630,7 @@ func escapeRoute(ws *route.Workspace, d *valve.Design, obs *grid.ObsMap, fcs []*
 
 	var res *escape.Result
 	for round := 0; round < retries; round++ {
-		var terms []escape.Terminal
-		for _, fc := range fcs {
-			if _, done := committed[fc.id]; done {
-				continue
-			}
-			cells := fc.takeoffs(d)
-			terms = append(terms, escape.Terminal{
-				ClusterID: fc.id,
-				Cells:     cells,
-				Costs:     fc.takeoffCosts(d, cells),
-			})
-		}
+		terms := buildTerminals(d, fcs, committed, params.Workers)
 		var pins []geom.Pt
 		for _, p := range d.Pins {
 			if !usedPins[p] {
@@ -677,7 +684,7 @@ func escapeRoute(ws *route.Workspace, d *valve.Design, obs *grid.ObsMap, fcs []*
 			}
 			trapped = append(trapped, fc)
 		}
-		if len(trapped) > 0 && ripAndCommit(ws, d, obs, &fcs, &nextID, trapped, usedPins, committed, trace) {
+		if len(trapped) > 0 && ripAndCommit(ws, d, obs, &fcs, &nextID, trapped, usedPins, committed, trace, params.Workers) {
 			progress = true
 		}
 		if !progress {
@@ -739,7 +746,7 @@ func escapeRoute(ws *route.Workspace, d *valve.Design, obs *grid.ObsMap, fcs []*
 // ripped before intact LM blockers (the paper's "higher rip-up cost" for
 // LM clusters). Returns true when at least one escape was committed.
 func ripAndCommit(ws *route.Workspace, d *valve.Design, obs *grid.ObsMap, fcsp *[]*flowCluster, nextID *int,
-	trapped []*flowCluster, usedPins map[geom.Pt]bool, committed map[int]grid.Path, trace io.Writer) bool {
+	trapped []*flowCluster, usedPins map[geom.Pt]bool, committed map[int]grid.Path, trace io.Writer, workers int) bool {
 	g := obs.Grid()
 	owner := map[geom.Pt]*flowCluster{}
 	for _, fc := range *fcsp {
@@ -825,10 +832,56 @@ func ripAndCommit(ws *route.Workspace, d *valve.Design, obs *grid.ObsMap, fcsp *
 		}
 	}
 	// Re-route every ripped cluster around the committed escapes.
-	for _, rb := range ripped {
-		rerouteInternal(ws, d, obs, fcsp, nextID, rb)
-	}
+	rerouteRipped(d, obs, fcsp, nextID, ripped, workers)
 	return anyCommitted || len(ripped) > 0
+}
+
+// buildTerminals assembles the escape terminals for every not-yet-committed
+// cluster. The per-cluster take-off cost (a BFS over the net's channel tree
+// per valve, netCellSpread) reads no shared mutable state, so with workers
+// > 1 the per-cluster computations fan out over a fixed worker pool; the
+// indexed writes keep the output order identical to the sequential loop.
+func buildTerminals(d *valve.Design, fcs []*flowCluster, committed map[int]grid.Path, workers int) []escape.Terminal {
+	var pending []*flowCluster
+	for _, fc := range fcs {
+		if _, done := committed[fc.id]; !done {
+			pending = append(pending, fc)
+		}
+	}
+	if len(pending) == 0 {
+		return nil
+	}
+	terms := make([]escape.Terminal, len(pending))
+	build := func(i int) {
+		fc := pending[i]
+		cells := fc.takeoffs(d)
+		terms[i] = escape.Terminal{
+			ClusterID: fc.id,
+			Cells:     cells,
+			Costs:     fc.takeoffCosts(d, cells),
+		}
+	}
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	if workers <= 1 {
+		for i := range pending {
+			build(i)
+		}
+		return terms
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(pending); i += workers {
+				build(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return terms
 }
 
 // remarkValves re-blocks every valve cell (rip-up unmarks whole paths,
@@ -880,33 +933,61 @@ func findBlockers(obs *grid.ObsMap, takeoffs []geom.Pt, owner map[geom.Pt]*flowC
 	return order
 }
 
-// rerouteInternal re-routes a ripped cluster's internal channels with MST
-// (its LM structure, if any, is forfeited — the paper's rip-up cost). When
-// even MST routing fails, the cluster splits into bare singletons so that
-// every valve can still escape on its own.
-func rerouteInternal(ws *route.Workspace, d *valve.Design, obs *grid.ObsMap, fcsp *[]*flowCluster, nextID *int, fc *flowCluster) {
-	fc.net = nil
-	fc.tree = nil
-	fc.kind = kindOrd
-	fc.demoted = true
-	fc.paths = nil
-	if len(fc.valves) <= 1 {
-		return
+// mstClusterTask wraps one cluster's MST routing (mstroute.RouteClusterWS on
+// a scratch snapshot) as a scheduler task. RouteClusterWS reads obstacles
+// only through the workspace's searches, so the task qualifies for
+// speculative execution under route.RunScheduled.
+func mstClusterTask(g grid.Grid, pos []geom.Pt) route.ScheduledTask {
+	return route.ScheduledTask{
+		Window: route.SearchWindow(g, pos, nil),
+		Run: func(ws *route.Workspace, scratch *grid.ObsMap) route.TaskOutcome {
+			res, ok := mstroute.RouteClusterWS(ws, scratch, pos, nil)
+			if !ok {
+				return route.TaskOutcome{}
+			}
+			return route.TaskOutcome{OK: true, Paths: res.Paths}
+		},
 	}
-	work := obs.Clone()
-	if res, ok := mstroute.RouteClusterWS(ws, work, fc.positions(d), nil); ok {
-		obs.CopyFrom(work)
-		fc.paths = res.Paths
-		return
+}
+
+// rerouteRipped re-routes the ripped clusters' internal channels with MST
+// (their LM structure, if any, is forfeited — the paper's rip-up cost). The
+// clusters route as one scheduler batch committing in rip order, so the
+// outcome is byte-identical to rerouting them one by one. When even MST
+// routing fails, a cluster splits into bare singletons so that every valve
+// can still escape on its own.
+func rerouteRipped(d *valve.Design, obs *grid.ObsMap, fcsp *[]*flowCluster, nextID *int, ripped []*flowCluster, workers int) {
+	var active []*flowCluster
+	for _, fc := range ripped {
+		fc.net = nil
+		fc.tree = nil
+		fc.kind = kindOrd
+		fc.demoted = true
+		fc.paths = nil
+		if len(fc.valves) > 1 {
+			active = append(active, fc)
+		}
 	}
-	rest := fc.valves[1:]
-	fc.valves = fc.valves[:1]
-	for _, v := range rest {
-		*fcsp = append(*fcsp, &flowCluster{
-			id: *nextID, valves: []int{v}, kind: kindOrd, demoted: true,
-		})
-		*nextID++
+	g := obs.Grid()
+	tasks := make([]route.ScheduledTask, len(active))
+	for i := range active {
+		tasks[i] = mstClusterTask(g, active[i].positions(d))
 	}
+	route.RunScheduled(obs, tasks, workers, func(i int, out route.TaskOutcome) {
+		fc := active[i]
+		if out.OK {
+			fc.paths = out.Paths
+			return
+		}
+		rest := fc.valves[1:]
+		fc.valves = fc.valves[:1]
+		for _, v := range rest {
+			*fcsp = append(*fcsp, &flowCluster{
+				id: *nextID, valves: []int{v}, kind: kindOrd, demoted: true,
+			})
+			*nextID++
+		}
+	})
 }
 
 // takeoffs returns the cluster's permitted escape take-off cells.

@@ -1,0 +1,50 @@
+package pacor
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// TestWorkerCountByteIdentical routes the synthetic Table 1 benchmarks with
+// every worker count and requires the serialized results to be byte-for-byte
+// identical: the parallel scheduler must be an execution detail, invisible
+// in the output. Runtime fields are zeroed before comparison — wall time is
+// the one thing allowed to differ.
+func TestWorkerCountByteIdentical(t *testing.T) {
+	names := []string{"S1", "S2", "S3", "S4", "S5"}
+	if testing.Short() {
+		names = names[:3]
+	}
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			var want []byte
+			for _, workers := range []int{0, 1, 2, 4, 8} {
+				d, err := bench.Generate(name)
+				if err != nil {
+					t.Fatalf("generate: %v", err)
+				}
+				params := DefaultParams()
+				params.Workers = workers
+				res, err := Route(d, params)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				res.Runtime = 0
+				res.StageTimes = nil
+				var buf bytes.Buffer
+				if err := res.WriteJSON(&buf); err != nil {
+					t.Fatalf("workers=%d: marshal: %v", workers, err)
+				}
+				if want == nil {
+					want = buf.Bytes()
+					continue
+				}
+				if !bytes.Equal(want, buf.Bytes()) {
+					t.Errorf("workers=%d: routed result differs from sequential (workers=0)", workers)
+				}
+			}
+		})
+	}
+}

@@ -51,6 +51,12 @@ type Params struct {
 	Lambda float64
 	// Negotiate holds Algorithm 1's bg/alpha/gamma.
 	Negotiate route.NegotiateParams
+	// Workers sets the worker-pool size for the flow's parallel routing
+	// stages (negotiation rounds, ordinary-cluster MST routing, escape
+	// rip-up rerouting). 0 or 1 runs everything sequentially; every value
+	// produces byte-identical results (see route.RunScheduled). It also
+	// seeds Negotiate.Workers unless that is set explicitly.
+	Workers int
 	// Solver picks the MWCP solver (the paper adopted ILP).
 	Solver seltree.Solver
 	// EscapeRetries bounds the de-clustering/rip-up escape rounds.

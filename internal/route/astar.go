@@ -42,8 +42,8 @@ func (r *Request) inBounds(q geom.Pt) bool {
 // This wrapper draws a pooled Workspace; callers in routing inner loops
 // should hold their own Workspace and use its AStar method directly.
 func AStar(g grid.Grid, req Request) (grid.Path, bool) {
-	w := getWorkspace()
+	w := AcquireWorkspace(g)
 	path, ok := w.AStar(g, req)
-	putWorkspace(w)
+	ReleaseWorkspace(w)
 	return path, ok
 }

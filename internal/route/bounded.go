@@ -20,9 +20,9 @@ import (
 // This wrapper draws a pooled Workspace; callers in routing inner loops
 // should hold their own Workspace and use its BoundedAStar method directly.
 func BoundedAStar(g grid.Grid, req Request, minLen, maxLen int) (grid.Path, bool) {
-	w := getWorkspace()
+	w := AcquireWorkspace(g)
 	path, ok := w.BoundedAStar(g, req, minLen, maxLen)
-	putWorkspace(w)
+	ReleaseWorkspace(w)
 	return path, ok
 }
 

@@ -19,6 +19,12 @@ type NegotiateParams struct {
 	BaseHist float64
 	Alpha    float64
 	Gamma    int
+	// Workers sets the pool size for routing each round's edges through the
+	// spatial-dependency scheduler (RunScheduled). 0 or 1 routes the round
+	// sequentially; any value produces byte-identical results — the scheduler
+	// validates every speculative search against the exact sequential
+	// obstacle state before committing it.
+	Workers int
 }
 
 // DefaultNegotiateParams mirrors the paper's settings.
@@ -38,9 +44,9 @@ func DefaultNegotiateParams() NegotiateParams {
 // This wrapper draws a pooled Workspace; callers in routing inner loops
 // should hold their own Workspace and use its Negotiate method directly.
 func Negotiate(obs *grid.ObsMap, edges []Edge, params NegotiateParams) (map[int]grid.Path, bool) {
-	w := getWorkspace()
+	w := AcquireWorkspace(obs.Grid())
 	paths, ok := w.Negotiate(obs, edges, params)
-	putWorkspace(w)
+	ReleaseWorkspace(w)
 	return paths, ok
 }
 
@@ -80,24 +86,31 @@ func (w *Workspace) Negotiate(obs *grid.ObsMap, edges []Edge, params NegotiatePa
 			delete(paths, k)
 		}
 		done := true
-		for _, e := range edges { // Steps 7-13
-			p, ok := w.AStar(g, Request{
-				Sources: e.Sources,
-				Targets: e.Targets,
-				Obs:     work,
-				Hist:    hist,
-			})
-			if ok {
-				paths[e.ID] = p
-				work.SetPath(p, true) // Step 11: routed path becomes obstacle
-			} else {
-				done = false
+		if params.Workers > 1 && len(edges) > 1 {
+			done = negotiateRound(g, work, edges, hist, paths, params.Workers)
+		} else {
+			for _, e := range edges { // Steps 7-13
+				p, ok := w.AStar(g, Request{
+					Sources: e.Sources,
+					Targets: e.Targets,
+					Obs:     work,
+					Hist:    hist,
+				})
+				if ok {
+					paths[e.ID] = p
+					work.SetPath(p, true) // Step 11: routed path becomes obstacle
+				} else {
+					done = false
+				}
 			}
 		}
 		if done {
 			return paths, true
 		}
 		// Steps 17-19: bump history along routed paths, then rip them up.
+		// (Map iteration order varies, but the bump composes the same affine
+		// update per visit regardless of visit order, so hist is
+		// order-independent.)
 		for _, p := range paths {
 			for _, c := range p {
 				i := g.Index(c)
@@ -106,4 +119,41 @@ func (w *Workspace) Negotiate(obs *grid.ObsMap, edges []Edge, params NegotiatePa
 		}
 	}
 	return paths, false
+}
+
+// negotiateRound routes one round's edges, in slice order, through the
+// spatial-dependency scheduler: routed paths commit onto work in edge order,
+// exactly as the sequential Steps 7-13 loop does. It reports whether every
+// edge routed.
+//
+//pacor:allow hotalloc per-round task construction, amortized over the round's searches
+func negotiateRound(g grid.Grid, work *grid.ObsMap, edges []Edge, hist []float64, paths map[int]grid.Path, workers int) bool {
+	tasks := make([]ScheduledTask, len(edges))
+	for i := range edges {
+		e := edges[i]
+		tasks[i] = ScheduledTask{
+			Window: SearchWindow(g, e.Sources, e.Targets),
+			Run: func(ws *Workspace, obs *grid.ObsMap) TaskOutcome {
+				p, ok := ws.AStar(g, Request{
+					Sources: e.Sources,
+					Targets: e.Targets,
+					Obs:     obs,
+					Hist:    hist,
+				})
+				if !ok {
+					return TaskOutcome{}
+				}
+				return TaskOutcome{OK: true, Paths: []grid.Path{p}}
+			},
+		}
+	}
+	done := true
+	RunScheduled(work, tasks, workers, func(i int, out TaskOutcome) {
+		if out.OK {
+			paths[edges[i].ID] = out.Paths[0]
+		} else {
+			done = false
+		}
+	})
+	return done
 }

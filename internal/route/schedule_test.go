@@ -1,0 +1,195 @@
+package route
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+// schedScenario builds a deterministic routing workload: nEdges horizontal
+// nets on a grid with a sparse obstacle lattice, each net a ScheduledTask
+// whose Run is a single A* search (the negotiation round's shape).
+func schedScenario(t *testing.T, nEdges int) (grid.Grid, *grid.ObsMap, []Edge) {
+	t.Helper()
+	g := grid.New(64, 4*nEdges+4)
+	obs := grid.NewObsMap(g)
+	for i := 0; i < g.Cells(); i += 37 {
+		p := g.Pt(i)
+		if p.X > 2 && p.X < 61 {
+			obs.Set(p, true)
+		}
+	}
+	edges := make([]Edge, nEdges)
+	for i := range edges {
+		y := 4*i + 2
+		edges[i] = Edge{
+			ID:      i,
+			Sources: []geom.Pt{{X: 1, Y: y}},
+			Targets: []geom.Pt{{X: 62, Y: (y + 7) % (4*nEdges + 4)}},
+		}
+	}
+	return g, obs, edges
+}
+
+func edgeTasks(g grid.Grid, edges []Edge, window func(Edge) geom.Rect) []ScheduledTask {
+	tasks := make([]ScheduledTask, len(edges))
+	for i := range edges {
+		e := edges[i]
+		tasks[i] = ScheduledTask{
+			Window: window(e),
+			Run: func(ws *Workspace, obs *grid.ObsMap) TaskOutcome {
+				p, ok := ws.AStar(g, Request{Sources: e.Sources, Targets: e.Targets, Obs: obs})
+				if !ok {
+					return TaskOutcome{}
+				}
+				return TaskOutcome{OK: true, Paths: []grid.Path{p}}
+			},
+		}
+	}
+	return tasks
+}
+
+// runCollect executes the tasks and returns the commit sequence plus the
+// final obstacle map.
+func runCollect(base *grid.ObsMap, tasks []ScheduledTask, workers int) ([]TaskOutcome, *grid.ObsMap) {
+	final := base.Clone()
+	outs := make([]TaskOutcome, 0, len(tasks))
+	RunScheduled(final, tasks, workers, func(i int, out TaskOutcome) {
+		if i != len(outs) {
+			panic("commit out of order")
+		}
+		outs = append(outs, out)
+	})
+	return outs, final
+}
+
+func assertObsEqual(t *testing.T, want, got *grid.ObsMap) {
+	t.Helper()
+	g := want.Grid()
+	for i := 0; i < g.Cells(); i++ {
+		p := g.Pt(i)
+		if want.Blocked(p) != got.Blocked(p) {
+			t.Fatalf("obstacle maps differ at %v", p)
+		}
+	}
+}
+
+func TestRunScheduledMatchesSequential(t *testing.T) {
+	g, obs, edges := schedScenario(t, 8)
+	window := func(e Edge) geom.Rect { return SearchWindow(g, e.Sources, e.Targets) }
+	wantOuts, wantObs := runCollect(obs, edgeTasks(g, edges, window), 1)
+	for _, workers := range []int{2, 4, 8, 16} {
+		gotOuts, gotObs := runCollect(obs, edgeTasks(g, edges, window), workers)
+		if !reflect.DeepEqual(wantOuts, gotOuts) {
+			t.Fatalf("workers=%d: commit sequence differs from sequential", workers)
+		}
+		assertObsEqual(t, wantObs, gotObs)
+	}
+}
+
+// TestRunScheduledMispredictedWindows forces maximal speculation: every
+// window is empty, so no task depends on any other and all run concurrently
+// from stale snapshots. Correctness must then come entirely from the
+// visit-set validation and sequential redo at commit.
+func TestRunScheduledMispredictedWindows(t *testing.T) {
+	g, obs, edges := schedScenario(t, 8)
+	empty := func(Edge) geom.Rect { return geom.Rect{MinX: 1, MinY: 1, MaxX: 0, MaxY: 0} }
+	honest := func(e Edge) geom.Rect { return SearchWindow(g, e.Sources, e.Targets) }
+	wantOuts, wantObs := runCollect(obs, edgeTasks(g, edges, honest), 1)
+	for _, workers := range []int{2, 8} {
+		gotOuts, gotObs := runCollect(obs, edgeTasks(g, edges, empty), workers)
+		if !reflect.DeepEqual(wantOuts, gotOuts) {
+			t.Fatalf("workers=%d: empty-window commit sequence differs from sequential", workers)
+		}
+		assertObsEqual(t, wantObs, gotObs)
+	}
+}
+
+func TestRunScheduledFailuresCommitNothing(t *testing.T) {
+	// A task that fails (no path) must not alter the base map, and its
+	// failure must be reported in order.
+	g := grid.New(8, 8)
+	obs := grid.NewObsMap(g)
+	for y := 0; y < 8; y++ {
+		obs.Set(geom.Pt{X: 4, Y: y}, true) // wall: right half unreachable
+	}
+	edges := []Edge{
+		{ID: 0, Sources: []geom.Pt{{X: 0, Y: 0}}, Targets: []geom.Pt{{X: 7, Y: 0}}},
+		{ID: 1, Sources: []geom.Pt{{X: 0, Y: 2}}, Targets: []geom.Pt{{X: 3, Y: 2}}},
+	}
+	window := func(e Edge) geom.Rect { return SearchWindow(g, e.Sources, e.Targets) }
+	for _, workers := range []int{1, 2} {
+		outs, final := runCollect(obs, edgeTasks(g, edges, window), workers)
+		if outs[0].OK {
+			t.Fatalf("workers=%d: walled-off edge reported success", workers)
+		}
+		if !outs[1].OK {
+			t.Fatalf("workers=%d: reachable edge failed", workers)
+		}
+		want := obs.Clone()
+		for _, p := range outs[1].Paths {
+			want.SetPath(p, true)
+		}
+		assertObsEqual(t, want, final)
+	}
+}
+
+func TestSearchWindow(t *testing.T) {
+	g := grid.New(100, 100)
+	w := SearchWindow(g, []geom.Pt{{X: 20, Y: 20}}, []geom.Pt{{X: 30, Y: 24}})
+	for _, p := range []geom.Pt{{X: 20, Y: 20}, {X: 30, Y: 24}} {
+		if !w.Contains(p) {
+			t.Errorf("window %+v misses terminal %v", w, p)
+		}
+	}
+	if w.Contains(geom.Pt{X: 90, Y: 90}) {
+		t.Errorf("window %+v covers the far corner; no locality", w)
+	}
+	if !SearchWindow(g, nil, nil).Empty() {
+		t.Error("window of no terminals should be empty")
+	}
+	// Windows clip to the grid.
+	edge := SearchWindow(g, []geom.Pt{{X: 0, Y: 0}}, []geom.Pt{{X: 1, Y: 1}})
+	if edge.Intersect(g.Bounds()) != edge {
+		t.Errorf("window %+v exceeds grid bounds", edge)
+	}
+}
+
+func TestNegotiateWorkersByteIdentical(t *testing.T) {
+	_, obs, edges := schedScenario(t, 10)
+	params := DefaultNegotiateParams()
+	wantPaths, wantOK := Negotiate(obs, edges, params)
+	for _, workers := range []int{1, 2, 4, 8} {
+		p := params
+		p.Workers = workers
+		gotPaths, gotOK := Negotiate(obs, edges, p)
+		if gotOK != wantOK {
+			t.Fatalf("workers=%d: ok=%v, sequential ok=%v", workers, gotOK, wantOK)
+		}
+		if !reflect.DeepEqual(wantPaths, gotPaths) {
+			t.Fatalf("workers=%d: paths differ from sequential", workers)
+		}
+	}
+}
+
+func TestWorkspacePoolRoundTrip(t *testing.T) {
+	g1 := grid.New(16, 16)
+	g2 := grid.New(32, 8)
+	w1 := AcquireWorkspace(g1)
+	ReleaseWorkspace(w1)
+	w2 := AcquireWorkspace(g2)
+	// Same cell count (256): the pool may hand back the same workspace; it
+	// must be safely reusable either way.
+	p, ok := w2.AStar(g2, Request{
+		Sources: []geom.Pt{{X: 0, Y: 0}},
+		Targets: []geom.Pt{{X: 31, Y: 7}},
+		Obs:     grid.NewObsMap(g2),
+	})
+	if !ok || p.Len() != 38 {
+		t.Fatalf("pooled workspace search: ok=%v len=%d, want the Manhattan distance 38", ok, p.Len())
+	}
+	ReleaseWorkspace(w2)
+	ReleaseWorkspace(nil) // must be a no-op
+}

@@ -1,0 +1,40 @@
+package route
+
+import (
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+// SearchWindow estimates the spatial extent of a search between the two
+// terminal sets: their joint bounding box inflated by a detour margin, the
+// same bounding idea the detour stage uses to keep its bounded reroutes
+// local (a conforming path of bounded length stays within the terminal bbox
+// expanded by half the slack; see internal/detour's reroute window).
+//
+// The scheduler uses windows only as a dependency heuristic: two searches
+// whose windows are disjoint almost never interact through the
+// routed-paths-as-obstacles rule, so they can run concurrently. A search
+// that does stray outside its window is caught exactly by the visit-set
+// validation at commit time — a window misprediction costs a redo, never
+// correctness.
+func SearchWindow(g grid.Grid, sources, targets []geom.Pt) geom.Rect {
+	bb := geom.Rect{MinX: 1, MinY: 1, MaxX: 0, MaxY: 0}
+	for _, p := range sources {
+		bb = bb.Union(geom.RectOf(p, p))
+	}
+	for _, p := range targets {
+		bb = bb.Union(geom.RectOf(p, p))
+	}
+	if bb.Empty() {
+		return bb
+	}
+	// Margin: half the bbox half-perimeter, floored at 8 cells. A shortest
+	// path stays inside the bbox; history-driven detours wander further, and
+	// this slack absorbs the common case. Larger margins trade parallelism
+	// (more window overlaps, deeper dependency chains) for fewer redos.
+	m := (bb.Width() + bb.Height()) / 2
+	if m < 8 {
+		m = 8
+	}
+	return bb.Expand(m).Intersect(g.Bounds())
+}

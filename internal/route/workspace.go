@@ -2,7 +2,6 @@ package route
 
 import (
 	"math"
-	"sync"
 
 	"repro/internal/geom"
 	"repro/internal/grid"
@@ -39,6 +38,14 @@ type Workspace struct {
 	arena []bnode       // bounded-search state arena
 
 	nbuf []geom.Pt // neighbor scratch
+
+	// Visit tracking (the speculative scheduler's validation input): while
+	// track is set, every cell brought into a search generation also sets its
+	// bit in vbits. Because both searches stamp a cell before querying its
+	// obstacle status, the bitmap is a superset of every cell whose external
+	// state (ObsMap / Hist) the searches observed.
+	track bool
+	vbits []uint64
 }
 
 // NewWorkspace returns a workspace sized for g. Searches on other grid
@@ -61,6 +68,49 @@ func (w *Workspace) grow(n int) {
 	w.parent = make([]int32, n)
 	w.closed = make([]bool, n)
 	w.maxSeen = make([]int32, n)
+	if w.vbits != nil || w.track {
+		w.vbits = make([]uint64, (n+63)/64)
+	}
+}
+
+// StartVisitTracking clears the visited-cell bitmap and begins recording
+// every cell the following searches touch. Tracking spans searches: the
+// bitmap accumulates until the next StartVisitTracking. The scheduler uses
+// the recorded set to prove that a speculative search could not have seen a
+// concurrently committed path.
+//
+//pacor:allow hotalloc bitmap (re)sized once per tracking session, reused across all searches in it
+func (w *Workspace) StartVisitTracking() {
+	if need := (w.cells + 63) / 64; len(w.vbits) < need {
+		w.vbits = make([]uint64, need)
+	}
+	clear(w.vbits)
+	w.track = true
+}
+
+// StopVisitTracking stops recording; the bitmap keeps its contents until the
+// next StartVisitTracking.
+func (w *Workspace) StopVisitTracking() { w.track = false }
+
+// CopyVisits copies the visited-cell bitmap into dst (grown as needed) and
+// returns it, so the caller can keep the record while the workspace moves on
+// to other searches.
+//
+//pacor:allow hotalloc grows the caller's capture buffer once; steady-state copies reuse it
+func (w *Workspace) CopyVisits(dst []uint64) []uint64 {
+	if cap(dst) < len(w.vbits) {
+		dst = make([]uint64, len(w.vbits))
+	}
+	dst = dst[:len(w.vbits)]
+	copy(dst, w.vbits)
+	return dst
+}
+
+// visit records cell i in the tracking bitmap when tracking is active.
+func (w *Workspace) visit(i int) {
+	if w.track {
+		w.vbits[i>>6] |= 1 << (uint(i) & 63)
+	}
 }
 
 // begin starts a new search generation and clears the frontier buffers.
@@ -84,6 +134,7 @@ func (w *Workspace) begin(g grid.Grid) {
 // touch brings cell i into the current generation with A* initial state and
 // reports whether it was already current.
 func (w *Workspace) touch(i int) bool {
+	w.visit(i)
 	if w.stamp[i] == w.gen {
 		return true
 	}
@@ -97,6 +148,7 @@ func (w *Workspace) touch(i int) bool {
 // touchBounded brings cell i into the current generation with bounded-search
 // initial state.
 func (w *Workspace) touchBounded(i int) {
+	w.visit(i)
 	if w.stamp[i] != w.gen {
 		w.stamp[i] = w.gen
 		w.maxSeen[i] = -1
@@ -407,14 +459,3 @@ func popBounded(h *[]boundedItem) boundedItem {
 	*h = s[:n]
 	return it
 }
-
-// --- package-level wrappers ------------------------------------------------
-
-// wsPool backs the package-level AStar/BoundedAStar/Negotiate convenience
-// wrappers: callers without a long-lived workspace still amortize the search
-// arrays across calls. Hot paths (the pacor flow, detour, mstroute,
-// baseline) thread an explicitly owned workspace instead.
-var wsPool = sync.Pool{New: func() interface{} { return &Workspace{} }}
-
-func getWorkspace() *Workspace  { return wsPool.Get().(*Workspace) }
-func putWorkspace(w *Workspace) { wsPool.Put(w) }
