@@ -1,16 +1,25 @@
 // Command pacorvet is the repository's custom static-analysis gate. It
-// runs the internal/lint analyzer suite — determinism (maporder),
-// allocation discipline (hotalloc), numeric tolerance (floateq), error
-// hygiene (liberrs), stdout hygiene (nostdout) — over the packages matched
-// by its arguments and exits nonzero on any finding.
+// runs the internal/lint analyzer suite — determinism (maporder,
+// nondeterm), allocation discipline (hotalloc), numeric tolerance
+// (floateq), error hygiene (liberrs), stdout hygiene (nostdout), pooled
+// workspace ownership (wsaliasing), and the speculative-read stamping
+// protocol (snapshotread) — over the packages matched by its arguments and
+// exits nonzero on any finding.
 //
 // Usage:
 //
-//	pacorvet [-list] [patterns...]
+//	pacorvet [-list] [-fix] [-format text|json|sarif] [patterns...]
 //
 // Patterns are `go list` package patterns (default ./...); a pattern that
 // names a directory of loose .go files (e.g. internal/lint/testdata/src/maporder)
-// is linted directly, which is how the fixture corpus is exercised.
+// is linted directly, which is how the fixture corpus is exercised. A
+// pattern that matches no packages is an error (exit 2), not a silent
+// clean run.
+//
+// -fix applies each finding's first suggested repair in place, then
+// re-lints and reports what remains. -format=sarif emits SARIF 2.1.0 for
+// CI annotation; -format=json emits the raw finding list.
+//
 // Suppress a finding in place with a justified directive:
 //
 //	//pacor:allow <analyzer> <reason>
@@ -38,31 +47,67 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list registered analyzers and exit")
 	dir := fs.String("dir", ".", "module root to lint from")
+	fix := fs.Bool("fix", false, "apply suggested fixes in place, then re-lint")
+	format := fs.String("format", "text", "output format: text, json, or sarif")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: pacorvet [-list] [-dir root] [patterns...]\n")
+		fmt.Fprintf(stderr, "usage: pacorvet [-list] [-fix] [-format text|json|sarif] [-dir root] [patterns...]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(stderr, "pacorvet: unknown -format %q (want text, json, or sarif)\n", *format)
+		return 2
+	}
 
 	if *list {
 		for _, a := range lint.Analyzers() {
-			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
 
-	findings, err := lint.Run(lint.Options{
-		Dir:      *dir,
-		Patterns: fs.Args(),
-	})
+	opts := lint.Options{Dir: *dir, Patterns: fs.Args()}
+	findings, err := lint.Run(opts)
 	if err != nil {
 		fmt.Fprintf(stderr, "pacorvet: %v\n", err)
 		return 2
 	}
-	for _, f := range findings {
-		fmt.Fprintln(stdout, f)
+
+	if *fix {
+		res, err := lint.ApplyFixes(findings, *dir)
+		if err != nil {
+			fmt.Fprintf(stderr, "pacorvet: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "pacorvet: applied %d fix(es) in %d file(s), %d skipped\n",
+			res.Applied, len(res.Files), res.Skipped)
+		// Report what the fixes did not repair.
+		findings, err = lint.Run(opts)
+		if err != nil {
+			fmt.Fprintf(stderr, "pacorvet: %v\n", err)
+			return 2
+		}
+	}
+
+	switch *format {
+	case "json":
+		if err := lint.WriteJSON(stdout, findings); err != nil {
+			fmt.Fprintf(stderr, "pacorvet: %v\n", err)
+			return 2
+		}
+	case "sarif":
+		if err := lint.WriteSARIF(stdout, findings); err != nil {
+			fmt.Fprintf(stderr, "pacorvet: %v\n", err)
+			return 2
+		}
+	default:
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(stderr, "pacorvet: %d finding(s)\n", len(findings))

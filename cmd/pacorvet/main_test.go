@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -21,12 +24,18 @@ func TestFixturesFail(t *testing.T) {
 		"internal/lint/testdata/src/floateq",
 		"internal/lint/testdata/src/liberrs",
 		"internal/lint/testdata/src/nostdout",
+		"internal/lint/testdata/src/wsaliasing",
+		"internal/lint/testdata/src/snapshotread",
+		"internal/lint/testdata/src/nondeterm",
 	}, &stdout, &stderr)
 	if code != 1 {
 		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
 	}
 	out := stdout.String()
-	for _, an := range []string{"[maporder]", "[hotalloc]", "[floateq]", "[liberrs]", "[nostdout]"} {
+	for _, an := range []string{
+		"[maporder]", "[hotalloc]", "[floateq]", "[liberrs]", "[nostdout]",
+		"[wsaliasing]", "[snapshotread]", "[nondeterm]",
+	} {
 		if !strings.Contains(out, an) {
 			t.Errorf("output missing findings from %s:\n%s", an, out)
 		}
@@ -55,7 +64,10 @@ func TestListFlag(t *testing.T) {
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("-list exit code = %d", code)
 	}
-	for _, an := range []string{"maporder", "hotalloc", "floateq", "liberrs", "nostdout"} {
+	for _, an := range []string{
+		"maporder", "hotalloc", "floateq", "liberrs", "nostdout",
+		"wsaliasing", "snapshotread", "nondeterm",
+	} {
 		if !strings.Contains(stdout.String(), an) {
 			t.Errorf("-list missing %s:\n%s", an, stdout.String())
 		}
@@ -67,5 +79,147 @@ func TestBadPattern(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"-dir", moduleRoot, "./does/not/exist/..."}, &stdout, &stderr); code != 2 {
 		t.Errorf("bad pattern exit code = %d, want 2 (stderr: %s)", code, stderr.String())
+	}
+}
+
+// TestNoMatchPattern pins the no-silent-clean rule: a syntactically valid
+// pattern that matches zero packages must exit 2 with a diagnostic, because
+// `go list` itself exits 0 and linting nothing would look like a pass.
+func TestNoMatchPattern(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-dir", moduleRoot, "./docs/..."}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("no-match pattern exit code = %d, want 2\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "matched no packages") {
+		t.Errorf("stderr missing no-match diagnostic:\n%s", stderr.String())
+	}
+}
+
+// TestBadFormat checks that an unknown -format is a usage error.
+func TestBadFormat(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-format", "xml"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad format exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown -format") {
+		t.Errorf("stderr missing format diagnostic:\n%s", stderr.String())
+	}
+}
+
+// TestFormatSARIF checks the CI annotation output: findings exit 1, the
+// stream is valid JSON, and rule/location fields land where SARIF viewers
+// expect them.
+func TestFormatSARIF(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-dir", moduleRoot, "-format", "sarif",
+		"internal/lint/testdata/src/floateq",
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, stdout.String())
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("not a single SARIF 2.1.0 run: version=%q runs=%d", log.Version, len(log.Runs))
+	}
+	r := log.Runs[0]
+	if r.Tool.Driver.Name != "pacorvet" || len(r.Tool.Driver.Rules) < 8 {
+		t.Errorf("driver = %q with %d rules, want pacorvet with the full registry",
+			r.Tool.Driver.Name, len(r.Tool.Driver.Rules))
+	}
+	if len(r.Results) == 0 {
+		t.Fatal("no results for a fixture full of violations")
+	}
+	for _, res := range r.Results {
+		if res.RuleID != "floateq" || res.Level != "error" {
+			t.Errorf("result = %q/%q, want floateq/error", res.RuleID, res.Level)
+		}
+		if len(res.Locations) != 1 || res.Locations[0].PhysicalLocation.Region.StartLine < 1 ||
+			!strings.HasSuffix(res.Locations[0].PhysicalLocation.ArtifactLocation.URI, ".go") {
+			t.Errorf("malformed location: %+v", res.Locations)
+		}
+	}
+}
+
+// TestFormatJSON checks the machine-readable finding list.
+func TestFormatJSON(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-dir", moduleRoot, "-format", "json",
+		"internal/lint/testdata/src/nondeterm",
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	var findings []struct {
+		Analyzer string
+		Message  string
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &findings); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, stdout.String())
+	}
+	if len(findings) == 0 || findings[0].Analyzer != "nondeterm" {
+		t.Errorf("unexpected findings: %+v", findings)
+	}
+}
+
+// TestFixFlag runs -fix over a scratch copy of the seeded-defect tree and
+// checks the tool converges to exit 0.
+func TestFixFlag(t *testing.T) {
+	srcDir := filepath.Join(moduleRoot, "internal", "lint", "testdata", "fix")
+	matches, err := filepath.Glob(filepath.Join(srcDir, "*.go"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no seeded-defect fixtures: %v", err)
+	}
+	scratch := t.TempDir()
+	for _, p := range matches {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(scratch, filepath.Base(p)), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-dir", moduleRoot, "-fix", scratch}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("-fix exit code = %d, want 0 (converged)\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "applied") {
+		t.Errorf("stderr missing the fix summary:\n%s", stderr.String())
 	}
 }

@@ -1,6 +1,9 @@
 package lint
 
-// Analyzers returns the default registry, in stable order.
+// Analyzers returns the default registry, in stable order. The first five
+// are the syntax-level checks from the original gate; the last three are
+// the dataflow-aware concurrency/determinism checks built on
+// internal/lint/cfg.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		AnalyzerMapOrder,
@@ -8,6 +11,9 @@ func Analyzers() []*Analyzer {
 		AnalyzerFloatEq,
 		AnalyzerLibErrs,
 		AnalyzerNoStdout,
+		AnalyzerWsAliasing,
+		AnalyzerSnapshotRead,
+		AnalyzerNonDeterm,
 	}
 }
 

@@ -1,0 +1,88 @@
+package cfg
+
+// A Problem describes a forward dataflow analysis over a Graph. F is the
+// fact type (a map, a bitset, a bool — whatever the analysis needs).
+//
+// Contract: Transfer and Join must be pure — they return new facts and do
+// not mutate their arguments — and Transfer must be monotone in the fact
+// lattice. Solve may alias facts between blocks, so a Transfer that
+// mutated its input would corrupt its predecessors' results.
+type Problem[F any] struct {
+	// Entry is the fact flowing into the graph's entry block.
+	Entry F
+	// Transfer computes the fact leaving b given the fact entering it.
+	Transfer func(b *Block, in F) F
+	// Join combines facts arriving over two predecessor edges (the lattice
+	// least upper bound: union for may-analyses, intersection for
+	// must-analyses).
+	Join func(a, b F) F
+	// Equal reports whether two facts are equal (fixed-point detection).
+	Equal func(a, b F) bool
+}
+
+// Solve iterates p to a fixed point and returns the fact entering every
+// block, indexed by Block.Index. Unreachable blocks keep the zero F and
+// never contribute to a join, which makes the zero value the implicit
+// "unreached" element of the lattice. Callers typically replay Transfer
+// over interesting blocks afterwards to attach diagnostics to the nodes
+// that change the fact.
+func Solve[F any](g *Graph, p Problem[F]) []F {
+	in := make([]F, len(g.Blocks))
+	out := make([]F, len(g.Blocks))
+	hasIn := make([]bool, len(g.Blocks))
+	hasOut := make([]bool, len(g.Blocks))
+	queued := make([]bool, len(g.Blocks))
+
+	rpo := g.RPO()
+	queue := make([]*Block, 0, len(rpo))
+	for _, b := range rpo {
+		queue = append(queue, b)
+		queued[b.Index] = true
+	}
+
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		queued[b.Index] = false
+
+		var newIn F
+		haveFact := false
+		if b == g.Entry {
+			newIn = p.Entry
+			haveFact = true
+		}
+		for _, pr := range b.Preds {
+			if !hasOut[pr.Index] {
+				continue // unreached predecessor contributes nothing yet
+			}
+			if !haveFact {
+				newIn = out[pr.Index]
+				haveFact = true
+			} else {
+				newIn = p.Join(newIn, out[pr.Index])
+			}
+		}
+		if !haveFact {
+			continue // block not reached yet; a predecessor change requeues it
+		}
+		if hasIn[b.Index] && p.Equal(in[b.Index], newIn) {
+			continue
+		}
+		in[b.Index] = newIn
+		hasIn[b.Index] = true
+
+		newOut := p.Transfer(b, newIn)
+		if hasOut[b.Index] && p.Equal(out[b.Index], newOut) {
+			continue
+		}
+		out[b.Index] = newOut
+		hasOut[b.Index] = true
+		for _, s := range b.Succs {
+			if !queued[s.Index] {
+				queue = append(queue, s)
+				queued[s.Index] = true
+			}
+		}
+	}
+	return in
+}

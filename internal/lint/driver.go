@@ -97,6 +97,7 @@ type checkedPackage struct {
 	path    string
 	name    string
 	files   []*ast.File
+	src     map[string][]byte // filename -> raw bytes, for text edits
 	pkg     *types.Package
 	info    *types.Info
 	typeErr []error
@@ -135,6 +136,7 @@ func lintPackage(pkg *checkedPackage, analyzers []*Analyzer) []Finding {
 			Pkg:      pkg.pkg,
 			Info:     pkg.info,
 			hot:      hot,
+			src:      pkg.src,
 			report: func(f Finding) {
 				if allow[f.Pos.Filename].suppressed(f.Analyzer, f.Pos.Line) {
 					return
@@ -157,6 +159,14 @@ func relativize(fs []Finding, dir string) []Finding {
 	for i := range fs {
 		if rel, err := filepath.Rel(abs, fs[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
 			fs[i].Pos.Filename = rel
+		}
+		for j := range fs[i].Fixes {
+			edits := fs[i].Fixes[j].Edits
+			for k := range edits {
+				if rel, err := filepath.Rel(abs, edits[k].File); err == nil && !strings.HasPrefix(rel, "..") {
+					edits[k].File = rel
+				}
+			}
 		}
 	}
 	return fs
@@ -220,6 +230,12 @@ func (ld *loader) loadModule(patterns []string) ([]*checkedPackage, error) {
 	if err != nil {
 		return nil, err
 	}
+	if len(targets) == 0 {
+		// `go list` exits 0 with only a stderr warning when a valid pattern
+		// matches no packages; silently linting nothing would report a clean
+		// tree that was never inspected.
+		return nil, fmt.Errorf("lint: patterns %s matched no packages", strings.Join(patterns, " "))
+	}
 	isTarget := map[string]bool{}
 	for _, t := range targets {
 		isTarget[t.ImportPath] = true
@@ -271,12 +287,18 @@ func (ld *loader) checkFiles(paths []string, fallbackPath string) (*checkedPacka
 // importer. Type errors are collected, not fatal; parse errors are fatal.
 func (ld *loader) check(importPath, pkgName string, paths []string, fallbackPath string) (*checkedPackage, error) {
 	var files []*ast.File
+	src := map[string][]byte{}
 	for _, p := range paths {
-		f, err := parser.ParseFile(ld.fset, p, nil, parser.ParseComments)
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(ld.fset, p, data, parser.ParseComments)
 		if err != nil {
 			return nil, err
 		}
 		files = append(files, f)
+		src[p] = data
 	}
 	if len(files) == 0 {
 		return nil, fmt.Errorf("no Go files in %v", paths)
@@ -315,6 +337,7 @@ func (ld *loader) check(importPath, pkgName string, paths []string, fallbackPath
 		path:    importPath,
 		name:    pkgName,
 		files:   files,
+		src:     src,
 		pkg:     pkg,
 		info:    info,
 		typeErr: typeErrs,

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FixResult summarizes one ApplyFixes call.
+type FixResult struct {
+	// Files are the rewritten file paths, sorted.
+	Files []string
+	// Applied counts the edits written to disk.
+	Applied int
+	// Skipped counts edits dropped because they overlapped an
+	// earlier-positioned edit in the same file.
+	Skipped int
+}
+
+// ApplyFixes applies the first suggested fix of every finding that carries
+// one, writing the rewritten files in place. Relative edit paths are
+// resolved against dir (matching Options.Dir). Identical edits are
+// deduplicated; of two overlapping edits the earlier-positioned one wins
+// and the other is skipped, so a second lint-and-fix round converges
+// instead of corrupting the file.
+func ApplyFixes(findings []Finding, dir string) (FixResult, error) {
+	var res FixResult
+	byFile := map[string][]TextEdit{}
+	for _, f := range findings {
+		if len(f.Fixes) == 0 {
+			continue
+		}
+		for _, e := range f.Fixes[0].Edits {
+			path := e.File
+			if !filepath.IsAbs(path) {
+				path = filepath.Join(dir, path)
+			}
+			e.File = path
+			byFile[path] = append(byFile[path], e)
+		}
+	}
+
+	files := make([]string, 0, len(byFile))
+	for f := range byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+
+	for _, path := range files {
+		edits := byFile[path]
+		sort.Slice(edits, func(i, j int) bool {
+			a, b := edits[i], edits[j]
+			if a.Start != b.Start {
+				return a.Start < b.Start
+			}
+			if a.End != b.End {
+				return a.End < b.End
+			}
+			return a.New < b.New
+		})
+		// Dedup exact duplicates (two analyzers suggesting the same edit),
+		// then drop overlaps.
+		kept := edits[:0]
+		for _, e := range edits {
+			if len(kept) > 0 {
+				prev := kept[len(kept)-1]
+				if prev == e {
+					continue
+				}
+				if e.Start < prev.End || (e.Start == prev.Start && prev.Start == prev.End && e.Start == e.End) {
+					// Overlapping ranges, or two distinct insertions at the
+					// same point (ordering would be arbitrary): keep the first.
+					res.Skipped++
+					continue
+				}
+			}
+			kept = append(kept, e)
+		}
+
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return res, fmt.Errorf("lint: fix: %v", err)
+		}
+		for i := len(kept) - 1; i >= 0; i-- {
+			e := kept[i]
+			if e.Start < 0 || e.End > len(src) || e.Start > e.End {
+				return res, fmt.Errorf("lint: fix: edit [%d,%d) out of range for %s (%d bytes)", e.Start, e.End, path, len(src))
+			}
+			src = append(src[:e.Start], append([]byte(e.New), src[e.End:]...)...)
+		}
+		st, err := os.Stat(path)
+		if err != nil {
+			return res, fmt.Errorf("lint: fix: %v", err)
+		}
+		if err := os.WriteFile(path, src, st.Mode().Perm()); err != nil {
+			return res, fmt.Errorf("lint: fix: %v", err)
+		}
+		res.Files = append(res.Files, path)
+		res.Applied += len(kept)
+	}
+	return res, nil
+}

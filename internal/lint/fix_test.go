@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// copyFixTree copies the seeded-defect tree into a fresh temp dir so the
+// fixes can be applied without touching the checked-in fixture.
+func copyFixTree(t *testing.T) string {
+	t.Helper()
+	dst := t.TempDir()
+	matches, err := filepath.Glob(filepath.Join("testdata", "fix", "*.go"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no seeded-defect fixtures: %v", err)
+	}
+	for _, src := range matches {
+		data, err := os.ReadFile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, filepath.Base(src)), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// readTree snapshots every .go file in dir.
+func readTree(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := map[string][]byte{}
+	for _, p := range matches {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap[p] = data
+	}
+	return snap
+}
+
+// TestFixFixpoint pins the -fix contract: one apply round repairs every
+// seeded defect, the repaired tree lints clean under the full registry,
+// and a second fix round is a byte-level no-op.
+func TestFixFixpoint(t *testing.T) {
+	dir := copyFixTree(t)
+
+	findings, err := Run(Options{Patterns: []string{dir}})
+	if err != nil {
+		t.Fatalf("lint run: %v", err)
+	}
+	if len(findings) == 0 {
+		t.Fatal("seeded-defect tree produced no findings")
+	}
+	fixable := 0
+	for _, f := range findings {
+		if len(f.Fixes) > 0 {
+			fixable++
+		}
+	}
+	if fixable != len(findings) {
+		t.Fatalf("tree has unfixable findings (%d of %d carry fixes): %v", fixable, len(findings), findings)
+	}
+
+	res, err := ApplyFixes(findings, "")
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if res.Applied == 0 {
+		t.Fatal("no edits applied")
+	}
+
+	after, err := Run(Options{Patterns: []string{dir}})
+	if err != nil {
+		t.Fatalf("re-lint: %v", err)
+	}
+	if len(after) != 0 {
+		t.Fatalf("fixed tree still has findings: %v", after)
+	}
+
+	// Second round: nothing to fix, bytes unchanged.
+	snap := readTree(t, dir)
+	res2, err := ApplyFixes(after, "")
+	if err != nil {
+		t.Fatalf("second apply: %v", err)
+	}
+	if res2.Applied != 0 || len(res2.Files) != 0 {
+		t.Errorf("second fix round rewrote files: %+v", res2)
+	}
+	for p, want := range readTree(t, dir) {
+		if !bytes.Equal(snap[p], want) {
+			t.Errorf("%s changed between fix rounds", p)
+		}
+	}
+}
+
+// TestApplyFixesOverlap pins the convergence rule: exact duplicates are
+// deduplicated, overlapping edits keep the earlier-positioned one.
+func TestApplyFixesOverlap(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.txt")
+	if err := os.WriteFile(path, []byte("aaaa\nbbbb\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	edit := func(start, end int, new string) Finding {
+		return Finding{Fixes: []SuggestedFix{{Edits: []TextEdit{{File: path, Start: start, End: end, New: new}}}}}
+	}
+	res, err := ApplyFixes([]Finding{
+		edit(0, 5, ""),  // delete first line
+		edit(0, 5, ""),  // exact duplicate: deduped
+		edit(3, 6, "x"), // overlaps the first edit: skipped
+		edit(5, 10, ""), // delete second line: applied
+	}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 2 || res.Skipped != 1 {
+		t.Errorf("applied=%d skipped=%d, want 2/1", res.Applied, res.Skipped)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 0 {
+		t.Errorf("file = %q, want empty", data)
+	}
+}

@@ -109,6 +109,16 @@ func TestFloatEqFixture(t *testing.T)  { runFixture(t, AnalyzerFloatEq, "testdat
 func TestLibErrsFixture(t *testing.T)  { runFixture(t, AnalyzerLibErrs, "testdata/src/liberrs") }
 func TestNoStdoutFixture(t *testing.T) { runFixture(t, AnalyzerNoStdout, "testdata/src/nostdout") }
 
+func TestWsAliasingFixture(t *testing.T) {
+	runFixture(t, AnalyzerWsAliasing, "testdata/src/wsaliasing")
+}
+func TestSnapshotReadFixture(t *testing.T) {
+	runFixture(t, AnalyzerSnapshotRead, "testdata/src/snapshotread")
+}
+func TestNonDetermFixture(t *testing.T) {
+	runFixture(t, AnalyzerNonDeterm, "testdata/src/nondeterm")
+}
+
 // TestDirectiveValidation checks that an unjustified //pacor:allow is
 // itself reported and suppresses nothing.
 func TestDirectiveValidation(t *testing.T) {
@@ -159,7 +169,7 @@ func TestAnalyzersRegistry(t *testing.T) {
 		}
 		names = append(names, a.Name)
 	}
-	want := "maporder hotalloc floateq liberrs nostdout"
+	want := "maporder hotalloc floateq liberrs nostdout wsaliasing snapshotread nondeterm"
 	if got := strings.Join(names, " "); got != want {
 		t.Errorf("registry = %q, want %q", got, want)
 	}

@@ -61,16 +61,25 @@ func libPackage(pkgPath string) bool {
 // neverFails reports whether call's error result is a documented constant
 // nil: methods on strings.Builder / bytes.Buffer, and fmt.Fprint* aimed at
 // one of those. Discarding such an "error" is the normal idiom, not a bug.
+//
+// The receiver is resolved through the type checker, not the spelling, so
+// field receivers (s.buf.WriteString), parenthesized receivers, and method
+// expressions ((*strings.Builder).WriteString(&b, ...)) all qualify. The
+// same method reached through an interface (io.StringWriter) or a method
+// value stored in a variable stays flagged: the static type no longer
+// guarantees the nil error.
 func neverFails(p *Pass, call *ast.CallExpr) bool {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
 		return false
 	}
-	// b.WriteString(...) on a Builder/Buffer receiver.
-	if recv, ok := sel.X.(*ast.Ident); ok {
-		if infallibleWriter(p.TypeOf(recv)) {
+	if p.Info != nil {
+		if s := p.Info.Selections[sel]; s != nil && infallibleWriter(s.Recv()) {
 			return true
 		}
+	}
+	if infallibleWriter(p.TypeOf(sel.X)) {
+		return true
 	}
 	// fmt.Fprintf(&b, ...) with a Builder/Buffer destination.
 	if id, ok := sel.X.(*ast.Ident); ok && isPkgIdent(p, id, "fmt") &&
@@ -140,7 +149,13 @@ func checkBlankAssign(p *Pass, as *ast.AssignStmt) {
 				p.Reportf(as.Pos(), "blank assignment discards error from %s; handle or //pacor:allow with a reason", name)
 			}
 		case *ast.Ident, *ast.SelectorExpr:
-			p.Reportf(as.Pos(), "dead discard `_ = %s`: the value has no side effects; use it or delete it", exprString(rhs))
+			var fix *SuggestedFix
+			if len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+				if ed, ok := p.DeleteLines(as.Pos(), as.End()); ok {
+					fix = &SuggestedFix{Message: "delete the dead discard", Edits: []TextEdit{ed}}
+				}
+			}
+			p.ReportFix(as.Pos(), fix, "dead discard `_ = %s`: the value has no side effects; use it or delete it", exprString(rhs))
 		}
 	}
 }

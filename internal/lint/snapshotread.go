@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+
+	"repro/internal/lint/cfg"
+)
+
+// AnalyzerSnapshotRead guards the scheduler's validation protocol: the
+// speculative parallel router (route.RunScheduled) can only prove a run's
+// transcript identical to the sequential one if every obstacle-state read
+// is preceded by a visit stamp on the workspace — Workspace.touch /
+// touchBounded / visit / StartVisitTracking — so that a path committed
+// after the snapshot provably was or wasn't observed. An ObsMap.Blocked
+// read reachable before any stamp is invisible to validation and silently
+// breaks the byte-identical guarantee.
+//
+// Scope: functions in the hot routing packages (internal/route,
+// internal/grid) and //pacor:hot functions elsewhere, and only those with
+// a Workspace in scope (receiver, parameter, or acquired locally) —
+// helpers that legitimately read obstacle state outside the speculation
+// protocol are not the target. The check is a must-analysis over the
+// control-flow graph: the fact "some stamp has happened" must hold on
+// every path into a Blocked read.
+var AnalyzerSnapshotRead = &Analyzer{
+	Name: "snapshotread",
+	Doc:  "in hot routing code, ObsMap reads must be preceded by a workspace visit stamp on every path",
+	Run:  runSnapshotRead,
+}
+
+// snapStampMethods are the Workspace methods that stamp cells into the
+// visit set (or switch tracking on).
+var snapStampMethods = map[string]bool{
+	"StartVisitTracking": true,
+	"touch":              true,
+	"touchBounded":       true,
+	"visit":              true,
+}
+
+func runSnapshotRead(p *Pass) {
+	inHotPkg := pathHasSuffix(p.PkgPath, hotPackages...)
+	for _, file := range p.Files {
+		for _, fn := range flowFuncs(file) {
+			if !inHotPkg && !p.HotFunc(fn.decl) {
+				continue
+			}
+			if !snapWsInScope(p, fn) {
+				continue
+			}
+			checkSnapshotFunc(p, fn)
+		}
+	}
+}
+
+// snapWsInScope reports whether fn has a *Workspace available: as the
+// method receiver, as a parameter (its own or, for a closure, the host
+// function's), or acquired in the body.
+func snapWsInScope(p *Pass, fn flowFunc) bool {
+	isWs := func(fl *ast.FieldList) bool {
+		if fl == nil {
+			return false
+		}
+		for _, f := range fl.List {
+			if namedTypeName(p.TypeOf(f.Type)) == "Workspace" {
+				return true
+			}
+		}
+		return false
+	}
+	if isWs(fn.decl.Recv) || isWs(fn.decl.Type.Params) {
+		return true
+	}
+	if fn.lit != nil && isWs(fn.lit.Type.Params) {
+		return true
+	}
+	found := false
+	ast.Inspect(fn.body, func(n ast.Node) bool {
+		if wsAcquireCall(nodeAsExpr(n)) != nil {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func nodeAsExpr(n ast.Node) ast.Expr {
+	e, _ := n.(ast.Expr)
+	return e
+}
+
+// checkSnapshotFunc runs the must-stamped analysis over one body.
+func checkSnapshotFunc(p *Pass, fn flowFunc) {
+	g := cfg.New(fn.body)
+	facts := cfg.Solve(g, cfg.Problem[bool]{
+		Entry: false,
+		Transfer: func(b *cfg.Block, in bool) bool {
+			stamped := in
+			for _, n := range b.Nodes {
+				snapScanNode(p, n, &stamped, nil)
+			}
+			return stamped
+		},
+		Join:  func(a, b bool) bool { return a && b }, // must hold on every path
+		Equal: func(a, b bool) bool { return a == b },
+	})
+	for _, b := range g.RPO() {
+		stamped := facts[b.Index]
+		for _, n := range b.Nodes {
+			snapScanNode(p, n, &stamped, fn.decl)
+		}
+	}
+}
+
+// snapScanNode scans one CFG node in preorder (approximating evaluation
+// order), raising *stamped at stamp calls and, when reporting (decl
+// non-nil), flagging Blocked reads seen while *stamped is false.
+func snapScanNode(p *Pass, n ast.Node, stamped *bool, decl *ast.FuncDecl) {
+	inspectShallow(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		recv := namedTypeName(p.TypeOf(sel.X))
+		if snapStampMethods[sel.Sel.Name] && recv == "Workspace" {
+			*stamped = true
+			return true
+		}
+		if sel.Sel.Name == "Blocked" && recv == "ObsMap" && !*stamped && decl != nil {
+			p.Reportf(call.Pos(), "ObsMap.Blocked read is reachable before any workspace visit stamp; stamp the cell first (Workspace.touch/StartVisitTracking) or the scheduler cannot validate speculative runs")
+		}
+		return true
+	})
+}

@@ -1,0 +1,43 @@
+// Package fixdemo is the seeded-defect tree for the -fix fixpoint test:
+// every finding in it carries a suggested fix, and after one ApplyFixes
+// round the tree lints clean under the full registry. It deliberately has
+// no // want annotations — the contract under test is the repair, not the
+// report.
+package fixdemo
+
+//pacor:pkgpath fixture/internal/fixdemo
+
+// Grid stands in for grid.Grid.
+type Grid struct{ W, H int }
+
+// Cells mirrors the real grid API.
+func (g Grid) Cells() int { return g.W * g.H }
+
+// Workspace stands in for route.Workspace.
+type Workspace struct{ cells int }
+
+// Search stands in for a workspace-backed search.
+func (w *Workspace) Search(from, to int) int { return from + to + w.cells }
+
+// AcquireWorkspace stands in for the pooled acquire.
+func AcquireWorkspace(g Grid) *Workspace { return &Workspace{cells: g.Cells()} }
+
+// ReleaseWorkspace stands in for the pooled release.
+func ReleaseWorkspace(*Workspace) {}
+
+// leakyCompute acquires without releasing anywhere; the wsaliasing fix
+// defers the release at the acquire site.
+func leakyCompute(g Grid) int {
+	ws := AcquireWorkspace(g)
+	return ws.Search(1, 2)
+}
+
+// deadDiscard wears an assignment costume on a no-op; the liberrs fix
+// deletes the line.
+func deadDiscard(g Grid, debug bool) int {
+	_ = debug
+	if debug {
+		return 0
+	}
+	return g.Cells()
+}

@@ -1,0 +1,39 @@
+package liberrs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// sink embeds an infallible writer behind a field: the exemption must
+// resolve the receiver through the type checker, not the spelling.
+type sink struct {
+	buf strings.Builder
+}
+
+// builderShapes exercises the infallible-writer exemption in every call
+// shape whose static receiver type guarantees a nil error.
+func builderShapes(s *sink) string {
+	var b strings.Builder
+	b.WriteString("direct")
+	s.buf.WriteString("field")
+	(&b).WriteString("paren")
+	(*strings.Builder).WriteString(&b, "methodexpr")
+	fmt.Fprintf(&b, "dest=%s", "builder")
+	return b.String() + s.buf.String()
+}
+
+// interfaceWriter reaches WriteString through io.StringWriter: the static
+// type no longer guarantees a nil error, so the discard is flagged even
+// when the dynamic value is a *strings.Builder.
+func interfaceWriter(w io.StringWriter) {
+	w.WriteString("x") // want `call discards its error result \(w.WriteString\)`
+}
+
+// methodValue stores the bound method in a variable: provenance is gone,
+// the discard stays flagged.
+func methodValue(b *strings.Builder) {
+	ws := b.WriteString
+	ws("x") // want `call discards its error result \(ws\)`
+}

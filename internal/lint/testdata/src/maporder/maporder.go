@@ -43,13 +43,6 @@ func leakPrint(m map[string]int) {
 	}
 }
 
-// leakSend feeds a channel in iteration order.
-func leakSend(m map[string]int, ch chan string) {
-	for k := range m {
-		ch <- k // want `channel send inside map range leaks iteration order`
-	}
-}
-
 // innerAppend appends to a slice declared inside the loop: no leak.
 func innerAppend(m map[string][]int) int {
 	total := 0

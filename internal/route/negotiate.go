@@ -126,6 +126,7 @@ func (w *Workspace) Negotiate(obs *grid.ObsMap, edges []Edge, params NegotiatePa
 // exactly as the sequential Steps 7-13 loop does. It reports whether every
 // edge routed.
 //
+//pacor:hot
 //pacor:allow hotalloc per-round task construction, amortized over the round's searches
 func negotiateRound(g grid.Grid, work *grid.ObsMap, edges []Edge, hist []float64, paths map[int]grid.Path, workers int) bool {
 	tasks := make([]ScheduledTask, len(edges))

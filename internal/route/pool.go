@@ -32,14 +32,19 @@ func poolFor(n int) *sync.Pool {
 // ReleaseWorkspace. The returned workspace is exclusively owned until
 // released; it must not be shared between goroutines.
 func AcquireWorkspace(g grid.Grid) *Workspace {
-	return poolFor(g.Cells()).Get().(*Workspace)
+	w := poolFor(g.Cells()).Get().(*Workspace)
+	w.pooled = false
+	return w
 }
 
 // ReleaseWorkspace returns w to the pool serving its current size. Releasing
-// nil is a no-op. The caller must not use w afterwards.
+// nil is a no-op, as is releasing a workspace that is already back in the
+// pool — a double Put of one pointer would hand the same workspace to two
+// goroutines. The caller must not use w after the first release.
 func ReleaseWorkspace(w *Workspace) {
-	if w == nil || w.cells == 0 {
+	if w == nil || w.cells == 0 || w.pooled {
 		return
 	}
+	w.pooled = true
 	poolFor(w.cells).Put(w)
 }

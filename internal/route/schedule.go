@@ -171,6 +171,8 @@ type scheduler struct {
 
 // worker claims runnable tasks until everything has committed. Each worker
 // owns one workspace and one snapshot map for its whole lifetime.
+//
+//pacor:hot
 func (s *scheduler) worker() {
 	ws := AcquireWorkspace(s.g)
 	scratch := grid.NewObsMap(s.g)

@@ -46,6 +46,12 @@ type Workspace struct {
 	// state (ObsMap / Hist) the searches observed.
 	track bool
 	vbits []uint64
+
+	// pooled is true while the workspace sits in its sync.Pool. It makes a
+	// double ReleaseWorkspace a no-op instead of poisoning the pool: two
+	// Put calls of the same pointer would let two goroutines Get the same
+	// workspace and race on every search array.
+	pooled bool
 }
 
 // NewWorkspace returns a workspace sized for g. Searches on other grid
