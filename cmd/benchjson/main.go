@@ -149,7 +149,17 @@ func main() {
 					b.Fatal(err)
 				}
 			}
-		}), "full PACOR flow, default params")
+		}), "full PACOR flow, default params (incremental negotiation cache on)")
+		record("Flow"+name+"CacheOff", testing.Benchmark(func(b *testing.B) {
+			params := pacor.DefaultParams()
+			params.Negotiate.NoCache = true
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := pacor.Route(d, params); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}), "full PACOR flow with the incremental negotiation cache disabled (byte-identical output)")
 	}
 
 	// The deterministic in-flow parallelism: the full S5 flow per worker

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	pacor [-mode pacor|wosel|detourfirst] [-j N] [-render] [-clusters] design.json
+//	pacor [-mode pacor|wosel|detourfirst] [-j N] [-stats] [-nocache] [-checkcache] [-render] [-clusters] design.json
 //	pacor -bench S3 [-mode ...] [-render] [-svg out.svg] [-skew] [-json out.json]
 //	pacor -bench S5 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
@@ -50,6 +50,9 @@ func run(args []string, stdout io.Writer) error {
 	jsonFlag := fs.String("json", "", "write the routing result as JSON to this file")
 	skewFlag := fs.Bool("skew", false, "simulate pressure propagation and report per-cluster actuation skew")
 	jFlag := fs.Int("j", 1, "worker pool for the parallel routing stages (any value routes identically)")
+	statsFlag := fs.Bool("stats", false, "print negotiation work and incremental-cache counters")
+	noCache := fs.Bool("nocache", false, "disable the incremental negotiation cache (routes identically, wall-clock only)")
+	checkCache := fs.Bool("checkcache", false, "re-search every negotiation cache hit and fail loudly on divergence")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -111,6 +114,8 @@ func run(args []string, stdout io.Writer) error {
 	params := pacor.DefaultParams()
 	params.Mode = mode
 	params.Workers = *jFlag
+	params.Negotiate.NoCache = *noCache
+	params.Negotiate.CheckCache = *checkCache
 	res, err := pacor.Route(d, params)
 	if err != nil {
 		return err
@@ -120,6 +125,14 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "  matched channel length: %d, total channel length: %d\n", res.MatchedLen, res.TotalLen)
 	fmt.Fprintf(stdout, "  routing completion: %.1f%% (%d/%d valves), runtime %v\n",
 		100*res.CompletionRate(), res.RoutedValves, res.TotalValves, res.Runtime)
+	if *statsFlag {
+		ns := res.Negotiate
+		fmt.Fprintf(stdout, "  negotiation: %d rounds, %d searches, cache %d hits / %d misses (%d invalidated)\n",
+			ns.Rounds, ns.Searches, ns.CacheHits, ns.CacheMisses, ns.Invalidated)
+		if len(ns.FailedIDs) > 0 {
+			fmt.Fprintf(stdout, "  negotiation failed edges: %v\n", ns.FailedIDs)
+		}
+	}
 	if err := pacor.Verify(d, res); err != nil {
 		return fmt.Errorf("verification FAILED: %w", err)
 	}

@@ -10,7 +10,7 @@
 //
 // Usage:
 //
-//	table2 [-designs Chip1,S3,...] [-verify] [-csv out.csv] [-j N] [-stable]
+//	table2 [-designs Chip1,S3,...] [-verify] [-csv out.csv] [-j N] [-stable] [-stats] [-nocache] [-checkcache]
 //	table2 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
@@ -54,6 +54,9 @@ func run(args []string, stdout io.Writer) error {
 	csvFlag := fs.String("csv", "", "also write the raw rows as CSV to this file")
 	workers := fs.Int("j", runtime.GOMAXPROCS(0), "parallel routing jobs (1 = sequential)")
 	stable := fs.Bool("stable", false, "zero out runtimes for byte-stable output (determinism checks)")
+	statsFlag := fs.Bool("stats", false, "append per-job negotiation and cache counters to the report")
+	noCache := fs.Bool("nocache", false, "disable the incremental negotiation cache (routes identically, wall-clock only)")
+	checkCache := fs.Bool("checkcache", false, "re-search every negotiation cache hit and fail loudly on divergence")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -112,7 +115,7 @@ func run(args []string, stdout io.Writer) error {
 		go func() {
 			defer wg.Done()
 			for j := range next {
-				rows[j.idx], errs[j.idx] = runJob(j, *verify)
+				rows[j.idx], errs[j.idx] = runJob(j, *verify, *noCache, *checkCache)
 			}
 		}()
 	}
@@ -136,6 +139,14 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	fmt.Fprint(stdout, report.Table2(rows))
+	if *statsFlag {
+		fmt.Fprintln(stdout, "negotiation stats (rounds / searches / cache hits / misses / invalidated):")
+		for _, r := range rows {
+			ns := r.Result.Negotiate
+			fmt.Fprintf(stdout, "  %-6s %-12s %d / %d / %d / %d / %d\n",
+				r.Design, r.Mode, ns.Rounds, ns.Searches, ns.CacheHits, ns.CacheMisses, ns.Invalidated)
+		}
+	}
 	if *csvFlag != "" {
 		if err := writeCSV(*csvFlag, rows); err != nil {
 			return err
@@ -147,13 +158,15 @@ func run(args []string, stdout io.Writer) error {
 
 // runJob routes one design with one mode. The design is generated inside the
 // worker so no mutable state is shared between jobs.
-func runJob(j job, verify bool) (report.Row, error) {
+func runJob(j job, verify, noCache, checkCache bool) (report.Row, error) {
 	d, err := bench.Generate(j.design)
 	if err != nil {
 		return report.Row{}, err
 	}
 	params := pacor.DefaultParams()
 	params.Mode = j.mode
+	params.Negotiate.NoCache = noCache
+	params.Negotiate.CheckCache = checkCache
 	res, err := pacor.Route(d, params)
 	if err != nil {
 		return report.Row{}, fmt.Errorf("%s/%s: %w", j.design, j.mode, err)

@@ -103,11 +103,30 @@ func match(ws *route.Workspace, obs *grid.ObsMap, net *Net, delta int, bestEffor
 		return true
 	}
 	backupNet := net.Clone()
-	backupObs := obs.Clone()
+	// The all-or-nothing restore (Algorithm 2 steps 22-24) rewinds a change
+	// journal on obs instead of keeping an O(cells) clone: detours touch a
+	// handful of cells per round, so undoing them is proportional to the work
+	// actually done. A caller may already be journaling obs (e.g. a scheduler
+	// scratch map); nested scopes share that journal via a mark.
+	owned := !obs.Journaling()
+	if owned {
+		obs.StartJournal(nil)
+	}
+	mark := obs.JournalLen()
+	done := func(ok bool) bool {
+		if owned {
+			obs.StopJournal()
+		}
+		return ok
+	}
+	restore := func() {
+		*net = *backupNet
+		obs.RewindJournal(mark)
+	}
 
 	for r := 0; r < maxRounds; r++ { // Steps 3-6
 		if net.Matched(delta) {
-			return true
+			return done(true)
 		}
 		_, maxL := net.Spread()
 		detoured := make([]bool, len(net.Segments)) // Fd, step 7
@@ -142,12 +161,11 @@ func match(ws *route.Workspace, obs *grid.ObsMap, net *Net, delta int, bestEffor
 			if !success {
 				if bestEffort {
 					// Keep the spread reduction achieved so far.
-					return net.Matched(delta)
+					return done(net.Matched(delta))
 				}
 				// Steps 22-24: restore and give up.
-				*net = *backupNet
-				restoreObs(obs, backupObs)
-				return false
+				restore()
+				return done(false)
 			}
 		}
 		if !progress && !net.Matched(delta) {
@@ -155,14 +173,13 @@ func match(ws *route.Workspace, obs *grid.ObsMap, net *Net, delta int, bestEffor
 		}
 	}
 	if net.Matched(delta) {
-		return true
+		return done(true)
 	}
 	if bestEffort {
-		return false
+		return done(false)
 	}
-	*net = *backupNet
-	restoreObs(obs, backupObs)
-	return false
+	restore()
+	return done(false)
 }
 
 // rerouteSegment searches for a replacement of segment si with length in
@@ -170,6 +187,10 @@ func match(ws *route.Workspace, obs *grid.ObsMap, net *Net, delta int, bestEffor
 // are freed for the search; everything else in obs blocks. In best-effort
 // mode a partial lengthening below ltMin still counts as success (the
 // spread shrinks even though the window is missed).
+//
+// The segment is freed on obs itself under a journal mark (match always has
+// a journal active) and the mark is rewound before returning, so obs is
+// left exactly as it came in — the caller commits the swap.
 func rerouteSegment(ws *route.Workspace, obs *grid.ObsMap, net *Net, si, ltMin, ltMax int, bestEffort bool) (grid.Path, bool) {
 	seg := net.Segments[si]
 	if len(seg) < 2 || ltMin > ltMax {
@@ -183,8 +204,9 @@ func rerouteSegment(ws *route.Workspace, obs *grid.ObsMap, net *Net, si, ltMin, 
 		return nil, false
 	}
 	g := obs.Grid()
-	work := obs.Clone()
-	work.SetPath(seg, false)
+	mk := obs.JournalLen()
+	defer obs.RewindJournal(mk)
+	obs.SetPath(seg, false)
 	// Keep the endpoints blocked against *other* nets but exempt for this
 	// search via Sources/Targets.
 	src := seg[0]
@@ -197,33 +219,29 @@ func rerouteSegment(ws *route.Workspace, obs *grid.ObsMap, net *Net, si, ltMin, 
 	// fails; the cheap U-turn extension goes first there.
 	cheapFirst := window.Area() > 10000
 	if cheapFirst {
-		if p, ok := route.ExtendPath(work, seg, ltMin, ltMax); ok {
+		if p, ok := route.ExtendPath(obs, seg, ltMin, ltMax); ok {
 			return p, true
 		}
 	}
 	if p, ok := ws.BoundedAStar(g, route.Request{
 		Sources: []geom.Pt{src},
 		Targets: []geom.Pt{dst},
-		Obs:     work,
+		Obs:     obs,
 		Bounds:  &window,
 	}, ltMin, ltMax); ok {
 		return p, true
 	}
 	if !cheapFirst {
 		// Fallback: stack U-turn extensions onto the existing geometry.
-		if p, ok := route.ExtendPath(work, seg, ltMin, ltMax); ok {
+		if p, ok := route.ExtendPath(obs, seg, ltMin, ltMax); ok {
 			return p, true
 		}
 	}
 	if bestEffort {
 		// Keep whatever lengthening the extension achieved.
-		if p, _ := route.ExtendPath(work, seg, ltMin, ltMax); p.Len() > seg.Len() && p.Len() <= ltMax {
+		if p, _ := route.ExtendPath(obs, seg, ltMin, ltMax); p.Len() > seg.Len() && p.Len() <= ltMax {
 			return p, true
 		}
 	}
 	return nil, false
-}
-
-func restoreObs(dst, src *grid.ObsMap) {
-	dst.CopyFrom(src)
 }

@@ -78,6 +78,75 @@ func (g Grid) Bounds() geom.Rect {
 type ObsMap struct {
 	g     Grid
 	block []bool
+	// journal, while journaling is on, records every cell whose value
+	// actually changed (index plus the overwritten value), so callers can
+	// rewind the map to an earlier state in O(changes) instead of re-copying
+	// all O(W·H) cells. The incremental negotiation router uses this to
+	// rebuild its per-round scratch map, and the sequential scheduler to
+	// discard task mutations between snapshot-equivalent runs.
+	journal    []int32
+	journaling bool
+}
+
+// journalEntry packs a cell index and its overwritten value into one int32:
+// index<<1 | oldValue. Grids stay far below 2^30 cells in this domain.
+func journalEntry(i int, old bool) int32 {
+	v := int32(i) << 1
+	if old {
+		v |= 1
+	}
+	return v
+}
+
+// StartJournal begins recording value changes into buf (reused, truncated).
+// Every Set/SetPath/SetRect/CopyFrom that flips a cell appends the cell and
+// its previous value; RewindJournal undoes suffixes of the record. Journaling
+// stays on until StopJournal. Starting a second journal on a map whose first
+// is still active would silently drop undo information, so it panics; nested
+// scopes share one journal via JournalLen marks instead.
+func (m *ObsMap) StartJournal(buf []int32) {
+	if m.journaling {
+		panic("grid: StartJournal on a map that is already journaling")
+	}
+	m.journal = buf[:0]
+	m.journaling = true
+}
+
+// Journaling reports whether a journal is active on the map.
+func (m *ObsMap) Journaling() bool { return m.journaling }
+
+// StopJournal stops recording and returns the journal buffer so the caller
+// can keep it for reuse. The map's contents are left as they are.
+func (m *ObsMap) StopJournal() []int32 {
+	m.journaling = false
+	j := m.journal
+	m.journal = nil
+	return j
+}
+
+// JournalLen returns the current journal length — a mark for RewindJournal.
+func (m *ObsMap) JournalLen() int { return len(m.journal) }
+
+// RewindJournal undoes every journaled change at position >= mark (newest
+// first, so repeated flips of one cell restore correctly) and truncates the
+// journal to mark. It panics when journaling is off; rewinding against a
+// dropped record would silently corrupt the map.
+func (m *ObsMap) RewindJournal(mark int) {
+	if !m.journaling {
+		panic("grid: RewindJournal without an active journal")
+	}
+	for i := len(m.journal) - 1; i >= mark; i-- {
+		e := m.journal[i]
+		m.block[e>>1] = e&1 != 0
+	}
+	m.journal = m.journal[:mark]
+}
+
+// record journals a value change of cell i when journaling is on.
+func (m *ObsMap) record(i int, old bool) {
+	if m.journaling {
+		m.journal = append(m.journal, journalEntry(i, old)) //pacor:allow hotalloc amortized journal growth, buffer reused across rounds via StartJournal
+	}
 }
 
 // NewObsMap returns an all-clear obstacle map for g.
@@ -97,9 +166,14 @@ func (m *ObsMap) Blocked(p geom.Pt) bool {
 }
 
 // Set marks p blocked (true) or clear (false). Off-grid points are ignored.
+// Only actual value changes reach the journal.
 func (m *ObsMap) Set(p geom.Pt, blocked bool) {
 	if m.g.In(p) {
-		m.block[m.g.Index(p)] = blocked
+		i := m.g.Index(p)
+		if m.block[i] != blocked {
+			m.record(i, m.block[i])
+			m.block[i] = blocked
+		}
 	}
 }
 
@@ -115,7 +189,11 @@ func (m *ObsMap) SetRect(r geom.Rect, blocked bool) {
 	rr := r.Intersect(m.g.Bounds())
 	for y := rr.MinY; y <= rr.MaxY; y++ {
 		for x := rr.MinX; x <= rr.MaxX; x++ {
-			m.block[y*m.g.W+x] = blocked
+			i := y*m.g.W + x
+			if m.block[i] != blocked {
+				m.record(i, m.block[i])
+				m.block[i] = blocked
+			}
 		}
 	}
 }
@@ -141,12 +219,22 @@ func (m *ObsMap) Clone() *ObsMap {
 }
 
 // CopyFrom overwrites m's contents with src's. Both maps must share the
-// same grid dimensions.
+// same grid dimensions. With an active journal, only differing cells are
+// written (and journaled), so a rewind can restore the pre-copy state.
 func (m *ObsMap) CopyFrom(src *ObsMap) {
 	if m.g != src.g {
 		panic("grid: CopyFrom between different grids")
 	}
-	copy(m.block, src.block)
+	if !m.journaling {
+		copy(m.block, src.block)
+		return
+	}
+	for i, v := range src.block {
+		if m.block[i] != v {
+			m.record(i, m.block[i])
+			m.block[i] = v
+		}
+	}
 }
 
 // Path is a sequence of grid cells where consecutive cells are orthogonal

@@ -89,3 +89,40 @@ func (h *intHeap) Pop() interface{} {
 	*h = old[:n-1]
 	return x
 }
+
+// entry stands in for a per-edge negotiation-cache entry resident on the
+// pooled workspace: a cached path plus the recorded search cone.
+type entry struct {
+	path   []int32
+	visits []int32
+}
+
+// recordCone copies a search's visit cone into its cache slot on every
+// miss — an inner-loop write, so the copy-growth must be justified.
+func recordCone(e *entry, visits []int32) {
+	e.visits = append(e.visits[:0], visits...) // want `append in hot function recordCone may grow its backing array`
+}
+
+// recordConeAmortized is the sanctioned form: the per-entry buffer grows
+// once and is reused across rounds.
+func recordConeAmortized(e *entry, visits []int32) {
+	e.visits = append(e.visits[:0], visits...) //pacor:allow hotalloc per-entry cone buffer grown once, reused across rounds
+}
+
+// resetEntries rebuilds the entry table per negotiation run instead of
+// reusing the workspace-resident one.
+func resetEntries(n int) []entry {
+	table := make([]entry, n) // want `make in hot function resetEntries allocates per call`
+	return table
+}
+
+// resetEntriesResident documents the workspace-resident shape: the
+// function-scope justification covers the grow-on-demand allocations.
+//
+//pacor:allow hotalloc entry table is workspace-resident, (re)allocated only on edge-count growth
+func resetEntriesResident(table []entry, n int) []entry {
+	if cap(table) < n {
+		table = make([]entry, n)
+	}
+	return table[:n]
+}

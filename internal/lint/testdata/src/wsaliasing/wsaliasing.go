@@ -158,3 +158,29 @@ func suppressed(g Grid) int {
 	ws := AcquireWorkspace(g) //pacor:allow wsaliasing fixture documents the justified opt-out; caller releases via registry
 	return ws.Search(9, 9)
 }
+
+// Replay stands in for a cached-result replay read off the workspace's
+// negotiation-cache state.
+func (w *Workspace) Replay(i int) int { return w.cells + i }
+
+// replayAfterRelease replays a cached cone after the pool owns the
+// workspace again: the next acquirer resets and rewrites the cache
+// entries, so the replayed path is garbage.
+func replayAfterRelease(g Grid) int {
+	ws := AcquireWorkspace(g)
+	ReleaseWorkspace(ws)
+	return ws.Replay(1) // want `workspace ws is used after ReleaseWorkspace`
+}
+
+// cacheAcrossCalls holds the workspace — and with it the cache state —
+// for the whole negotiation, releasing on every path: the blessed shape
+// for cache-carrying calls.
+func cacheAcrossCalls(g Grid, rounds int) int {
+	ws := AcquireWorkspace(g)
+	defer ReleaseWorkspace(ws)
+	total := 0
+	for r := 0; r < rounds; r++ {
+		total += ws.Replay(r)
+	}
+	return total
+}

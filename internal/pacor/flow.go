@@ -136,14 +136,16 @@ func Route(d *valve.Design, params Params) (*Result, error) {
 
 	stage("clustering", t0)
 
-	// Stage 2: length-matching cluster routing.
+	// Stage 2: length-matching cluster routing. Every negotiation call of the
+	// run accumulates its work counters into one stats record.
+	var negStats route.NegotiateStats
 	t0 = time.Now()
-	routeLMClusters(ws, d, obs, fcs, params)
+	routeLMClusters(ws, d, obs, fcs, params, &negStats)
 
 	// Repair pass: re-realize badly routed trees (the paper reconstructs the
 	// DME tree when negotiation exceeds its iteration bound; congested
 	// realizations with hopeless spreads get the same treatment here).
-	refineLMClusters(ws, d, obs, fcs, params)
+	refineLMClusters(ws, d, obs, fcs, params, &negStats)
 	stage("lmrouting", t0)
 
 	// Detour-first variant matches lengths before escape routing.
@@ -172,13 +174,14 @@ func Route(d *valve.Design, params Params) (*Result, error) {
 
 	res := assemble(d, fcs, params.Mode, time.Since(start))
 	res.StageTimes = stageTimes
+	res.Negotiate = negStats
 	return res, nil
 }
 
 // routeLMClusters computes candidate trees, selects one per cluster (per
 // mode), and routes all LM clusters jointly with negotiation. Clusters whose
 // edges cannot all be routed are demoted to ordinary MST routing.
-func routeLMClusters(ws *route.Workspace, d *valve.Design, obs *grid.ObsMap, fcs []*flowCluster, params Params) {
+func routeLMClusters(ws *route.Workspace, d *valve.Design, obs *grid.ObsMap, fcs []*flowCluster, params Params, negStats *route.NegotiateStats) {
 	// Candidate construction per cluster is independent (read-only over the
 	// static obstacle map), so it fans out across goroutines; results are
 	// collected by index, keeping the flow deterministic.
@@ -251,7 +254,7 @@ func routeLMClusters(ws *route.Workspace, d *valve.Design, obs *grid.ObsMap, fcs
 	if len(edges) == 0 {
 		return
 	}
-	paths, _ := ws.Negotiate(obs, edges, params.Negotiate)
+	paths, _ := ws.NegotiateTracked(obs, edges, params.Negotiate, negStats)
 
 	// First pass: commit every completely routed cluster, so the rescue
 	// pass below sees the full environment.
@@ -296,7 +299,7 @@ func routeLMClusters(ws *route.Workspace, d *valve.Design, obs *grid.ObsMap, fcs
 	// environment before giving up the LM constraint (the paper reconstructs
 	// the DME tree when negotiation exhausts its iterations).
 	for _, fc := range incompleteTrees {
-		if !rescueTreeCluster(ws, d, obs, fc, params) {
+		if !rescueTreeCluster(ws, d, obs, fc, params, negStats) {
 			fc.demoted = true
 			fc.kind = kindOrd
 			fc.tree = nil
@@ -307,7 +310,7 @@ func routeLMClusters(ws *route.Workspace, d *valve.Design, obs *grid.ObsMap, fcs
 // rescueTreeCluster tries every candidate of an unrealized tree cluster
 // solo against the current obstacle map, committing the first that routes
 // completely. Returns false when no candidate routes.
-func rescueTreeCluster(ws *route.Workspace, d *valve.Design, obs *grid.ObsMap, fc *flowCluster, params Params) bool {
+func rescueTreeCluster(ws *route.Workspace, d *valve.Design, obs *grid.ObsMap, fc *flowCluster, params Params, negStats *route.NegotiateStats) bool {
 	for _, cand := range fc.cands {
 		blocked := false
 		for ni, nd := range cand.Topo.Nodes {
@@ -324,7 +327,7 @@ func rescueTreeCluster(ws *route.Workspace, d *valve.Design, obs *grid.ObsMap, f
 			edges = append(edges, route.Edge{
 				ID: ei, Sources: []geom.Pt{e.From}, Targets: []geom.Pt{e.To}})
 		}
-		paths, ok := ws.Negotiate(obs, edges, params.Negotiate)
+		paths, ok := ws.NegotiateTracked(obs, edges, params.Negotiate, negStats)
 		if !ok {
 			continue
 		}
@@ -392,7 +395,7 @@ func resolveNodeCollisions(d *valve.Design, treeClusters []*flowCluster) {
 // delta, alone against the fixed environment: own channels are ripped and
 // every candidate tree (only the already-selected one in "w/o Sel" mode) is
 // re-routed solo; the realization with the smallest (spread, length) wins.
-func refineLMClusters(ws *route.Workspace, d *valve.Design, obs *grid.ObsMap, fcs []*flowCluster, params Params) {
+func refineLMClusters(ws *route.Workspace, d *valve.Design, obs *grid.ObsMap, fcs []*flowCluster, params Params, negStats *route.NegotiateStats) {
 	allowSwitch := params.Mode != ModeWithoutSelection
 	for _, fc := range fcs {
 		if fc.kind != kindTree || fc.net == nil || fc.demoted {
@@ -434,7 +437,7 @@ func refineLMClusters(ws *route.Workspace, d *valve.Design, obs *grid.ObsMap, fc
 				edges = append(edges, route.Edge{
 					ID: ei, Sources: []geom.Pt{e.From}, Targets: []geom.Pt{e.To}})
 			}
-			paths, ok := ws.Negotiate(base, edges, params.Negotiate)
+			paths, ok := ws.NegotiateTracked(base, edges, params.Negotiate, negStats)
 			if !ok {
 				continue
 			}

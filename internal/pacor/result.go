@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/grid"
+	"repro/internal/route"
 )
 
 // ClusterResult reports one cluster's routing outcome.
@@ -66,6 +67,12 @@ type Result struct {
 	// StageTimes records wall time per flow stage (clustering, lmrouting,
 	// mstrouting, escape, detour) for profiling and the runtime columns.
 	StageTimes map[string]time.Duration
+	// Negotiate aggregates Algorithm 1's work and incremental-cache counters
+	// across every negotiation call of the run (LM routing, rescue, refine).
+	// The counters are deterministic for every worker count; Rounds is also
+	// cache-independent, while a cache hit replaces exactly one search
+	// (Searches with the cache off equals Searches + CacheHits with it on).
+	Negotiate route.NegotiateStats
 }
 
 // CompletionRate returns the fraction of valves connected to a control pin.

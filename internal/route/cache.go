@@ -1,0 +1,179 @@
+package route
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/grid"
+)
+
+// This file implements the incremental negotiation cache: per-edge results
+// carried across Algorithm 1 rounds, invalidated by a generation-stamped
+// dirty-cell map.
+//
+// Correctness argument (the dirty-cone invariant, see docs/ALGORITHMS.md):
+// a tracked search stamps every cell into its visit cone *before* reading
+// that cell's obstacle or history state, so the cone is a superset of every
+// cell whose external state the search observed. If no cone cell's state
+// changed since the search ran, re-running it would read exactly the same
+// values at every step — same frontier, same tie-breaks, same transcript —
+// and must return the identical result. Such an edge replays its cached
+// path (or cached failure) without running A* at all.
+//
+// Dirty cells come from two sources. First, the end-of-round history bump
+// (Eq. 5) marks every cell of every routed path — which is why an edge that
+// routed successfully can never replay across a failing round: its own path
+// is inside its own cone. The cache instead pays off on edges that *failed*:
+// an edge walled into a pocket by static obstacles floods the same sealed
+// region every round, and that exhaustive failure replays for free. Second,
+// an edge whose fresh outcome differs from its previous round's marks both
+// the old and the new path cells: edges later in the sequence saw a
+// different obstacle suffix and must not replay against the stale one. The
+// marks use a monotone clock; an entry is valid only if no cone cell was
+// marked after the entry was recorded. Marks by later edges spuriously
+// invalidate earlier edges' entries in the next round — conservative, never
+// unsound.
+
+// NegotiateStats reports one (or, when accumulated, several) negotiation
+// runs' work and cache behavior, and on failure the edges left unrouted.
+type NegotiateStats struct {
+	// Rounds counts Algorithm 1 iterations executed.
+	Rounds int
+	// Searches counts A* runs in the sequential transcript (scheduler-internal
+	// speculative re-runs are not counted; they exist at any worker count's
+	// discretion and never change the output).
+	Searches int
+	// CacheHits counts edges replayed from a valid cached cone.
+	CacheHits int
+	// CacheMisses counts edges searched while the cache was active (rounds
+	// past the warm-up) because their entry was absent or invalidated.
+	CacheMisses int
+	// Invalidated counts the subset of CacheMisses whose entry existed but
+	// had a dirty cell inside its cone.
+	Invalidated int
+	// FailedIDs lists, in edge order, the IDs left unrouted in the final
+	// round when negotiation gave up (ok=false); empty on success.
+	FailedIDs []int
+}
+
+// Add accumulates o into s (FailedIDs concatenate in call order).
+func (s *NegotiateStats) Add(o NegotiateStats) {
+	s.Rounds += o.Rounds
+	s.Searches += o.Searches
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.Invalidated += o.Invalidated
+	s.FailedIDs = append(s.FailedIDs, o.FailedIDs...) //pacor:allow hotalloc stats aggregation runs once per flow stage, not per search
+}
+
+// negEntry is one edge slot's cached search result.
+type negEntry struct {
+	// recorded is false until the slot's first tracked search this
+	// negotiation run; round 0 runs untracked (lazy warm-up), so entries
+	// appear in round 1 and replays start in round 2.
+	recorded bool
+	// ok / path are the recorded outcome (path nil when !ok).
+	ok   bool
+	path grid.Path
+	// clock is the dirty clock at recording time; the entry is stale once
+	// any cone cell carries a higher mark.
+	clock int32
+	// visits is the recorded search's visit cone (see Workspace.vbits).
+	visits []uint64
+}
+
+// negReset prepares the workspace's cache state for one negotiation run of
+// n edges on g: dirty map cleared, clock rewound, every entry unrecorded.
+//
+//pacor:allow hotalloc per-cell dirty map and entry table are workspace-resident, (re)allocated only on grid or edge-count growth
+func (w *Workspace) negReset(g grid.Grid, n int) {
+	if len(w.negDirty) != g.Cells() {
+		w.negDirty = make([]int32, g.Cells())
+	} else {
+		clear(w.negDirty)
+	}
+	w.negClock = 0
+	if cap(w.negEntries) < n {
+		w.negEntries = make([]negEntry, n)
+	}
+	w.negEntries = w.negEntries[:n]
+	for i := range w.negEntries {
+		w.negEntries[i].recorded = false
+	}
+}
+
+// negWorkFor returns the workspace-resident negotiation work map for g.
+//
+//pacor:allow hotalloc allocated once per grid change, reused across negotiation runs
+func (w *Workspace) negWorkFor(g grid.Grid) *grid.ObsMap {
+	if w.negWork == nil || w.negWork.Grid() != g {
+		w.negWork = grid.NewObsMap(g)
+	}
+	return w.negWork
+}
+
+// negEntryValid reports whether e replays exactly: recorded, with no cell of
+// its visit cone dirtied after it was recorded.
+func (w *Workspace) negEntryValid(e *negEntry) bool {
+	if !e.recorded {
+		return false
+	}
+	for wi, word := range e.visits {
+		for word != 0 {
+			i := wi<<6 + bits.TrailingZeros64(word)
+			if w.negDirty[i] > e.clock {
+				return false
+			}
+			word &= word - 1
+		}
+	}
+	return true
+}
+
+// negRecord stores an edge slot's fresh outcome and visit cone. When the
+// outcome differs from the previous round's, the old and new path cells are
+// marked dirty under a fresh clock tick — later edges saw a different
+// obstacle suffix. The entry itself records the post-mark clock: the edge's
+// own *inputs* did not change because its output did.
+func (w *Workspace) negRecord(g grid.Grid, ent *negEntry, p grid.Path, ok bool, visits []uint64) {
+	if ent.recorded && (ok != ent.ok || !pathsEqual(p, ent.path)) {
+		w.negClock++
+		for _, c := range ent.path {
+			w.negDirty[g.Index(c)] = w.negClock
+		}
+		for _, c := range p {
+			w.negDirty[g.Index(c)] = w.negClock
+		}
+	}
+	ent.recorded = true
+	ent.ok = ok
+	ent.path = p
+	ent.clock = w.negClock
+	ent.visits = append(ent.visits[:0], visits...) //pacor:allow hotalloc per-entry cone buffer, grown once and reused across rounds
+}
+
+// negCheck is the -checkcache validation: re-run the search a hit would
+// skip and fail loudly if the replayed result is not byte-identical. It
+// mirrors the scheduler's speculative-commit validation, but as a hard
+// failure — a divergence here means the dirty-cone invariant is broken.
+func (w *Workspace) negCheck(g grid.Grid, req Request, id int, ent *negEntry) {
+	p, ok := w.AStar(g, req)
+	if ok != ent.ok || !pathsEqual(p, ent.path) {
+		panic(fmt.Sprintf(
+			"route: negotiation cache divergence on edge %d: cached ok=%v len=%d, fresh ok=%v len=%d",
+			id, ent.ok, ent.path.Len(), ok, p.Len()))
+	}
+}
+
+// pathsEqual reports cell-exact path equality.
+func pathsEqual(a, b grid.Path) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

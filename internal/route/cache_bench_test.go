@@ -1,0 +1,101 @@
+package route
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+// hitHeavyInstance builds the shape the incremental cache is designed for:
+// edges sealed into obstacle pockets. A trapped edge exhaustively floods its
+// pocket and fails — every round, identically, because nothing inside the
+// pocket ever changes (failed edges route no path, so the history bump never
+// touches pocket cells). With the cache on, rounds past the warm-up replay
+// those floods for free; with it off, every round pays the full flood again.
+// Two routable edges outside the pockets keep the instance shaped like a real
+// negotiation (some paths commit and get bumped each failing round).
+func hitHeavyInstance() (*grid.ObsMap, []Edge) {
+	const pockets = 6
+	const side = 30 // interior flood area per pocket: side*side cells
+	g := grid.New(pockets*(side+3)+2, side+8)
+	obs := grid.NewObsMap(g)
+	edges := make([]Edge, 0, pockets+2)
+	for k := 0; k < pockets; k++ {
+		x0 := 1 + k*(side+3)
+		// Sealed box [x0, x0+side+1] x [1, side+2]; the edge's terminals sit
+		// inside, its target unreachable behind an inner full wall.
+		for x := x0; x <= x0+side+1; x++ {
+			obs.Set(geom.Pt{X: x, Y: 1}, true)
+			obs.Set(geom.Pt{X: x, Y: side + 2}, true)
+		}
+		for y := 1; y <= side+2; y++ {
+			obs.Set(geom.Pt{X: x0, Y: y}, true)
+			obs.Set(geom.Pt{X: x0 + side + 1, Y: y}, true)
+		}
+		// Inner wall splits the pocket; source floods its whole half.
+		for y := 2; y <= side+1; y++ {
+			obs.Set(geom.Pt{X: x0 + side - 1, Y: y}, true)
+		}
+		edges = append(edges, Edge{
+			ID:      k,
+			Sources: []geom.Pt{{X: x0 + 1, Y: 2}},
+			Targets: []geom.Pt{{X: x0 + side, Y: 2}},
+		})
+	}
+	// Routable edges along the open strip below the pockets.
+	y := side + 4
+	edges = append(edges,
+		Edge{ID: pockets, Sources: []geom.Pt{{X: 0, Y: y}}, Targets: []geom.Pt{{X: g.W - 1, Y: y}}},
+		Edge{ID: pockets + 1, Sources: []geom.Pt{{X: 0, Y: y + 2}}, Targets: []geom.Pt{{X: g.W - 1, Y: y + 2}}},
+	)
+	return obs, edges
+}
+
+// invalidationHeavyInstance is the cache's worst case: heavily conflicting
+// edges whose outcomes keep changing, so history bumps and outcome deltas
+// dirty every cached cone and nearly every round re-searches. The cache then
+// measures pure tracking overhead.
+func invalidationHeavyInstance() (*grid.ObsMap, []Edge) {
+	g := grid.New(24, 24)
+	obs := grid.NewObsMap(g)
+	// A narrow three-corridor wall every edge must cross.
+	for y := 0; y < 24; y++ {
+		if y != 4 && y != 12 && y != 20 {
+			obs.Set(geom.Pt{X: 12, Y: y}, true)
+		}
+	}
+	edges := make([]Edge, 6)
+	for i := range edges {
+		edges[i] = Edge{
+			ID:      i,
+			Sources: []geom.Pt{{X: 0, Y: 2 + 4*i}},
+			Targets: []geom.Pt{{X: 23, Y: 2 + 4*((i+3)%6)}},
+		}
+	}
+	return obs, edges
+}
+
+func benchNegotiate(b *testing.B, obs *grid.ObsMap, edges []Edge, noCache bool) {
+	params := DefaultNegotiateParams()
+	params.NoCache = noCache
+	ws := NewWorkspace(obs.Grid())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws.Negotiate(obs, edges, params)
+	}
+}
+
+// BenchmarkNegotiateIncremental measures the incremental cache on its best
+// shape (HitHeavy: sealed-pocket floods replay for free) and its worst
+// (InvalidationHeavy: every cone dirtied every round, pure tracking
+// overhead). Compare the Cache/NoCache pairs.
+func BenchmarkNegotiateIncremental(b *testing.B) {
+	hitObs, hitEdges := hitHeavyInstance()
+	invObs, invEdges := invalidationHeavyInstance()
+	b.Run("HitHeavy/Cache", func(b *testing.B) { benchNegotiate(b, hitObs, hitEdges, false) })
+	b.Run("HitHeavy/NoCache", func(b *testing.B) { benchNegotiate(b, hitObs, hitEdges, true) })
+	b.Run("InvalidationHeavy/Cache", func(b *testing.B) { benchNegotiate(b, invObs, invEdges, false) })
+	b.Run("InvalidationHeavy/NoCache", func(b *testing.B) { benchNegotiate(b, invObs, invEdges, true) })
+}

@@ -1,0 +1,296 @@
+package route
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+// randomNegotiateInstance builds a random multi-edge negotiation instance
+// with enough congestion that multi-round (cache-exercising) runs occur.
+func randomNegotiateInstance(rng *rand.Rand) (grid.Grid, *grid.ObsMap, []Edge) {
+	w, h := 12+rng.Intn(14), 12+rng.Intn(14)
+	g := grid.New(w, h)
+	obs := grid.NewObsMap(g)
+	for i := 0; i < g.Cells()/5; i++ {
+		obs.Set(geom.Pt{X: rng.Intn(w), Y: rng.Intn(h)}, true)
+	}
+	used := map[geom.Pt]bool{}
+	pick := func() geom.Pt {
+		for {
+			p := geom.Pt{X: rng.Intn(w), Y: rng.Intn(h)}
+			if !used[p] {
+				used[p] = true
+				obs.Set(p, false)
+				return p
+			}
+		}
+	}
+	n := 3 + rng.Intn(5)
+	edges := make([]Edge, n)
+	for i := range edges {
+		edges[i] = Edge{ID: i, Sources: []geom.Pt{pick()}, Targets: []geom.Pt{pick()}}
+	}
+	return g, obs, edges
+}
+
+// TestNegotiateCacheByteIdentical: for random instances, every combination of
+// worker count and cache mode (on, off, checked) returns the identical
+// (paths, ok) — the cache is a pure wall-clock optimization.
+func TestNegotiateCacheByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	for trial := 0; trial < 40; trial++ {
+		_, obs, edges := randomNegotiateInstance(rng)
+
+		ref := DefaultNegotiateParams()
+		ref.NoCache = true
+		wantPaths, wantOK := Negotiate(obs, edges, ref)
+
+		for _, workers := range []int{0, 1, 2, 4} {
+			for _, mode := range []struct {
+				name             string
+				noCache, checked bool
+			}{
+				{"cache", false, false},
+				{"nocache", true, false},
+				{"checkcache", false, true},
+			} {
+				params := DefaultNegotiateParams()
+				params.Workers = workers
+				params.NoCache = mode.noCache
+				params.CheckCache = mode.checked
+				paths, ok := Negotiate(obs, edges, params)
+				if ok != wantOK {
+					t.Fatalf("trial %d workers=%d %s: ok=%v, want %v", trial, workers, mode.name, ok, wantOK)
+				}
+				if len(paths) != len(wantPaths) {
+					t.Fatalf("trial %d workers=%d %s: %d paths, want %d", trial, workers, mode.name, len(paths), len(wantPaths))
+				}
+				for id, p := range wantPaths {
+					if !pathsEqual(p, paths[id]) {
+						t.Fatalf("trial %d workers=%d %s: edge %d path differs\n got %v\nwant %v",
+							trial, workers, mode.name, id, paths[id], p)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestNegotiateStatsInvariants: the counters are identical for every worker
+// count, and a cache hit replaces exactly one search — Searches with the
+// cache off equals Searches + CacheHits with it on.
+func TestNegotiateStatsInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	sawHit := false
+	for trial := 0; trial < 40; trial++ {
+		g, obs, edges := randomNegotiateInstance(rng)
+
+		runStats := func(workers int, noCache bool) NegotiateStats {
+			var s NegotiateStats
+			params := DefaultNegotiateParams()
+			params.Workers = workers
+			params.NoCache = noCache
+			ws := AcquireWorkspace(g)
+			ws.NegotiateTracked(obs, edges, params, &s)
+			ReleaseWorkspace(ws)
+			return s
+		}
+
+		on0 := runStats(0, false)
+		off := runStats(0, true)
+		if off.Searches != on0.Searches+on0.CacheHits {
+			t.Fatalf("trial %d: off.Searches=%d, on.Searches=%d + on.CacheHits=%d",
+				trial, off.Searches, on0.Searches, on0.CacheHits)
+		}
+		if off.Rounds != on0.Rounds {
+			t.Fatalf("trial %d: rounds differ off=%d on=%d", trial, off.Rounds, on0.Rounds)
+		}
+		if off.CacheHits != 0 || off.CacheMisses != 0 || off.Invalidated != 0 {
+			t.Fatalf("trial %d: cache counters nonzero with the cache off: %+v", trial, off)
+		}
+		for _, workers := range []int{1, 2, 4} {
+			s := runStats(workers, false)
+			if !statsEqual(s, on0) {
+				t.Fatalf("trial %d workers=%d: stats %+v differ from sequential %+v", trial, workers, s, on0)
+			}
+		}
+		if on0.CacheHits > 0 {
+			sawHit = true
+		}
+	}
+	if !sawHit {
+		t.Error("no trial produced a cache hit; the instances no longer exercise the cache")
+	}
+}
+
+func statsEqual(a, b NegotiateStats) bool {
+	if a.Rounds != b.Rounds || a.Searches != b.Searches || a.CacheHits != b.CacheHits ||
+		a.CacheMisses != b.CacheMisses || a.Invalidated != b.Invalidated ||
+		len(a.FailedIDs) != len(b.FailedIDs) {
+		return false
+	}
+	for i := range a.FailedIDs {
+		if a.FailedIDs[i] != b.FailedIDs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestNegotiateFailedIDs: when negotiation gives up, the final round's
+// unrouted edges are reported in edge order; on success FailedIDs is empty.
+func TestNegotiateFailedIDs(t *testing.T) {
+	// Three edges through a single one-cell corridor: at most one can route,
+	// so two must appear in FailedIDs (which two is the router's business —
+	// but the set must be deterministic and in edge order).
+	g := grid.New(9, 5)
+	obs := grid.NewObsMap(g)
+	for y := 0; y < 5; y++ {
+		if y != 2 {
+			obs.Set(geom.Pt{X: 4, Y: y}, true)
+		}
+	}
+	edges := []Edge{
+		{ID: 10, Sources: []geom.Pt{{X: 0, Y: 0}}, Targets: []geom.Pt{{X: 8, Y: 0}}},
+		{ID: 11, Sources: []geom.Pt{{X: 0, Y: 2}}, Targets: []geom.Pt{{X: 8, Y: 2}}},
+		{ID: 12, Sources: []geom.Pt{{X: 0, Y: 4}}, Targets: []geom.Pt{{X: 8, Y: 4}}},
+	}
+	for _, workers := range []int{0, 2} {
+		var stats NegotiateStats
+		params := DefaultNegotiateParams()
+		params.Workers = workers
+		ws := AcquireWorkspace(g)
+		_, ok := ws.NegotiateTracked(obs, edges, params, &stats)
+		ReleaseWorkspace(ws)
+		if ok {
+			t.Fatalf("workers=%d: three edges cannot share a one-cell corridor", workers)
+		}
+		if len(stats.FailedIDs) == 0 {
+			t.Fatalf("workers=%d: failed negotiation reported no failed edges", workers)
+		}
+		for i := 1; i < len(stats.FailedIDs); i++ {
+			if stats.FailedIDs[i-1] >= stats.FailedIDs[i] {
+				t.Fatalf("workers=%d: FailedIDs not in edge order: %v", workers, stats.FailedIDs)
+			}
+		}
+		for _, id := range stats.FailedIDs {
+			if id < 10 || id > 12 {
+				t.Fatalf("workers=%d: unknown failed ID %d", workers, id)
+			}
+		}
+	}
+
+	// Success path: FailedIDs stays empty.
+	var stats NegotiateStats
+	okEdges := []Edge{{ID: 0, Sources: []geom.Pt{{X: 0, Y: 2}}, Targets: []geom.Pt{{X: 8, Y: 2}}}}
+	ws := AcquireWorkspace(g)
+	if _, ok := ws.NegotiateTracked(obs, okEdges, DefaultNegotiateParams(), &stats); !ok {
+		t.Fatal("single corridor edge must route")
+	}
+	ReleaseWorkspace(ws)
+	if len(stats.FailedIDs) != 0 {
+		t.Fatalf("successful negotiation reported failed edges %v", stats.FailedIDs)
+	}
+}
+
+// TestDirtyCellOnConeBoundary: an entry is invalidated by a dirty cell that
+// the search merely *touched* (frontier boundary, never expanded), and stays
+// valid when the dirty cell lies strictly outside the visit cone. The touch
+// set, not the expansion set, is the correctness boundary: a boundary cell's
+// obstacle state was read to decide not to expand it.
+func TestDirtyCellOnConeBoundary(t *testing.T) {
+	g := grid.New(9, 9)
+	obs := grid.NewObsMap(g)
+	// Wall at x=4 except a gap at y=4 confines the cone's spill past the wall.
+	for y := 0; y < 9; y++ {
+		if y != 4 {
+			obs.Set(geom.Pt{X: 4, Y: y}, true)
+		}
+	}
+	w := NewWorkspace(g)
+	// Route through the gap: expanding the gap cell (4,4) touches the wall
+	// cells above and below it, which stay unexpanded (blocked).
+	req := Request{Sources: []geom.Pt{{X: 0, Y: 4}}, Targets: []geom.Pt{{X: 5, Y: 4}}, Obs: obs}
+
+	w.negReset(g, 1)
+	w.StartVisitTracking()
+	p, ok := w.AStar(g, req)
+	w.StopVisitTracking()
+	if !ok {
+		t.Fatal("search failed")
+	}
+	visits := w.CopyVisits(nil)
+	ent := &w.negEntries[0]
+	w.negRecord(g, ent, p, ok, visits)
+	if !w.negEntryValid(ent) {
+		t.Fatal("fresh entry must be valid")
+	}
+
+	inCone := func(c geom.Pt) bool {
+		i := g.Index(c)
+		return visits[i>>6]&(1<<(i&63)) != 0
+	}
+	// The wall cell adjacent to the path is touched (its blockedness was
+	// read) but never expanded — it must be in the cone.
+	boundary := geom.Pt{X: 4, Y: 3}
+	if !inCone(boundary) {
+		t.Fatalf("wall cell %v not in the visit cone; the cone no longer covers touched cells", boundary)
+	}
+	w.negClock++
+	w.negDirty[g.Index(boundary)] = w.negClock
+	if w.negEntryValid(ent) {
+		t.Fatal("entry still valid with a dirty cell on the cone boundary")
+	}
+
+	// Re-record, then dirty a cell strictly outside the cone (behind the
+	// wall, reachable only through the distant gap): entry stays valid.
+	w.negRecord(g, ent, p, ok, visits)
+	if !w.negEntryValid(ent) {
+		t.Fatal("re-recorded entry must be valid")
+	}
+	outside := geom.Pt{X: 8, Y: 0}
+	if inCone(outside) {
+		t.Fatalf("cell %v unexpectedly inside the cone; pick a farther cell", outside)
+	}
+	w.negClock++
+	w.negDirty[g.Index(outside)] = w.negClock
+	if !w.negEntryValid(ent) {
+		t.Fatal("entry invalidated by a cell outside its cone")
+	}
+}
+
+// TestNegRecordMarksChangedOutcome: when a slot's fresh outcome differs from
+// its previous round's, both the old and the new path cells go dirty — and
+// the entry itself stays valid (its own inputs did not change).
+func TestNegRecordMarksChangedOutcome(t *testing.T) {
+	g := grid.New(8, 8)
+	w := NewWorkspace(g)
+	w.negReset(g, 1)
+	ent := &w.negEntries[0]
+
+	oldPath := grid.Path{{X: 1, Y: 1}, {X: 2, Y: 1}}
+	newPath := grid.Path{{X: 1, Y: 6}, {X: 2, Y: 6}}
+	visits := make([]uint64, (g.Cells()+63)/64)
+	for _, c := range newPath {
+		i := g.Index(c)
+		visits[i>>6] |= 1 << (i & 63)
+	}
+
+	w.negRecord(g, ent, oldPath, true, visits)
+	clock0 := w.negClock
+	w.negRecord(g, ent, newPath, true, visits)
+	if w.negClock != clock0+1 {
+		t.Fatalf("changed outcome must tick the clock once: %d -> %d", clock0, w.negClock)
+	}
+	for _, c := range append(oldPath.Clone(), newPath...) {
+		if w.negDirty[g.Index(c)] != w.negClock {
+			t.Fatalf("cell %v not marked dirty by the outcome change", c)
+		}
+	}
+	if !w.negEntryValid(ent) {
+		t.Fatal("an edge's own outcome change must not invalidate its own entry")
+	}
+}

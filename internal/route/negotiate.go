@@ -25,6 +25,14 @@ type NegotiateParams struct {
 	// validates every speculative search against the exact sequential
 	// obstacle state before committing it.
 	Workers int
+	// NoCache disables the incremental search-cone cache (cache.go). The
+	// cache is a pure wall-clock optimization: on or off, every round's
+	// routed paths are byte-identical.
+	NoCache bool
+	// CheckCache is the exact-validation mode: every cache hit re-runs its
+	// search anyway and panics if the replayed result diverges. Strictly
+	// slower than NoCache; for CI gates and debugging.
+	CheckCache bool
 }
 
 // DefaultNegotiateParams mirrors the paper's settings.
@@ -54,107 +62,262 @@ func Negotiate(obs *grid.ObsMap, edges []Edge, params NegotiateParams) (map[int]
 // the same Algorithm 1, with every inner A* reusing w's search arrays and
 // one scratch obstacle map shared across iterations.
 func (w *Workspace) Negotiate(obs *grid.ObsMap, edges []Edge, params NegotiateParams) (map[int]grid.Path, bool) {
+	return w.NegotiateTracked(obs, edges, params, nil)
+}
+
+// NegotiateTracked is Negotiate with run statistics: when stats is non-nil,
+// round, search, and cache counters accumulate into it, and on failure the
+// final round's unrouted edge IDs land in stats.FailedIDs (edge order).
+//
+// Rounds past the first run through the incremental cache (unless
+// params.NoCache): each edge's search records its visit cone, and an edge
+// whose cone contains no cell dirtied since — no history bump, no obstacle
+// delta from an earlier edge's changed outcome — replays its previous
+// result without searching. Round 0 runs untracked so the common
+// converges-in-one-round case pays no tracking overhead. See cache.go for
+// the invalidation argument.
+func (w *Workspace) NegotiateTracked(obs *grid.ObsMap, edges []Edge, params NegotiateParams, stats *NegotiateStats) (map[int]grid.Path, bool) {
 	g := obs.Grid()
 	//pacor:allow hotalloc once per negotiation run, amortized over gamma iterations of inner searches
 	hist := make([]float64, g.Cells()) // Step 1: initialize history cost
 	//pacor:allow hotalloc result map returned to the caller, sized up front
 	paths := make(map[int]grid.Path, len(edges))
-	var work *grid.ObsMap
+	useCache := !params.NoCache && params.Gamma > 1 && len(edges) > 0
+	if useCache {
+		w.negReset(g, len(edges))
+	}
 
-	for r := 0; r < params.Gamma; r++ { // Steps 5-16
-		// Step 2: ObsMap with this iteration's paths. The scratch map is
-		// allocated once and rewound per iteration.
-		if work == nil {
-			work = obs.Clone()
-		} else {
-			work.CopyFrom(obs)
+	// Step 2's per-round ObsMap: one workspace-resident map, rebuilt per
+	// round by journal rewind (O(round's committed paths)) instead of a full
+	// O(cells) copy. Terminals are blocked once, below the rewind mark: a
+	// channel may not run through another net's valve or merge point, while
+	// an edge's own search is unaffected (sources seed unconditionally,
+	// targets are obstacle-exempt), so edges of the same Steiner tree still
+	// connect at their shared merging nodes.
+	work := w.negWorkFor(g)
+	work.CopyFrom(obs)
+	work.StartJournal(w.negJournal)
+	for _, e := range edges {
+		for _, c := range e.Sources {
+			work.Set(c, true)
 		}
-		// Every edge's terminals are blocked for the other edges: a channel
-		// may not run through another net's valve or merge point. An edge's
-		// own search is unaffected (sources seed unconditionally, targets
-		// are obstacle-exempt), so edges of the same Steiner tree still
-		// connect at their shared merging nodes.
-		for _, e := range edges {
-			for _, c := range e.Sources {
-				work.Set(c, true)
-			}
-			for _, c := range e.Targets {
-				work.Set(c, true)
-			}
+		for _, c := range e.Targets {
+			work.Set(c, true)
+		}
+	}
+	mark := work.JournalLen()
+	w.negFailed = w.negFailed[:0]
+
+	routed := false
+	for r := 0; r < params.Gamma; r++ { // Steps 5-16
+		if r > 0 {
+			work.RewindJournal(mark)
 		}
 		for k := range paths {
 			delete(paths, k)
 		}
-		done := true
+		w.negFailed = w.negFailed[:0]
+		if stats != nil {
+			stats.Rounds++
+		}
+		caching := useCache && r > 0
+		var done bool
 		if params.Workers > 1 && len(edges) > 1 {
-			done = negotiateRound(g, work, edges, hist, paths, params.Workers)
+			done = w.negRoundParallel(g, work, edges, hist, paths, params, caching, stats)
 		} else {
-			for _, e := range edges { // Steps 7-13
-				p, ok := w.AStar(g, Request{
-					Sources: e.Sources,
-					Targets: e.Targets,
-					Obs:     work,
-					Hist:    hist,
-				})
-				if ok {
-					paths[e.ID] = p
-					work.SetPath(p, true) // Step 11: routed path becomes obstacle
-				} else {
-					done = false
-				}
-			}
+			done = w.negRoundSeq(g, work, edges, hist, paths, params, caching, stats)
 		}
 		if done {
-			return paths, true
+			routed = true
+			break
 		}
 		// Steps 17-19: bump history along routed paths, then rip them up.
-		// (Map iteration order varies, but the bump composes the same affine
-		// update per visit regardless of visit order, so hist is
+		// Bumped cells go dirty under a fresh clock tick — any cached cone
+		// containing one saw a changed history value. (Map iteration order
+		// varies, but the bump composes the same affine update per visit
+		// regardless of visit order, so hist — and the dirty marks — are
 		// order-independent.)
+		if useCache {
+			w.negClock++
+		}
 		for _, p := range paths {
 			for _, c := range p {
 				i := g.Index(c)
 				hist[i] = params.BaseHist + params.Alpha*hist[i]
+				if useCache {
+					w.negDirty[i] = w.negClock
+				}
 			}
 		}
 	}
-	return paths, false
+	w.negJournal = work.StopJournal()
+	if stats != nil && !routed {
+		stats.FailedIDs = append(stats.FailedIDs, w.negFailed...) //pacor:allow hotalloc failure-path diagnostic, grows the caller's stats slice once
+	}
+	return paths, routed
 }
 
-// negotiateRound routes one round's edges, in slice order, through the
+// negRoundSeq routes one round's edges sequentially (Steps 7-13), replaying
+// valid cache entries when caching is on. It reports whether every edge
+// routed.
+func (w *Workspace) negRoundSeq(g grid.Grid, work *grid.ObsMap, edges []Edge, hist []float64,
+	paths map[int]grid.Path, params NegotiateParams, caching bool, stats *NegotiateStats) bool {
+	done := true
+	for ei := range edges {
+		e := &edges[ei]
+		req := Request{Sources: e.Sources, Targets: e.Targets, Obs: work, Hist: hist}
+		var p grid.Path
+		var ok bool
+		switch {
+		case !caching:
+			p, ok = w.AStar(g, req)
+			if stats != nil {
+				stats.Searches++
+			}
+		case w.negEntryValid(&w.negEntries[ei]):
+			ent := &w.negEntries[ei]
+			if params.CheckCache {
+				w.negCheck(g, req, e.ID, ent)
+			}
+			if stats != nil {
+				stats.CacheHits++
+			}
+			p, ok = ent.path, ent.ok
+		default:
+			ent := &w.negEntries[ei]
+			if stats != nil {
+				stats.Searches++
+				stats.CacheMisses++
+				if ent.recorded {
+					stats.Invalidated++
+				}
+			}
+			w.StartVisitTracking()
+			p, ok = w.AStar(g, req)
+			w.StopVisitTracking()
+			w.negVisits = w.CopyVisits(w.negVisits[:0])
+			w.negRecord(g, ent, p, ok, w.negVisits)
+		}
+		if ok {
+			paths[e.ID] = p
+			work.SetPath(p, true) // Step 11: routed path becomes obstacle
+		} else {
+			done = false
+			w.negFailed = append(w.negFailed, e.ID) //pacor:allow hotalloc amortized failed-ID growth, buffer reused across rounds
+		}
+	}
+	return done
+}
+
+// negRoundParallel routes one round's edges, in slice order, through the
 // spatial-dependency scheduler: routed paths commit onto work in edge order,
-// exactly as the sequential Steps 7-13 loop does. It reports whether every
-// edge routed.
+// exactly as the sequential Steps 7-13 loop does. With caching on, cache
+// hits replay inline and skip task dispatch entirely; only maximal blocks of
+// consecutive cache misses go through the scheduler. An edge's entry is
+// (re)examined only after everything before it has committed, because a
+// block's changed outcomes can dirty a later edge's cone. It reports whether
+// every edge routed.
 //
 //pacor:hot
 //pacor:allow hotalloc per-round task construction, amortized over the round's searches
-func negotiateRound(g grid.Grid, work *grid.ObsMap, edges []Edge, hist []float64, paths map[int]grid.Path, workers int) bool {
-	tasks := make([]ScheduledTask, len(edges))
-	for i := range edges {
-		e := edges[i]
-		tasks[i] = ScheduledTask{
-			Window: SearchWindow(g, e.Sources, e.Targets),
-			Run: func(ws *Workspace, obs *grid.ObsMap) TaskOutcome {
-				p, ok := ws.AStar(g, Request{
-					Sources: e.Sources,
-					Targets: e.Targets,
-					Obs:     obs,
-					Hist:    hist,
-				})
-				if !ok {
-					return TaskOutcome{}
-				}
-				return TaskOutcome{OK: true, Paths: []grid.Path{p}}
-			},
-		}
-	}
+func (w *Workspace) negRoundParallel(g grid.Grid, work *grid.ObsMap, edges []Edge, hist []float64,
+	paths map[int]grid.Path, params NegotiateParams, caching bool, stats *NegotiateStats) bool {
 	done := true
-	RunScheduled(work, tasks, workers, func(i int, out TaskOutcome) {
-		if out.OK {
-			paths[edges[i].ID] = out.Paths[0]
-		} else {
-			done = false
+	if !caching {
+		tasks := make([]ScheduledTask, len(edges))
+		for i := range edges {
+			tasks[i] = negTask(g, &edges[i], hist)
 		}
-	})
+		RunScheduled(work, tasks, params.Workers, func(i int, out TaskOutcome) {
+			if stats != nil {
+				stats.Searches++
+			}
+			if out.OK {
+				paths[edges[i].ID] = out.Paths[0]
+			} else {
+				done = false
+				w.negFailed = append(w.negFailed, edges[i].ID)
+			}
+		})
+		return done
+	}
+	ei := 0
+	for ei < len(edges) {
+		if ent := &w.negEntries[ei]; w.negEntryValid(ent) {
+			e := &edges[ei]
+			if params.CheckCache {
+				w.negCheck(g, Request{Sources: e.Sources, Targets: e.Targets, Obs: work, Hist: hist}, e.ID, ent)
+			}
+			if stats != nil {
+				stats.CacheHits++
+			}
+			if ent.ok {
+				paths[e.ID] = ent.path
+				work.SetPath(ent.path, true)
+			} else {
+				done = false
+				w.negFailed = append(w.negFailed, e.ID)
+			}
+			ei++
+			continue
+		}
+		// Maximal block of consecutive misses. Entries already invalid stay
+		// invalid (the dirty clock only grows), so batching them is sound;
+		// the first currently-valid entry ends the block and is re-checked
+		// once the block's outcomes — and their dirty marks — have landed.
+		m := ei + 1
+		for m < len(edges) && !w.negEntryValid(&w.negEntries[m]) {
+			m++
+		}
+		base := ei
+		block := edges[ei:m]
+		tasks := make([]ScheduledTask, len(block))
+		for i := range block {
+			tasks[i] = negTask(g, &block[i], hist)
+		}
+		RunScheduledVisits(work, tasks, params.Workers, func(i int, out TaskOutcome, visits []uint64) {
+			ent := &w.negEntries[base+i]
+			if stats != nil {
+				stats.Searches++
+				stats.CacheMisses++
+				if ent.recorded {
+					stats.Invalidated++
+				}
+			}
+			var p grid.Path
+			if out.OK {
+				p = out.Paths[0]
+			}
+			w.negRecord(g, ent, p, out.OK, visits)
+			if out.OK {
+				paths[block[i].ID] = p
+			} else {
+				done = false
+				w.negFailed = append(w.negFailed, block[i].ID)
+			}
+		})
+		ei = m
+	}
 	return done
+}
+
+// negTask wraps one edge's A* as a scheduler task.
+//
+//pacor:allow hotalloc one task record and one single-path result slice per edge, amortized over the edge's search
+func negTask(g grid.Grid, e *Edge, hist []float64) ScheduledTask {
+	return ScheduledTask{
+		Window: SearchWindow(g, e.Sources, e.Targets),
+		Run: func(ws *Workspace, obs *grid.ObsMap) TaskOutcome {
+			p, ok := ws.AStar(g, Request{
+				Sources: e.Sources,
+				Targets: e.Targets,
+				Obs:     obs,
+				Hist:    hist,
+			})
+			if !ok {
+				return TaskOutcome{}
+			}
+			return TaskOutcome{OK: true, Paths: []grid.Path{p}}
+		},
+	}
 }

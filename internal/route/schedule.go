@@ -72,6 +72,24 @@ type TaskOutcome struct {
 // order, never concurrently; it must not call back into the scheduler. base
 // is mutated in place (the committed paths accumulate onto it).
 func RunScheduled(base *grid.ObsMap, tasks []ScheduledTask, workers int, commit func(i int, out TaskOutcome)) {
+	var commitV func(int, TaskOutcome, []uint64)
+	if commit != nil {
+		commitV = func(i int, out TaskOutcome, _ []uint64) { commit(i, out) }
+	}
+	runScheduled(base, tasks, workers, false, commitV)
+}
+
+// RunScheduledVisits is RunScheduled with the committed run's visit set
+// handed to the commit callback: visits is the bitmap of every cell the
+// task's searches stamped — a superset of every cell whose obstacle state
+// they read, because tracked searches stamp before reading. The negotiation
+// cache records it as the edge's search cone. The slice is only valid for
+// the duration of the callback; callers keep a copy.
+func RunScheduledVisits(base *grid.ObsMap, tasks []ScheduledTask, workers int, commit func(i int, out TaskOutcome, visits []uint64)) {
+	runScheduled(base, tasks, workers, true, commit)
+}
+
+func runScheduled(base *grid.ObsMap, tasks []ScheduledTask, workers int, needVisits bool, commit func(int, TaskOutcome, []uint64)) {
 	if len(tasks) == 0 {
 		return
 	}
@@ -79,17 +97,18 @@ func RunScheduled(base *grid.ObsMap, tasks []ScheduledTask, workers int, commit 
 		workers = len(tasks)
 	}
 	if workers <= 1 {
-		runSequential(base, tasks, commit)
+		runSequential(base, tasks, needVisits, commit)
 		return
 	}
 	s := &scheduler{ //pacor:allow hotalloc per-run scheduler state, amortized over every task in the round
-		g:        base.Grid(),
-		base:     base,
-		tasks:    tasks,
-		commitFn: commit,
-		maxDep:   windowDeps(tasks),
-		started:  make([]bool, len(tasks)),       //pacor:allow hotalloc per-run setup, not per search step
-		results:  make([]*runResult, len(tasks)), //pacor:allow hotalloc per-run setup, not per search step
+		g:          base.Grid(),
+		base:       base,
+		tasks:      tasks,
+		commitFn:   commit,
+		needVisits: needVisits,
+		maxDep:     windowDeps(tasks),
+		started:    make([]bool, len(tasks)),       //pacor:allow hotalloc per-run setup, not per search step
+		results:    make([]*runResult, len(tasks)), //pacor:allow hotalloc per-run setup, not per search step
 	}
 	s.cond = sync.NewCond(&s.mu)
 	var wg sync.WaitGroup
@@ -104,22 +123,40 @@ func RunScheduled(base *grid.ObsMap, tasks []ScheduledTask, workers int, commit 
 }
 
 // runSequential is the reference loop (worker count 1): same snapshot
-// semantics, no goroutines, no tracking.
-func runSequential(base *grid.ObsMap, tasks []ScheduledTask, commit func(int, TaskOutcome)) {
+// semantics, no goroutines. The snapshot is maintained incrementally — one
+// full copy up front, then each task's scratch mutations are rewound through
+// the obstacle journal (O(task changes)) and the committed paths are applied
+// to both maps, instead of re-copying O(cells) per task. Tracking is on only
+// when the caller asked for visit sets.
+func runSequential(base *grid.ObsMap, tasks []ScheduledTask, needVisits bool, commit func(int, TaskOutcome, []uint64)) {
 	ws := AcquireWorkspace(base.Grid())
-	scratch := grid.NewObsMap(base.Grid())
+	scratch := ws.scratchFor(base.Grid())
+	scratch.CopyFrom(base)
+	scratch.StartJournal(ws.seqJournal)
 	for i := range tasks {
-		scratch.CopyFrom(base)
+		mark := scratch.JournalLen()
+		var visits []uint64
+		if needVisits {
+			ws.StartVisitTracking()
+		}
 		out := tasks[i].Run(ws, scratch)
+		if needVisits {
+			ws.StopVisitTracking()
+			ws.seqVisits = ws.CopyVisits(ws.seqVisits[:0])
+			visits = ws.seqVisits
+		}
+		scratch.RewindJournal(mark)
 		if out.OK {
 			for _, p := range out.Paths {
 				base.SetPath(p, true)
+				scratch.SetPath(p, true)
 			}
 		}
 		if commit != nil {
-			commit(i, out)
+			commit(i, out, visits)
 		}
 	}
+	ws.seqJournal = scratch.StopJournal()
 	ReleaseWorkspace(ws)
 }
 
@@ -157,6 +194,9 @@ type runResult struct {
 type scheduler struct {
 	g     grid.Grid
 	tasks []ScheduledTask
+	// needVisits means the commit callback consumes visit sets, so the redo
+	// path must re-run with tracking on instead of dropping the bitmap.
+	needVisits bool
 
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -166,7 +206,7 @@ type scheduler struct {
 	started   []bool
 	results   []*runResult
 	committed int
-	commitFn  func(int, TaskOutcome)
+	commitFn  func(int, TaskOutcome, []uint64)
 }
 
 // worker claims runnable tasks until everything has committed. Each worker
@@ -232,10 +272,19 @@ func (s *scheduler) advance(ws *Workspace, scratch *grid.ObsMap) {
 			// The speculative run observed a cell a later-committed path now
 			// occupies: its transcript is unreliable. Re-run against the full
 			// committed prefix — exactly the sequential state for task i.
+			// When the caller consumes visit sets, the redo runs tracked so
+			// its exact cone replaces the discarded speculative one.
 			scratch.CopyFrom(s.base)
-			r.out = s.tasks[i].Run(ws, scratch)
+			if s.needVisits {
+				ws.StartVisitTracking()
+				r.out = s.tasks[i].Run(ws, scratch)
+				ws.StopVisitTracking()
+				r.visits = ws.CopyVisits(r.visits[:0])
+			} else {
+				r.out = s.tasks[i].Run(ws, scratch)
+				r.visits = nil
+			}
 			r.snap = i
-			r.visits = nil
 		}
 		if r.out.OK {
 			for _, p := range r.out.Paths {
@@ -244,7 +293,7 @@ func (s *scheduler) advance(ws *Workspace, scratch *grid.ObsMap) {
 		}
 		s.committed = i + 1
 		if s.commitFn != nil {
-			s.commitFn(i, r.out)
+			s.commitFn(i, r.out, r.visits)
 		}
 	}
 }

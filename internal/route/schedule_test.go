@@ -193,3 +193,48 @@ func TestWorkspacePoolRoundTrip(t *testing.T) {
 	ReleaseWorkspace(w2)
 	ReleaseWorkspace(nil) // must be a no-op
 }
+
+// TestRunScheduledVisitsMatchesSequentialTracked: the visit cones delivered
+// to the commit callback are identical, per task, to the cones a sequential
+// tracked run produces — at every worker count.
+func TestRunScheduledVisitsMatchesSequentialTracked(t *testing.T) {
+	g, obs, edges := schedScenario(t, 8)
+	window := func(e Edge) geom.Rect { return SearchWindow(g, e.Sources, e.Targets) }
+
+	// Reference: route the tasks sequentially by hand with tracking on.
+	wantVisits := make([][]uint64, len(edges))
+	wantOuts := make([]TaskOutcome, len(edges))
+	ref := obs.Clone()
+	ws := NewWorkspace(g)
+	for i, task := range edgeTasks(g, edges, window) {
+		ws.StartVisitTracking()
+		out := task.Run(ws, ref)
+		ws.StopVisitTracking()
+		wantVisits[i] = ws.CopyVisits(nil)
+		wantOuts[i] = out
+		for _, p := range out.Paths {
+			ref.SetPath(p, true)
+		}
+	}
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		final := obs.Clone()
+		i := 0
+		RunScheduledVisits(final, edgeTasks(g, edges, window), workers, func(j int, out TaskOutcome, visits []uint64) {
+			if j != i {
+				t.Fatalf("workers=%d: commit %d out of order (want %d)", workers, j, i)
+			}
+			if !reflect.DeepEqual(out, wantOuts[j]) {
+				t.Fatalf("workers=%d task %d: outcome differs from sequential", workers, j)
+			}
+			if !reflect.DeepEqual(append([]uint64(nil), visits...), wantVisits[j]) {
+				t.Fatalf("workers=%d task %d: visit cone differs from sequential tracked run", workers, j)
+			}
+			i++
+		})
+		if i != len(edges) {
+			t.Fatalf("workers=%d: %d commits for %d tasks", workers, i, len(edges))
+		}
+		assertObsEqual(t, ref, final)
+	}
+}

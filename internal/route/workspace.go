@@ -47,11 +47,40 @@ type Workspace struct {
 	track bool
 	vbits []uint64
 
+	// Incremental negotiation cache state (cache.go / negotiate.go). It lives
+	// on the pooled workspace so repeated Negotiate calls reuse the dirty
+	// map, entry table, work map, and journal instead of allocating per call.
+	negWork    *grid.ObsMap // journaled per-round work map
+	negJournal []int32      // obstacle-delta journal buffer for negWork
+	negDirty   []int32      // per-cell dirty clock stamps
+	negClock   int32        // monotone dirty clock of the current run
+	negEntries []negEntry   // per-edge-slot cached results
+	negVisits  []uint64     // scratch for capturing a search's visit cone
+	negFailed  []int        // edge IDs unrouted in the current round
+
+	// Sequential-scheduler scratch (runSequential): the snapshot map and its
+	// journal, reused across rounds so per-task state restoration costs
+	// O(task changes) instead of O(cells).
+	sobs       *grid.ObsMap
+	seqJournal []int32
+	seqVisits  []uint64
+
 	// pooled is true while the workspace sits in its sync.Pool. It makes a
 	// double ReleaseWorkspace a no-op instead of poisoning the pool: two
 	// Put calls of the same pointer would let two goroutines Get the same
 	// workspace and race on every search array.
 	pooled bool
+}
+
+// scratchFor returns the workspace-resident scratch obstacle map for g,
+// (re)allocated only when the grid changes.
+//
+//pacor:allow hotalloc allocated once per grid change, reused across scheduler rounds
+func (w *Workspace) scratchFor(g grid.Grid) *grid.ObsMap {
+	if w.sobs == nil || w.sobs.Grid() != g {
+		w.sobs = grid.NewObsMap(g)
+	}
+	return w.sobs
 }
 
 // NewWorkspace returns a workspace sized for g. Searches on other grid
@@ -237,14 +266,28 @@ func (w *Workspace) AStar(g grid.Grid, req Request) (grid.Path, bool) {
 		w.nbuf = g.Neighbors(p, w.nbuf)
 		for _, q := range w.nbuf {
 			j := g.Index(q)
-			if w.touch(j) && w.closed[j] {
-				continue
+			// Tracked searches must stamp a cell before reading its obstacle
+			// state: the visit cone has to be a superset of every cell read,
+			// or speculative/cache validation cannot reason about the search.
+			// Untracked searches skip blocked and out-of-window cells before
+			// touching them — same skip decision (the state read is identical
+			// in both orders), but no stamp writes on cells that contribute
+			// nothing to the search.
+			if w.track {
+				if w.touch(j) && w.closed[j] {
+					continue
+				}
 			}
 			if !req.inBounds(q) && !w.isTarget(j) {
 				continue
 			}
-			if req.Obs != nil && req.Obs.Blocked(q) && !w.isTarget(j) {
+			if req.Obs != nil && req.Obs.Blocked(q) && !w.isTarget(j) { //pacor:allow snapshotread untracked fast path; tracked searches stamp via the w.track branch above before this read
 				continue
+			}
+			if !w.track {
+				if w.touch(j) && w.closed[j] {
+					continue
+				}
 			}
 			step := 1.0
 			if req.Hist != nil {
@@ -349,12 +392,19 @@ func (w *Workspace) BoundedAStar(g grid.Grid, req Request, minLen, maxLen int) (
 			if int(ng) > maxLen {
 				continue
 			}
-			w.touchBounded(j)
+			// Same stamp ordering as AStar: tracked searches stamp before the
+			// obstacle read, untracked ones skip dead cells without stamping.
+			if w.track {
+				w.touchBounded(j)
+			}
 			if !req.inBounds(q) && !w.isTarget(j) {
 				continue
 			}
-			if req.Obs != nil && req.Obs.Blocked(q) && !w.isTarget(j) {
+			if req.Obs != nil && req.Obs.Blocked(q) && !w.isTarget(j) { //pacor:allow snapshotread untracked fast path; tracked searches stamp via the w.track branch above before this read
 				continue
+			}
+			if !w.track {
+				w.touchBounded(j)
 			}
 			// Monotone-G rule: only revisit a cell on a strictly longer path.
 			if ng <= w.maxSeen[j] && !(w.isTarget(j) && int(ng) >= minLen) {
