@@ -599,3 +599,107 @@ func BenchmarkBaselineVsPACOR(b *testing.B) {
 		})
 	}
 }
+
+// --- ChipXL: the million-cell benchmark family ---------------------------
+
+// chipXLSearch builds the ChipXL-scale point-to-point scenario: a 1000x1000
+// grid (a million cells) with 2% scattered obstacles, corner to corner — the
+// profile where the open list dominates the search cost and the bucket queue
+// and bidirectional variants pay off.
+func chipXLSearch() (grid.Grid, *grid.ObsMap, geom.Pt, geom.Pt) {
+	const n = 1000
+	g := grid.New(n, n)
+	obs := grid.NewObsMap(g)
+	rng := rand.New(rand.NewSource(90001))
+	for i := 0; i < n*n/50; i++ {
+		obs.Set(geom.Pt{X: rng.Intn(n), Y: rng.Intn(n)}, true)
+	}
+	src := geom.Pt{X: 1, Y: 1}
+	dst := geom.Pt{X: n - 2, Y: n - 2}
+	obs.Set(src, false)
+	obs.Set(dst, false)
+	return g, obs, src, dst
+}
+
+// BenchmarkAStarChipXL isolates the open-list cost at ChipXL scale: the same
+// million-cell search under the binary heap, under the Dial bucket queue, and
+// under the bidirectional search (which expands roughly two half-radius disks
+// instead of one full disk, at the price of a different path shape).
+func BenchmarkAStarChipXL(b *testing.B) {
+	g, obs, src, dst := chipXLSearch()
+	req := route.Request{Sources: []geom.Pt{src}, Targets: []geom.Pt{dst}, Obs: obs}
+	for _, mode := range []route.QueueMode{route.QueueHeap, route.QueueBucket} {
+		b.Run(mode.String(), func(b *testing.B) {
+			ws := route.NewWorkspace(g)
+			ws.SetQueueMode(mode)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := ws.AStar(g, req); !ok {
+					b.Fatal("no path")
+				}
+			}
+		})
+	}
+	b.Run("bidir", func(b *testing.B) {
+		ws := route.NewWorkspace(g)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok := ws.BiAStar(g, req); !ok {
+				b.Fatal("no path")
+			}
+		}
+	})
+}
+
+// BenchmarkFlowChipXL runs the full flow on ChipXL family members. The loop
+// member keeps the full chip's valve density (2400 valves per 10^6 cells)
+// at 300x300 so an op stays in the tens of seconds; the full 1000x1000 chip
+// takes minutes per op and is skipped in -short runs. Most of the flow is
+// selection/negotiation/escape work rather than raw grid search, so the
+// queue-mode delta here is much smaller than BenchmarkAStarChipXL's — the
+// sub-benches exist to pin that honest flow-level number.
+func BenchmarkFlowChipXL(b *testing.B) {
+	member := bench.XLSpec(300, 216, 0.02)
+	d, err := bench.GenerateSpec(member)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []route.QueueMode{route.QueueHeap, route.QueueBucket} {
+		b.Run(member.Name+"/"+mode.String(), func(b *testing.B) {
+			params := pacor.DefaultParams()
+			params.Queue = mode
+			b.ReportAllocs()
+			b.ResetTimer()
+			var last *pacor.Result
+			for i := 0; i < b.N; i++ {
+				res, err := pacor.Route(d, params)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(float64(last.MatchedClusters), "matched")
+			b.ReportMetric(100*last.CompletionRate(), "compl%")
+		})
+	}
+	b.Run("Full", func(b *testing.B) {
+		if testing.Short() {
+			b.Skip("full 1000x1000 ChipXL takes minutes per op")
+		}
+		full, err := bench.Generate("ChipXL")
+		if err != nil {
+			b.Fatal(err)
+		}
+		params := pacor.DefaultParams()
+		params.Queue = route.QueueBucket
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := pacor.Route(full, params); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

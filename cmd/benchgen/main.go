@@ -4,9 +4,16 @@
 // Usage:
 //
 //	benchgen [-out DIR] [NAME ...]
+//	benchgen [-out DIR] -xl [-size N] [-valves N] [-density F]
 //
 // With no names, all seven designs are generated. It also prints the
 // Table 1 parameter summary for cross-checking against the paper.
+//
+// -xl emits one member of the ChipXL scalability family instead: a size×size
+// grid with the requested valve count and obstacle density (bench.XLSpec).
+// Generation is deterministic in the knobs, so a re-run with equal
+// parameters reproduces the file byte for byte. NAME "ChipXL" (without -xl)
+// emits the canonical 1000×1000 preset.
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/bench"
+	"repro/internal/valve"
 )
 
 func main() {
@@ -30,10 +38,20 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchgen", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	out := fs.String("out", ".", "output directory")
+	xl := fs.Bool("xl", false, "emit a ChipXL-family design parameterized by -size/-valves/-density")
+	size := fs.Int("size", 1000, "grid side length of the -xl design")
+	valves := fs.Int("valves", 2400, "total valve count of the -xl design")
+	density := fs.Float64("density", 0.02, "obstacle density (fraction of cells) of the -xl design")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	names := fs.Args()
+	if *xl {
+		if len(names) > 0 {
+			return fmt.Errorf("-xl takes no design names (got %v)", names)
+		}
+		return emit(stdout, *out, bench.XLSpec(*size, *valves, *density))
+	}
 	if len(names) == 0 {
 		names = bench.Names()
 	}
@@ -44,21 +62,40 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		path := filepath.Join(*out, name+".json")
-		f, err := os.Create(path)
-		if err != nil {
+		if err := write(stdout, *out, d); err != nil {
 			return err
 		}
-		if err := d.Write(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Fprintf(stdout, "%-8s %-9s %-8d %-5d %-5d %-10d  -> %s\n",
-			name, fmt.Sprintf("%dx%d", d.W, d.H), len(d.Valves), len(d.Pins),
-			len(d.Obstacles), len(d.LMClusters), path)
 	}
+	return nil
+}
+
+// emit generates one custom spec and writes it with its own header line.
+func emit(stdout io.Writer, dir string, spec bench.Spec) error {
+	d, err := bench.GenerateSpec(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "%-8s %-9s %-8s %-5s %-5s %-10s\n",
+		"Design", "Size", "#Valves", "#CP", "#Obs", "#Clusters")
+	return write(stdout, dir, d)
+}
+
+// write serializes one design to dir/<name>.json and prints its summary row.
+func write(stdout io.Writer, dir string, d *valve.Design) error {
+	path := filepath.Join(dir, d.Name+".json")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "%-8s %-9s %-8d %-5d %-5d %-10d  -> %s\n",
+		d.Name, fmt.Sprintf("%dx%d", d.W, d.H), len(d.Valves), len(d.Pins),
+		len(d.Obstacles), len(d.LMClusters), path)
 	return nil
 }

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	pacor [-mode pacor|wosel|detourfirst] [-j N] [-stats] [-nocache] [-checkcache] [-render] [-clusters] design.json
+//	pacor [-mode pacor|wosel|detourfirst] [-j N] [-queue auto|heap|bucket] [-stats] [-nocache] [-checkcache] [-render] [-clusters] design.json
 //	pacor -bench S3 [-mode ...] [-render] [-svg out.svg] [-skew] [-json out.json]
 //	pacor -bench S5 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
@@ -29,6 +29,7 @@ import (
 	"repro/internal/pressure"
 	"repro/internal/render"
 	"repro/internal/report"
+	"repro/internal/route"
 	"repro/internal/valve"
 )
 
@@ -53,6 +54,7 @@ func run(args []string, stdout io.Writer) error {
 	statsFlag := fs.Bool("stats", false, "print negotiation work and incremental-cache counters")
 	noCache := fs.Bool("nocache", false, "disable the incremental negotiation cache (routes identically, wall-clock only)")
 	checkCache := fs.Bool("checkcache", false, "re-search every negotiation cache hit and fail loudly on divergence")
+	queueFlag := fs.String("queue", "auto", "open-list implementation: auto, heap, bucket (routes identically, wall-clock only)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -116,6 +118,11 @@ func run(args []string, stdout io.Writer) error {
 	params.Workers = *jFlag
 	params.Negotiate.NoCache = *noCache
 	params.Negotiate.CheckCache = *checkCache
+	queue, err := route.ParseQueueMode(*queueFlag)
+	if err != nil {
+		return err
+	}
+	params.Queue = queue
 	res, err := pacor.Route(d, params)
 	if err != nil {
 		return err

@@ -10,7 +10,7 @@
 //
 // Usage:
 //
-//	table2 [-designs Chip1,S3,...] [-verify] [-csv out.csv] [-j N] [-stable] [-stats] [-nocache] [-checkcache]
+//	table2 [-designs Chip1,S3,...] [-verify] [-csv out.csv] [-j N] [-queue auto|heap|bucket] [-stable] [-stats] [-nocache] [-checkcache]
 //	table2 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
@@ -29,6 +29,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/pacor"
 	"repro/internal/report"
+	"repro/internal/route"
 )
 
 func main() {
@@ -57,6 +58,7 @@ func run(args []string, stdout io.Writer) error {
 	statsFlag := fs.Bool("stats", false, "append per-job negotiation and cache counters to the report")
 	noCache := fs.Bool("nocache", false, "disable the incremental negotiation cache (routes identically, wall-clock only)")
 	checkCache := fs.Bool("checkcache", false, "re-search every negotiation cache hit and fail loudly on divergence")
+	queueFlag := fs.String("queue", "auto", "open-list implementation: auto, heap, bucket (routes identically, wall-clock only)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -64,6 +66,10 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *workers < 1 {
 		*workers = 1
+	}
+	queue, err := route.ParseQueueMode(*queueFlag)
+	if err != nil {
+		return err
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -115,7 +121,7 @@ func run(args []string, stdout io.Writer) error {
 		go func() {
 			defer wg.Done()
 			for j := range next {
-				rows[j.idx], errs[j.idx] = runJob(j, *verify, *noCache, *checkCache)
+				rows[j.idx], errs[j.idx] = runJob(j, *verify, *noCache, *checkCache, queue)
 			}
 		}()
 	}
@@ -158,7 +164,7 @@ func run(args []string, stdout io.Writer) error {
 
 // runJob routes one design with one mode. The design is generated inside the
 // worker so no mutable state is shared between jobs.
-func runJob(j job, verify, noCache, checkCache bool) (report.Row, error) {
+func runJob(j job, verify, noCache, checkCache bool, queue route.QueueMode) (report.Row, error) {
 	d, err := bench.Generate(j.design)
 	if err != nil {
 		return report.Row{}, err
@@ -167,6 +173,7 @@ func runJob(j job, verify, noCache, checkCache bool) (report.Row, error) {
 	params.Mode = j.mode
 	params.Negotiate.NoCache = noCache
 	params.Negotiate.CheckCache = checkCache
+	params.Queue = queue
 	res, err := pacor.Route(d, params)
 	if err != nil {
 		return report.Row{}, fmt.Errorf("%s/%s: %w", j.design, j.mode, err)

@@ -25,8 +25,8 @@ func TestGoldenS1(t *testing.T) {
 	if res.MultiClusters != 2 || res.MatchedClusters != 2 {
 		t.Errorf("clusters %d/%d, want 2/2 matched", res.MatchedClusters, res.MultiClusters)
 	}
-	if res.MatchedLen != 17 || res.TotalLen != 20 {
-		t.Errorf("lengths %d/%d, want 17/20", res.MatchedLen, res.TotalLen)
+	if res.MatchedLen != 16 || res.TotalLen != 19 {
+		t.Errorf("lengths %d/%d, want 16/19", res.MatchedLen, res.TotalLen)
 	}
 	if res.CompletionRate() != 1 {
 		t.Errorf("completion %.2f", res.CompletionRate())

@@ -75,7 +75,7 @@ func Names() []string {
 // the structured "ChipM" composite) — a cheap pre-flight check for sweeps
 // that fan jobs out before generating anything.
 func Known(name string) bool {
-	if name == "ChipM" {
+	if name == "ChipM" || name == "ChipXL" {
 		return true
 	}
 	for _, s := range Specs {
@@ -91,6 +91,9 @@ func Known(name string) bool {
 func Generate(name string) (*valve.Design, error) {
 	if name == "ChipM" {
 		return ChipM()
+	}
+	if name == "ChipXL" {
+		return GenerateSpec(ChipXLSpec())
 	}
 	for _, s := range Specs {
 		if s.Name == name {
@@ -359,4 +362,45 @@ func StressSpec() Spec {
 		Name: "Stress", W: 256, H: 256, Valves: 96, Pins: 400, Obs: 500,
 		ClusterSizes: sizes(6, 4, 8, 3, 10, 2), Window: 18, Seed: 9001,
 	}
+}
+
+// XLSpec parameterizes the ChipXL scalability family: a size×size grid with
+// the requested total valve count and obstacle density (fraction of cells).
+// Roughly three quarters of the valves form length-matching clusters in a
+// 4/3/2-size mix, the rest are singletons. The seed derives from the knobs,
+// so equal parameters always regenerate the identical design; distinct
+// parameters get distinct (but still deterministic) layouts.
+func XLSpec(size, valves int, obsDensity float64) Spec {
+	clustered := valves * 3 / 4
+	c4 := clustered / 12 // a third of the clustered valves in 4-clusters
+	c3 := clustered / 9  // a third in 3-clusters
+	c2 := (clustered - 4*c4 - 3*c3) / 2
+	perimeter := 2*(size+size) - 4
+	pins := valves + valves/4
+	if pins > perimeter {
+		pins = perimeter
+	}
+	return Spec{
+		Name:   fmt.Sprintf("ChipXL-%d-%d", size, valves),
+		W:      size,
+		H:      size,
+		Valves: valves,
+		Pins:   pins,
+		Obs:    int(obsDensity * float64(size) * float64(size)),
+		// Window 14 keeps cluster footprints compact enough that the
+		// spacing heuristic (minCenterDist = 1.5·Window) still finds
+		// hundreds of non-strangling center slots on dense instances.
+		ClusterSizes: sizes(c4, 4, c3, 3, c2, 2),
+		Window:       14,
+		Seed:         90000 + 31*int64(size) + 17*int64(valves) + int64(obsDensity*1e6),
+	}
+}
+
+// ChipXLSpec is the canonical ChipXL preset used by the benchmarks and the
+// "ChipXL" design name: a 1000×1000 grid, 2400 valves (~750 LM clusters),
+// 2% obstacle density — an order of magnitude past Table 1's largest chip.
+func ChipXLSpec() Spec {
+	s := XLSpec(1000, 2400, 0.02)
+	s.Name = "ChipXL"
+	return s
 }

@@ -126,3 +126,49 @@ func resetEntriesResident(table []entry, n int) []entry {
 	}
 	return table[:n]
 }
+
+// ring stands in for the Dial bucket queue: head/tail bucket chains plus an
+// append-only node pool, all meant to be workspace-resident.
+type ring struct {
+	head  []int32
+	tail  []int32
+	nodes []int32
+}
+
+// prepFresh rebuilds the bucket arrays on every search — the shape the
+// analyzer exists to catch at open-list swap sites.
+func prepFresh(span int) *ring {
+	q := &ring{ // want `pointer composite literal in hot function prepFresh allocates`
+		head: make([]int32, span), // want `make in hot function prepFresh allocates per call`
+		tail: make([]int32, span), // want `make in hot function prepFresh allocates per call`
+	}
+	return q
+}
+
+// prepResident is the sanctioned shape: the rings grow to the largest span
+// seen and are only cleared, never reallocated, on later searches.
+//
+//pacor:allow hotalloc bucket arrays sized to the largest span seen, reused across searches
+func prepResident(q *ring, span int) {
+	if len(q.head) < span {
+		q.head = make([]int32, span)
+		q.tail = make([]int32, span)
+	}
+	h := q.head[:span]
+	for i := range h {
+		h[i] = -1
+	}
+	q.nodes = q.nodes[:0]
+}
+
+// push feeds the node pool; growth is append-only within a search and the
+// capacity is retained across searches, so the site carries a justification.
+func push(q *ring, v int32) {
+	q.nodes = append(q.nodes, v) //pacor:allow hotalloc append-only node pool, capacity retained across searches
+}
+
+// pushBoxed is the unsanctioned version of the same site: no justification,
+// so the growth is a finding.
+func pushBoxed(q *ring, v int32) {
+	q.nodes = append(q.nodes, v) // want `append in hot function pushBoxed may grow its backing array`
+}

@@ -57,6 +57,11 @@ type Params struct {
 	// produces byte-identical results (see route.RunScheduled). It also
 	// seeds Negotiate.Workers unless that is set explicitly.
 	Workers int
+	// Queue selects the open-list implementation behind every grid search of
+	// the flow (route.QueueMode). Like Workers and the cache knobs it is a
+	// pure wall-clock knob — routed output is byte-identical across modes —
+	// and it seeds Negotiate.Queue unless that is set explicitly.
+	Queue route.QueueMode
 	// Solver picks the MWCP solver (the paper adopted ILP).
 	Solver seltree.Solver
 	// EscapeRetries bounds the de-clustering/rip-up escape rounds.

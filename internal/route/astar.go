@@ -29,6 +29,20 @@ type Request struct {
 	// Bounds, when non-nil, restricts the search to the given window (cells
 	// outside are treated as blocked). Detour searches use it to stay local.
 	Bounds *geom.Rect
+	// Queue selects the open-list implementation. The zero value (QueueAuto)
+	// inherits the workspace default (SetQueueMode); auto there too means
+	// "bucket when the key domain is certified integral, heap otherwise".
+	// Either way the routed output is byte-identical across modes — the knob
+	// trades only wall-clock.
+	Queue QueueMode
+	// HistScale and HistMax certify the Hist cost domain for the bucket
+	// queue: HistScale is a power-of-two fixed-point scale under which every
+	// step cost 1+Hist[j] is an exact integer, and HistMax bounds the scaled
+	// step. Producers of structured history (negotiation, via HistQuant) set
+	// them; a request with non-nil Hist and HistScale == 0 is uncertified and
+	// always searches on the heap.
+	HistScale int64
+	HistMax   int64
 }
 
 // inBounds reports whether the request admits cell q.

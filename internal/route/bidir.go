@@ -1,0 +1,265 @@
+package route
+
+import (
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+// This file implements BiAStar, the bidirectional point-to-point variant of
+// the grid search. Two Dijkstra frontiers — forward from the source, backward
+// from the target — run on *reduced* edge costs and meet in the middle, so an
+// open-field search expands ~two half-radius disks instead of one full disk.
+//
+// Cost model: every step costs 2 (doubled unit cost, keeping everything
+// integral), and both directions share the balanced potential
+//
+//	pf(v) = ht(v) − hs(v)      (Manhattan distances to target / to source)
+//
+// giving the forward reduced cost of a step u→v as 2 + pf(v) − pf(u) and the
+// backward reduced cost of traversing the same step v→u as the same value.
+// Each Manhattan distance changes by ±1 per step, so pf changes by −2, 0, or
+// +2 and every reduced cost lies in {0, 2, 4}: both frontiers are Dijkstra
+// searches over tiny integer keys, run on two small Dial rings (span 4 — a
+// pushed key exceeds the popped one by at most the maximum reduced step).
+//
+// Termination (see ALGORITHMS.md for the full argument): let μ̄ be the best
+// reduced cost over all discovered meet vertices, and tf̄, tb̄ the reduced
+// keys of each side's most recently settled vertex. Reduced path cost differs
+// from true doubled cost by the constant pf(t) − pf(s), so minimizing μ̄
+// minimizes true cost. The loop stops when tf̄ + tb̄ ≥ μ̄ (or, once one
+// frontier is exhausted, when the surviving side's tf̄ alone reaches μ̄):
+// any meet discovered later has reduced cost at least that bound, so μ̄ is
+// optimal. Optimality also forces the joined path to be simple — a repeated
+// cell x ≠ meet would imply d(x,meet) = 0.
+//
+// BiAStar trades expansion order for the two-disk profile, so its routed path
+// can differ in *shape* (never in length) from AStar's. It is therefore a
+// separate entry point used where only cost matters — it is NOT wired into
+// the negotiation/flow pipeline, whose golden outputs pin AStar's exact
+// paths.
+
+// BiAStar finds a shortest path between a single source and a single target.
+// Requests outside its profile — multiple sources or targets, a history
+// layer, or a bounding window — delegate to AStar; the returned path length
+// always equals AStar's (the property tests assert this).
+func BiAStar(g grid.Grid, req Request) (grid.Path, bool) {
+	w := AcquireWorkspace(g)
+	path, ok := w.BiAStar(g, req)
+	ReleaseWorkspace(w)
+	return path, ok
+}
+
+// biEligible reports whether the request fits the bidirectional profile.
+func biEligible(req *Request) bool {
+	return len(req.Sources) == 1 && len(req.Targets) == 1 &&
+		req.Hist == nil && req.Bounds == nil
+}
+
+// growReverse sizes the backward-direction state arrays (allocated only when
+// BiAStar is actually used, and only when the grid grows).
+//
+//pacor:allow hotalloc reverse arrays sized once per grid change, reused across searches
+func (w *Workspace) growReverse() {
+	if len(w.rstamp) < w.cells {
+		w.rstamp = make([]int32, w.cells)
+		w.rkey = make([]int32, w.cells)
+		w.rparent = make([]int32, w.cells)
+		w.rclosed = make([]bool, w.cells)
+	}
+}
+
+// BiAStar is the workspace-backed bidirectional search. See the package-level
+// BiAStar for semantics.
+func (w *Workspace) BiAStar(g grid.Grid, req Request) (grid.Path, bool) {
+	if !biEligible(&req) {
+		return w.AStar(g, req)
+	}
+	s, t := req.Sources[0], req.Targets[0]
+	if !g.In(s) || !g.In(t) {
+		return nil, false
+	}
+	if s == t {
+		return trivialPath(s), true
+	}
+	w.begin(g)
+	w.growReverse()
+	w.lastQueue = QueueBucket
+	// Both rings hold a sliding window: single-key start, max reduced step 4.
+	w.bqf.prep(4)
+	w.bqb.prep(4)
+
+	si, ti := g.Index(s), g.Index(t)
+	pf := func(v geom.Pt) int32 { return int32(geom.Dist(v, t) - geom.Dist(v, s)) }
+
+	// Forward labels live in the regular A* arrays (stamp/gCost/parent/
+	// closed; gCost holds the small integer reduced key exactly), backward
+	// labels in the reverse arrays under the same generation.
+	w.touch(si)
+	w.gCost[si] = 0
+	w.bqf.push(0, int32(si))
+	w.visit(ti)
+	w.rstamp[ti] = w.gen
+	w.rkey[ti] = 0
+	w.rparent[ti] = -1
+	w.rclosed[ti] = false
+	w.bqb.push(0, int32(ti))
+
+	const inf = int64(1) << 62
+	mu := inf // best reduced meet cost found
+	meet := int32(-1)
+	var tf, tb int64 // reduced keys of the last settled vertex per side
+	forward := false
+
+	rtouch := func(j int) {
+		w.visit(j)
+		if w.rstamp[j] != w.gen {
+			w.rstamp[j] = w.gen
+			w.rkey[j] = -1
+			w.rparent[j] = -1
+			w.rclosed[j] = false
+		}
+	}
+
+	for w.bqf.count > 0 || w.bqb.count > 0 {
+		if meet >= 0 {
+			stop := tf+tb >= mu
+			if w.bqf.count == 0 {
+				stop = tb >= mu
+			} else if w.bqb.count == 0 {
+				stop = tf >= mu
+			}
+			if stop {
+				break
+			}
+		}
+		forward = !forward
+		if forward && w.bqf.count == 0 {
+			forward = false
+		} else if !forward && w.bqb.count == 0 {
+			forward = true
+		}
+
+		if forward {
+			v, _ := w.bqf.pop()
+			i := int(v)
+			if w.closed[i] {
+				continue
+			}
+			w.closed[i] = true
+			tf = int64(w.gCost[i])
+			p := g.Pt(i)
+			pu := pf(p)
+			w.nbuf = g.Neighbors(p, w.nbuf)
+			for _, q := range w.nbuf {
+				j := g.Index(q)
+				if w.track {
+					if w.touch(j) && w.closed[j] {
+						continue
+					}
+				}
+				if req.Obs != nil && j != ti && req.Obs.Blocked(q) { //pacor:allow snapshotread untracked fast path; tracked searches stamp via the w.track branch above before this read
+					continue
+				}
+				if !w.track {
+					if w.touch(j) && w.closed[j] {
+						continue
+					}
+				}
+				nk := int64(w.gCost[i]) + int64(2+pf(q)-pu)
+				if w.gCost[j] < 0 || nk < int64(w.gCost[j]) {
+					w.gCost[j] = float64(nk)
+					w.parent[j] = int32(i)
+					w.bqf.push(nk, int32(j))
+					if w.rstamp[j] == w.gen && w.rkey[j] >= 0 {
+						if cand := nk + int64(w.rkey[j]); cand < mu {
+							mu = cand
+							meet = int32(j)
+						}
+					}
+				}
+			}
+		} else {
+			v, _ := w.bqb.pop()
+			i := int(v)
+			if w.rclosed[i] {
+				continue
+			}
+			w.rclosed[i] = true
+			tb = int64(w.rkey[i])
+			p := g.Pt(i)
+			pu := pf(p)
+			w.nbuf = g.Neighbors(p, w.nbuf)
+			for _, q := range w.nbuf {
+				j := g.Index(q)
+				if w.track {
+					rtouch(j)
+					if w.rclosed[j] {
+						continue
+					}
+				}
+				if req.Obs != nil && j != si && req.Obs.Blocked(q) { //pacor:allow snapshotread untracked fast path; tracked searches stamp via the w.track branch above before this read
+					continue
+				}
+				if !w.track {
+					rtouch(j)
+					if w.rclosed[j] {
+						continue
+					}
+				}
+				// Backward reduced cost of arriving at q from i equals the
+				// forward reduced cost of the step q→i: 2 + pf(i) − pf(q).
+				nk := int64(w.rkey[i]) + int64(2+pu-pf(q))
+				if w.rkey[j] < 0 || nk < int64(w.rkey[j]) {
+					w.rkey[j] = int32(nk)
+					w.rparent[j] = int32(i)
+					w.bqb.push(nk, int32(j))
+					if w.stamp[j] == w.gen && w.gCost[j] >= 0 {
+						if cand := nk + int64(w.gCost[j]); cand < mu {
+							mu = cand
+							meet = int32(j)
+						}
+					}
+				}
+			}
+		}
+	}
+	if meet < 0 {
+		return nil, false
+	}
+	return w.reconstructBi(g, int(meet)), true
+}
+
+// trivialPath is the single-cell result for a search whose source is
+// already the target.
+//
+//pacor:allow hotalloc single exact-size allocation for the result path returned to the caller
+func trivialPath(p geom.Pt) grid.Path {
+	return grid.Path{p}
+}
+
+// reconstructBi joins the forward parent chain (source..meet) with the
+// backward parent chain (meet..target) into one exact-size path.
+//
+//pacor:allow hotalloc single exact-size allocation for the result path returned to the caller
+func (w *Workspace) reconstructBi(g grid.Grid, meet int) grid.Path {
+	nf := 1
+	for i := meet; w.parent[i] >= 0; i = int(w.parent[i]) {
+		nf++
+	}
+	nb := 0
+	for i := meet; w.rparent[i] >= 0; i = int(w.rparent[i]) {
+		nb++
+	}
+	path := make(grid.Path, nf+nb)
+	i := meet
+	for k := nf - 1; k >= 0; k-- {
+		path[k] = g.Pt(i)
+		i = int(w.parent[i])
+	}
+	i = meet
+	for k := nf; k < nf+nb; k++ {
+		i = int(w.rparent[i])
+		path[k] = g.Pt(i)
+	}
+	return path
+}

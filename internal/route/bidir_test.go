@@ -1,0 +1,103 @@
+package route
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+// TestBiAStarMatchesAStarCost: on random obstacle fields, the bidirectional
+// search must agree with A* on reachability and on exact path length (shape
+// may differ — the meet-in-the-middle expansion order is different), and the
+// returned path must be valid, simple, and obstacle-free.
+func TestBiAStarMatchesAStarCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 80; trial++ {
+		w, h := 8+rng.Intn(24), 8+rng.Intn(24)
+		g := grid.New(w, h)
+		obs := grid.NewObsMap(g)
+		density := 0.05 + rng.Float64()*0.35
+		for i := 0; i < g.Cells(); i++ {
+			if rng.Float64() < density {
+				obs.Set(g.Pt(i), true)
+			}
+		}
+		src := geom.Pt{X: rng.Intn(w), Y: rng.Intn(h)}
+		dst := geom.Pt{X: rng.Intn(w), Y: rng.Intn(h)}
+		obs.Set(src, false)
+		obs.Set(dst, false)
+		req := Request{Sources: []geom.Pt{src}, Targets: []geom.Pt{dst}, Obs: obs}
+
+		pa, oka := AStar(g, req)
+		pb, okb := BiAStar(g, req)
+		if oka != okb {
+			t.Fatalf("trial %d: reachability disagrees (A*=%v, bi=%v)", trial, oka, okb)
+		}
+		if !oka {
+			continue
+		}
+		if pb.Len() != pa.Len() {
+			t.Fatalf("trial %d: bi length %d != A* length %d", trial, pb.Len(), pa.Len())
+		}
+		if !pb.Valid() || !pb.ValidOn(g) {
+			t.Fatalf("trial %d: bi path invalid: %v", trial, pb)
+		}
+		if pb[0] != src || pb[len(pb)-1] != dst {
+			t.Fatalf("trial %d: bi endpoints wrong", trial)
+		}
+		for _, c := range pb {
+			if obs.Blocked(c) && c != src && c != dst {
+				t.Fatalf("trial %d: bi path through obstacle %v", trial, c)
+			}
+		}
+	}
+}
+
+// TestBiAStarDegenerate covers the special cases: identical endpoints, out of
+// grid endpoints, and blocked targets (exempt, like AStar's).
+func TestBiAStarDegenerate(t *testing.T) {
+	g := grid.New(10, 10)
+	obs := grid.NewObsMap(g)
+	s := geom.Pt{X: 3, Y: 3}
+	if p, ok := BiAStar(g, Request{Sources: []geom.Pt{s}, Targets: []geom.Pt{s}, Obs: obs}); !ok || len(p) != 1 || p[0] != s {
+		t.Errorf("s==t: got %v, %v", p, ok)
+	}
+	if _, ok := BiAStar(g, Request{Sources: []geom.Pt{{X: -1, Y: 0}}, Targets: []geom.Pt{s}}); ok {
+		t.Error("out-of-grid source routed")
+	}
+	// Blocked target is exempt, exactly like AStar.
+	dst := geom.Pt{X: 8, Y: 8}
+	obs.Set(dst, true)
+	req := Request{Sources: []geom.Pt{s}, Targets: []geom.Pt{dst}, Obs: obs}
+	pa, oka := AStar(g, req)
+	pb, okb := BiAStar(g, req)
+	if !oka || !okb || pa.Len() != pb.Len() {
+		t.Errorf("blocked target: A* %v/%v, bi %v/%v", pa.Len(), oka, pb.Len(), okb)
+	}
+}
+
+// TestBiAStarDelegates: requests outside the point-to-point profile fall back
+// to AStar and return its exact path.
+func TestBiAStarDelegates(t *testing.T) {
+	g := grid.New(12, 12)
+	obs := grid.NewObsMap(g)
+	multi := Request{
+		Sources: []geom.Pt{{X: 0, Y: 0}, {X: 0, Y: 11}},
+		Targets: []geom.Pt{{X: 11, Y: 5}},
+		Obs:     obs,
+	}
+	pa, oka := AStar(g, multi)
+	pb, okb := BiAStar(g, multi)
+	if oka != okb || !pathsEqual(pa, pb) {
+		t.Error("multi-source request did not delegate to AStar")
+	}
+	hist := make([]float64, g.Cells())
+	hreq := Request{Sources: []geom.Pt{{X: 0, Y: 0}}, Targets: []geom.Pt{{X: 11, Y: 11}}, Obs: obs, Hist: hist}
+	pa, oka = AStar(g, hreq)
+	pb, okb = BiAStar(g, hreq)
+	if oka != okb || !pathsEqual(pa, pb) {
+		t.Error("history request did not delegate to AStar")
+	}
+}

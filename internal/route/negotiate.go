@@ -33,6 +33,13 @@ type NegotiateParams struct {
 	// search anyway and panics if the replayed result diverges. Strictly
 	// slower than NoCache; for CI gates and debugging.
 	CheckCache bool
+	// Queue selects the open-list implementation of every inner search; see
+	// QueueMode. Representability is asserted per round: a round whose
+	// history domain carries a HistQuant certificate may run on the bucket
+	// queue, any other round runs on the heap regardless of the setting
+	// (e.g. the paper's Alpha = 0.1 after two bumps). Like Workers and the
+	// cache knobs, the choice never changes routed output.
+	Queue QueueMode
 }
 
 // DefaultNegotiateParams mirrors the paper's settings.
@@ -108,10 +115,22 @@ func (w *Workspace) NegotiateTracked(obs *grid.ObsMap, edges []Edge, params Nego
 	mark := work.JournalLen()
 	w.negFailed = w.negFailed[:0]
 
+	// Queue-mode resolution happens once against the owning workspace so the
+	// scheduler's worker workspaces see a fully resolved mode; the per-round
+	// quantization certificate (HistQuant) is refreshed before each round —
+	// round r's history values are the Eq.-5 iterates h_0..h_r, and once an
+	// iterate stops being dyadic the run stays on the heap.
+	w.negQueue = w.effQueue(params.Queue)
+	quantOK := true
+
 	routed := false
 	for r := 0; r < params.Gamma; r++ { // Steps 5-16
 		if r > 0 {
 			work.RewindJournal(mark)
+		}
+		w.negScale, w.negMaxStep = 0, 0
+		if quantOK && w.negQueue != QueueHeap {
+			w.negScale, w.negMaxStep, quantOK = HistQuant(params.BaseHist, params.Alpha, r)
 		}
 		for k := range paths {
 			delete(paths, k)
@@ -157,6 +176,17 @@ func (w *Workspace) NegotiateTracked(obs *grid.ObsMap, edges []Edge, params Nego
 	return paths, routed
 }
 
+// negReq builds the round's search request for one edge: the same sources,
+// targets, work map, and history every call site (fresh search, cache
+// validation, scheduler task) must use, with the resolved queue mode and the
+// round's quantization certificate attached.
+func (w *Workspace) negReq(e *Edge, work *grid.ObsMap, hist []float64) Request {
+	return Request{
+		Sources: e.Sources, Targets: e.Targets, Obs: work, Hist: hist,
+		Queue: w.negQueue, HistScale: w.negScale, HistMax: w.negMaxStep,
+	}
+}
+
 // negRoundSeq routes one round's edges sequentially (Steps 7-13), replaying
 // valid cache entries when caching is on. It reports whether every edge
 // routed.
@@ -165,7 +195,7 @@ func (w *Workspace) negRoundSeq(g grid.Grid, work *grid.ObsMap, edges []Edge, hi
 	done := true
 	for ei := range edges {
 		e := &edges[ei]
-		req := Request{Sources: e.Sources, Targets: e.Targets, Obs: work, Hist: hist}
+		req := w.negReq(e, work, hist)
 		var p grid.Path
 		var ok bool
 		switch {
@@ -226,7 +256,7 @@ func (w *Workspace) negRoundParallel(g grid.Grid, work *grid.ObsMap, edges []Edg
 	if !caching {
 		tasks := make([]ScheduledTask, len(edges))
 		for i := range edges {
-			tasks[i] = negTask(g, &edges[i], hist)
+			tasks[i] = negTask(g, w.negReq(&edges[i], work, hist))
 		}
 		RunScheduled(work, tasks, params.Workers, func(i int, out TaskOutcome) {
 			if stats != nil {
@@ -246,7 +276,7 @@ func (w *Workspace) negRoundParallel(g grid.Grid, work *grid.ObsMap, edges []Edg
 		if ent := &w.negEntries[ei]; w.negEntryValid(ent) {
 			e := &edges[ei]
 			if params.CheckCache {
-				w.negCheck(g, Request{Sources: e.Sources, Targets: e.Targets, Obs: work, Hist: hist}, e.ID, ent)
+				w.negCheck(g, w.negReq(e, work, hist), e.ID, ent)
 			}
 			if stats != nil {
 				stats.CacheHits++
@@ -273,7 +303,7 @@ func (w *Workspace) negRoundParallel(g grid.Grid, work *grid.ObsMap, edges []Edg
 		block := edges[ei:m]
 		tasks := make([]ScheduledTask, len(block))
 		for i := range block {
-			tasks[i] = negTask(g, &block[i], hist)
+			tasks[i] = negTask(g, w.negReq(&block[i], work, hist))
 		}
 		RunScheduledVisits(work, tasks, params.Workers, func(i int, out TaskOutcome, visits []uint64) {
 			ent := &w.negEntries[base+i]
@@ -301,19 +331,18 @@ func (w *Workspace) negRoundParallel(g grid.Grid, work *grid.ObsMap, edges []Edg
 	return done
 }
 
-// negTask wraps one edge's A* as a scheduler task.
+// negTask wraps one edge's A* as a scheduler task. req carries the edge's
+// fully resolved request (negReq); the scheduler substitutes each run's
+// private obstacle snapshot for req.Obs.
 //
 //pacor:allow hotalloc one task record and one single-path result slice per edge, amortized over the edge's search
-func negTask(g grid.Grid, e *Edge, hist []float64) ScheduledTask {
+func negTask(g grid.Grid, req Request) ScheduledTask {
 	return ScheduledTask{
-		Window: SearchWindow(g, e.Sources, e.Targets),
+		Window: SearchWindow(g, req.Sources, req.Targets),
 		Run: func(ws *Workspace, obs *grid.ObsMap) TaskOutcome {
-			p, ok := ws.AStar(g, Request{
-				Sources: e.Sources,
-				Targets: e.Targets,
-				Obs:     obs,
-				Hist:    hist,
-			})
+			r := req
+			r.Obs = obs
+			p, ok := ws.AStar(g, r)
 			if !ok {
 				return TaskOutcome{}
 			}

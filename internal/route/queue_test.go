@@ -1,0 +1,310 @@
+package route
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+// TestBucketQueueSlidingWindow drives the ring Dijkstra-style across many
+// multiples of the bucket count: pops must come out in nondecreasing key
+// order, and equal keys in push order, even as the window wraps the ring.
+func TestBucketQueueSlidingWindow(t *testing.T) {
+	var q bucketQueue
+	if !q.prep(6) {
+		t.Fatal("span 6 must be feasible")
+	}
+	// B = 8 here; keys advance to ~200, so the window laps the ring ~25 times.
+	type pushed struct {
+		key int64
+		val int32
+	}
+	rng := rand.New(rand.NewSource(7))
+	var log []pushed
+	next := int32(0)
+	push := func(key int64) {
+		q.push(key, next)
+		log = append(log, pushed{key, next})
+		next++
+	}
+	push(0)
+	push(0) // equal keys at the very start
+	var pops []pushed
+	for q.count > 0 {
+		v, ok := q.pop()
+		if !ok {
+			t.Fatal("count > 0 but pop failed")
+		}
+		key := log[v].key
+		pops = append(pops, pushed{key, v})
+		// Push up to two successors within the window while below key 200.
+		if key < 200 {
+			for n := rng.Intn(3); n > 0; n-- {
+				push(key + int64(rng.Intn(6)))
+			}
+		}
+	}
+	for i := 1; i < len(pops); i++ {
+		a, b := pops[i-1], pops[i]
+		if b.key < a.key {
+			t.Fatalf("pop %d: key %d after %d (not nondecreasing)", i, b.key, a.key)
+		}
+		if b.key == a.key && b.val < a.val {
+			t.Fatalf("pop %d: equal key %d popped val %d after %d (not FIFO)", i, b.key, b.val, a.val)
+		}
+	}
+	if len(pops) != len(log) {
+		t.Fatalf("popped %d of %d pushes", len(pops), len(log))
+	}
+}
+
+// TestBucketQueueEmptySkipAndRollback covers the cursor mechanics: long empty
+// stretches are skipped, and a push below the cursor (the bounded search's
+// under-length penalty) rolls it back.
+func TestBucketQueueEmptySkipAndRollback(t *testing.T) {
+	var q bucketQueue
+	if !q.prep(120) {
+		t.Fatal("span 120 must be feasible")
+	}
+	q.push(100, 1)           // cursor starts at 100
+	q.push(3, 2)             // below cursor: rolls back
+	q.push(3, 3)             // equal key, later push
+	want := []int32{2, 3, 1} // 3 before 100, FIFO within key 3, 96 empty buckets skipped
+	for i, wv := range want {
+		v, ok := q.pop()
+		if !ok || v != wv {
+			t.Fatalf("pop %d = %d,%v, want %d", i, v, ok, wv)
+		}
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatal("empty queue popped a value")
+	}
+}
+
+// TestBucketQueuePrepFeasibility pins the ring cap: spans at or past
+// maxBucketSpan (and negative spans) are rejected, the boundary below passes.
+func TestBucketQueuePrepFeasibility(t *testing.T) {
+	var q bucketQueue
+	if q.prep(-1) {
+		t.Error("negative span accepted")
+	}
+	if q.prep(maxBucketSpan) {
+		t.Error("span = maxBucketSpan accepted")
+	}
+	if !q.prep(maxBucketSpan - 1) {
+		t.Error("span = maxBucketSpan-1 rejected")
+	}
+}
+
+// TestHistQuant pins the certification rule: the paper's Alpha = 0.1 is
+// certifiable through one history bump (h ∈ {0, 1}) and not past it (1.1 is
+// not dyadic), while dyadic alphas certify deep and scales stay powers of two.
+func TestHistQuant(t *testing.T) {
+	for bumps, wantOK := range []bool{true, true, false, false} {
+		scale, maxStep, ok := HistQuant(1.0, 0.1, bumps)
+		if ok != wantOK {
+			t.Errorf("alpha=0.1 bumps=%d: ok=%v, want %v", bumps, ok, wantOK)
+		}
+		if ok {
+			if scale&(scale-1) != 0 || scale <= 0 {
+				t.Errorf("alpha=0.1 bumps=%d: scale %d not a power of two", bumps, scale)
+			}
+			if maxStep != scale*int64(1+bumps) {
+				// iterates are 0,1,2,... at alpha where certified (bumps ≤ 1)
+				t.Errorf("alpha=0.1 bumps=%d: maxStep %d, scale %d", bumps, maxStep, scale)
+			}
+		}
+	}
+	// Dyadic alpha: h iterates 0, 1, 1.5, 1.75, ... all exact at scale 2^bumps
+	// or less; certification must hold deep.
+	for bumps := 0; bumps <= 12; bumps++ {
+		scale, maxStep, ok := HistQuant(1.0, 0.5, bumps)
+		if !ok {
+			t.Fatalf("alpha=0.5 bumps=%d: not certified", bumps)
+		}
+		if scale&(scale-1) != 0 {
+			t.Fatalf("alpha=0.5 bumps=%d: scale %d not a power of two", bumps, scale)
+		}
+		if maxStep < scale || maxStep > 3*scale {
+			t.Fatalf("alpha=0.5 bumps=%d: maxStep %d implausible for scale %d", bumps, maxStep, scale)
+		}
+	}
+	// Alpha = 0: history saturates after one bump; certified at scale 1.
+	if scale, _, ok := HistQuant(1.0, 0, 64); !ok || scale != 1 {
+		t.Errorf("alpha=0: scale=%d ok=%v, want 1 true", scale, ok)
+	}
+	if _, _, ok := HistQuant(-1, 0, 1); ok {
+		t.Error("negative history certified")
+	}
+}
+
+// TestParseQueueMode pins the flag grammar.
+func TestParseQueueMode(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want QueueMode
+		err  bool
+	}{
+		{"auto", QueueAuto, false}, {"", QueueAuto, false},
+		{"heap", QueueHeap, false}, {"bucket", QueueBucket, false},
+		{"Bucket", QueueAuto, true}, {"fifo", QueueAuto, true},
+	} {
+		m, err := ParseQueueMode(c.in)
+		if (err != nil) != c.err || m != c.want {
+			t.Errorf("ParseQueueMode(%q) = %v, %v", c.in, m, err)
+		}
+	}
+	if QueueAuto.String() != "auto" || QueueHeap.String() != "heap" || QueueBucket.String() != "bucket" {
+		t.Error("QueueMode.String round-trip broken")
+	}
+}
+
+// TestAStarHeapFallbacks: a bucket-mode workspace must quietly run on the
+// heap when the request's cost domain carries no integrality certificate
+// (caller-supplied Hist), and on the bucket when it does.
+func TestAStarHeapFallbacks(t *testing.T) {
+	g := grid.New(16, 16)
+	w := NewWorkspace(g)
+	w.SetQueueMode(QueueBucket)
+	hist := make([]float64, g.Cells())
+	hist[g.Index(geom.Pt{X: 8, Y: 8})] = 0.3 // non-dyadic, uncertified
+	req := Request{Sources: []geom.Pt{{X: 0, Y: 0}}, Targets: []geom.Pt{{X: 15, Y: 15}}, Hist: hist}
+
+	if _, ok := w.AStar(g, req); !ok {
+		t.Fatal("search failed")
+	}
+	if w.lastQueue != QueueHeap {
+		t.Errorf("uncertified Hist ran on %v, want heap", w.lastQueue)
+	}
+
+	// The same request with a certificate runs on the bucket. Scale 1 is
+	// honest here only because this test's history values would break it —
+	// so use a certified domain instead: nil Hist.
+	req.Hist = nil
+	req.HistScale, req.HistMax = 0, 0
+	if _, ok := w.AStar(g, req); !ok {
+		t.Fatal("search failed")
+	}
+	if w.lastQueue != QueueBucket {
+		t.Errorf("unit-cost search ran on %v, want bucket", w.lastQueue)
+	}
+
+	// Forcing the heap wins over the workspace default.
+	req.Queue = QueueHeap
+	if _, ok := w.AStar(g, req); !ok {
+		t.Fatal("search failed")
+	}
+	if w.lastQueue != QueueHeap {
+		t.Errorf("Queue=heap request ran on %v", w.lastQueue)
+	}
+}
+
+// TestQueueModesByteIdentical: on random mazes, heap and bucket searches
+// (plain and bounded) return byte-identical paths, and the bucket mode is
+// actually exercised.
+func TestQueueModesByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	g := grid.New(24, 24)
+	wHeap, wBucket := NewWorkspace(g), NewWorkspace(g)
+	wHeap.SetQueueMode(QueueHeap)
+	wBucket.SetQueueMode(QueueBucket)
+	usedBucket := 0
+	for trial := 0; trial < 60; trial++ {
+		obs := grid.NewObsMap(g)
+		for i := 0; i < 80; i++ {
+			obs.Set(geom.Pt{X: rng.Intn(24), Y: rng.Intn(24)}, true)
+		}
+		src := geom.Pt{X: rng.Intn(24), Y: rng.Intn(24)}
+		dst := geom.Pt{X: rng.Intn(24), Y: rng.Intn(24)}
+		obs.Set(src, false)
+		obs.Set(dst, false)
+		req := Request{Sources: []geom.Pt{src}, Targets: []geom.Pt{dst}, Obs: obs}
+
+		ph, okh := wHeap.AStar(g, req)
+		pb, okb := wBucket.AStar(g, req)
+		if okh != okb || !pathsEqual(ph, pb) {
+			t.Fatalf("trial %d: A* diverged between queue modes\nheap   %v %v\nbucket %v %v", trial, ph, okh, pb, okb)
+		}
+		if wBucket.lastQueue == QueueBucket {
+			usedBucket++
+		}
+
+		minLen := geom.Dist(src, dst) + rng.Intn(8)
+		maxLen := minLen + rng.Intn(4)
+		bh, okbh := wHeap.BoundedAStar(g, req, minLen, maxLen)
+		bb, okbb := wBucket.BoundedAStar(g, req, minLen, maxLen)
+		if okbh != okbb || !pathsEqual(bh, bb) {
+			t.Fatalf("trial %d: bounded search diverged between queue modes", trial)
+		}
+	}
+	if usedBucket == 0 {
+		t.Error("no trial actually ran on the bucket queue")
+	}
+}
+
+// TestNegotiateQueueByteIdentical is the PR 6 identity sweep: queue mode ×
+// cache mode × worker count on random congested instances must return
+// byte-identical paths and identical NegotiateStats counters. The queue
+// mode, like the cache and the scheduler, is a pure wall-clock knob.
+func TestNegotiateQueueByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 40; trial++ {
+		g, obs, edges := randomNegotiateInstance(rng)
+
+		ref := DefaultNegotiateParams()
+		ref.NoCache = true
+		ref.Queue = QueueHeap
+		wantPaths, wantOK := Negotiate(obs, edges, ref)
+		var wantStats *NegotiateStats
+
+		for _, queue := range []QueueMode{QueueHeap, QueueBucket, QueueAuto} {
+			for _, workers := range []int{0, 1, 2, 4, 8} {
+				for _, mode := range []struct {
+					name             string
+					noCache, checked bool
+				}{
+					{"cache", false, false},
+					{"nocache", true, false},
+					{"checkcache", false, true},
+				} {
+					params := DefaultNegotiateParams()
+					params.Queue = queue
+					params.Workers = workers
+					params.NoCache = mode.noCache
+					params.CheckCache = mode.checked
+					var stats NegotiateStats
+					ws := AcquireWorkspace(g)
+					paths, ok := ws.NegotiateTracked(obs, edges, params, &stats)
+					ReleaseWorkspace(ws)
+					if ok != wantOK {
+						t.Fatalf("trial %d queue=%v workers=%d %s: ok=%v, want %v",
+							trial, queue, workers, mode.name, ok, wantOK)
+					}
+					for id, p := range wantPaths {
+						if !pathsEqual(p, paths[id]) {
+							t.Fatalf("trial %d queue=%v workers=%d %s: edge %d path differs\n got %v\nwant %v",
+								trial, queue, workers, mode.name, id, paths[id], p)
+						}
+					}
+					if len(paths) != len(wantPaths) {
+						t.Fatalf("trial %d queue=%v workers=%d %s: %d paths, want %d",
+							trial, queue, workers, mode.name, len(paths), len(wantPaths))
+					}
+					// Search/round counters must agree across queue modes and
+					// worker counts; cache counters only within one cache mode.
+					if mode.name == "cache" {
+						if wantStats == nil {
+							s := stats
+							wantStats = &s
+						} else if !statsEqual(stats, *wantStats) {
+							t.Fatalf("trial %d queue=%v workers=%d: stats %+v differ from %+v",
+								trial, queue, workers, stats, *wantStats)
+						}
+					}
+				}
+			}
+		}
+	}
+}

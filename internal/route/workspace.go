@@ -33,9 +33,27 @@ type Workspace struct {
 
 	maxSeen []int32 // bounded search: longest path length seen per cell
 
-	open  []openItem    // A* frontier, reused across searches
-	bopen []boundedItem // bounded-search frontier
+	open  []openItem    // A* frontier (heap mode), reused across searches
+	seq   uint32        // push sequence within the current search (tie-break)
+	bopen []boundedItem // bounded-search frontier (heap mode)
 	arena []bnode       // bounded-search state arena
+	bq    bucketQueue   // Dial ring shared by both searches (bucket mode)
+
+	// Bidirectional-search state (bidir.go): backward-direction labels under
+	// the same generation stamp, plus the two frontier rings. Allocated only
+	// when BiAStar is used.
+	rstamp   []int32
+	rkey     []int32
+	rparent  []int32
+	rclosed  []bool
+	bqf, bqb bucketQueue
+
+	// queue is the default open-list implementation for requests that leave
+	// Queue as QueueAuto; see SetQueueMode. lastQueue records the
+	// implementation the most recent search actually ran on (after
+	// certification and ring-feasibility fallbacks) for tests and tools.
+	queue     QueueMode
+	lastQueue QueueMode
 
 	nbuf []geom.Pt // neighbor scratch
 
@@ -57,6 +75,9 @@ type Workspace struct {
 	negEntries []negEntry   // per-edge-slot cached results
 	negVisits  []uint64     // scratch for capturing a search's visit cone
 	negFailed  []int        // edge IDs unrouted in the current round
+	negQueue   QueueMode    // resolved queue mode of the current run
+	negScale   int64        // current round's HistQuant certificate (0 = none)
+	negMaxStep int64
 
 	// Sequential-scheduler scratch (runSequential): the snapshot map and its
 	// journal, reused across rounds so per-task state restoration costs
@@ -103,6 +124,14 @@ func (w *Workspace) grow(n int) {
 	w.parent = make([]int32, n)
 	w.closed = make([]bool, n)
 	w.maxSeen = make([]int32, n)
+	if w.rstamp != nil {
+		// Reallocate (not keep) on shrink too: generations restart at 0 here,
+		// and a stale stamp equal to a fresh generation would corrupt reads.
+		w.rstamp = make([]int32, n)
+		w.rkey = make([]int32, n)
+		w.rparent = make([]int32, n)
+		w.rclosed = make([]bool, n)
+	}
 	if w.vbits != nil || w.track {
 		w.vbits = make([]uint64, (n+63)/64)
 	}
@@ -158,12 +187,36 @@ func (w *Workspace) begin(g grid.Grid) {
 		// collide with stale stamps; clear them and restart.
 		clear(w.stamp)
 		clear(w.tstamp)
+		clear(w.rstamp)
 		w.gen = 0
 	}
 	w.gen++
 	w.open = w.open[:0]
 	w.bopen = w.bopen[:0]
 	w.arena = w.arena[:0]
+	w.seq = 0
+}
+
+// SetQueueMode sets the workspace's default open-list implementation, used
+// by searches whose Request leaves Queue as QueueAuto. Queue modes are a
+// wall-clock knob only: routed output is byte-identical across them, so the
+// setting is safe to flip between searches. AcquireWorkspace resets it to
+// QueueAuto.
+func (w *Workspace) SetQueueMode(m QueueMode) { w.queue = m }
+
+// effQueue resolves a request's queue mode against the workspace default.
+func (w *Workspace) effQueue(m QueueMode) QueueMode {
+	if m == QueueAuto {
+		return w.queue
+	}
+	return m
+}
+
+// nextSeq returns the next push sequence number of the current search.
+func (w *Workspace) nextSeq() uint32 {
+	s := w.seq
+	w.seq++
+	return s
 }
 
 // touch brings cell i into the current generation with A* initial state and
@@ -231,7 +284,10 @@ func targetH(tb geom.Rect, p geom.Pt) int {
 }
 
 // AStar is the workspace-backed form of the package-level AStar: identical
-// search semantics, no per-call allocation beyond the returned path.
+// search semantics, no per-call allocation beyond the returned path. The
+// open list runs on either the binary heap or the Dial bucket queue
+// (queue.go) — both implement the same (f, push order) total order, so the
+// choice never changes the routed path, only the wall clock.
 func (w *Workspace) AStar(g grid.Grid, req Request) (grid.Path, bool) {
 	if len(req.Sources) == 0 || len(req.Targets) == 0 {
 		return nil, false
@@ -241,6 +297,23 @@ func (w *Workspace) AStar(g grid.Grid, req Request) (grid.Path, bool) {
 	if nt == 0 {
 		return nil, false
 	}
+	if w.effQueue(req.Queue) != QueueHeap {
+		if scale, maxStep, ok := req.quant(); ok {
+			// The bucket attempt inspects only source heuristics before
+			// committing; when the ring is infeasible it returns done=false
+			// without having stamped a cell, and the heap takes over on the
+			// same generation.
+			if path, found, done := w.astarBucket(g, req, tb, scale, maxStep); done {
+				return path, found
+			}
+		}
+	}
+	return w.astarHeap(g, req, tb)
+}
+
+// astarHeap is the float64 binary-heap search loop.
+func (w *Workspace) astarHeap(g grid.Grid, req Request, tb geom.Rect) (grid.Path, bool) {
+	w.lastQueue = QueueHeap
 	for _, s := range req.Sources {
 		if !g.In(s) {
 			continue
@@ -250,7 +323,7 @@ func (w *Workspace) AStar(g grid.Grid, req Request) (grid.Path, bool) {
 			continue
 		}
 		w.gCost[i] = 0
-		pushOpen(&w.open, openItem{idx: int32(i), f: float64(targetH(tb, s))})
+		pushOpen(&w.open, openItem{idx: int32(i), seq: w.nextSeq(), f: float64(targetH(tb, s))})
 	}
 	for len(w.open) > 0 {
 		it := popOpen(&w.open)
@@ -297,11 +370,110 @@ func (w *Workspace) AStar(g grid.Grid, req Request) (grid.Path, bool) {
 			if w.gCost[j] < 0 || ng < w.gCost[j] {
 				w.gCost[j] = ng
 				w.parent[j] = int32(i)
-				pushOpen(&w.open, openItem{idx: int32(j), f: ng + float64(targetH(tb, q))})
+				pushOpen(&w.open, openItem{idx: int32(j), seq: w.nextSeq(), f: ng + float64(targetH(tb, q))})
 			}
 		}
 	}
 	return nil, false
+}
+
+// astarBucket is the Dial bucket-queue search loop: the same expansion body
+// as astarHeap, with frontier keys in the certified fixed-point integer
+// domain (key = (g+h)·scale; the scale is a power of two, so the float64
+// products are exact and the integer key order equals the float f order).
+// done=false means the ring was infeasible for this request's key span; no
+// cell has been stamped and the caller falls back to the heap.
+func (w *Workspace) astarBucket(g grid.Grid, req Request, tb geom.Rect, scale, maxStep int64) (path grid.Path, found, done bool) {
+	// Ring sizing: before the first pop the live keys span the sources'
+	// heuristic spread; afterwards a pushed key exceeds the popped one by at
+	// most step+scale (consistent heuristic, one cell per move).
+	var hmin, hmax int64
+	first := true
+	for _, s := range req.Sources {
+		if !g.In(s) {
+			continue
+		}
+		h := int64(targetH(tb, s)) * scale
+		if first {
+			hmin, hmax = h, h
+			first = false
+		} else if h < hmin {
+			hmin = h
+		} else if h > hmax {
+			hmax = h
+		}
+	}
+	if first {
+		return nil, false, true // no in-grid source; the heap would fail identically
+	}
+	span := hmax - hmin
+	if m := maxStep + scale; m > span {
+		span = m
+	}
+	if !w.bq.prep(span) {
+		return nil, false, false
+	}
+	w.lastQueue = QueueBucket
+	scaleF := float64(scale)
+	for _, s := range req.Sources {
+		if !g.In(s) {
+			continue
+		}
+		i := g.Index(s)
+		if w.touch(i) && w.gCost[i] == 0 {
+			continue
+		}
+		w.gCost[i] = 0
+		w.bq.push(int64(targetH(tb, s))*scale, int32(i))
+	}
+	for {
+		it, ok := w.bq.pop()
+		if !ok {
+			break
+		}
+		i := int(it)
+		if w.closed[i] {
+			continue
+		}
+		w.closed[i] = true
+		p := g.Pt(i)
+		if w.isTarget(i) {
+			return w.reconstruct(g, i), true, true
+		}
+		w.nbuf = g.Neighbors(p, w.nbuf)
+		for _, q := range w.nbuf {
+			j := g.Index(q)
+			// Same stamp-before-read discipline as astarHeap; see the comment
+			// there.
+			if w.track {
+				if w.touch(j) && w.closed[j] {
+					continue
+				}
+			}
+			if !req.inBounds(q) && !w.isTarget(j) {
+				continue
+			}
+			if req.Obs != nil && req.Obs.Blocked(q) && !w.isTarget(j) { //pacor:allow snapshotread untracked fast path; tracked searches stamp via the w.track branch above before this read
+				continue
+			}
+			if !w.track {
+				if w.touch(j) && w.closed[j] {
+					continue
+				}
+			}
+			step := 1.0
+			if req.Hist != nil {
+				step += req.Hist[j]
+			}
+			ng := w.gCost[i] + step
+			if w.gCost[j] < 0 || ng < w.gCost[j] {
+				w.gCost[j] = ng
+				w.parent[j] = int32(i)
+				w.bq.push(int64((ng+float64(targetH(tb, q)))*scaleF), int32(j))
+			}
+		}
+	}
+	return nil, false, true
 }
 
 // reconstruct walks the parent chain from end, allocating the result path
@@ -334,16 +506,31 @@ func (w *Workspace) BoundedAStar(g grid.Grid, req Request, minLen, maxLen int) (
 	if nt == 0 {
 		return nil, false
 	}
-	// Penalty: under-length states are ordered by decreasing G+H, so the
-	// search stretches paths before settling; conforming states use plain
-	// A* ordering.
-	prio := func(gv, hv int) int {
-		f := gv + hv
-		if f < minLen {
-			return 2*minLen - f
+	// The bounded search ignores Hist (unit steps), so its keys are always
+	// integral — no quantization certificate needed, only ring feasibility.
+	if w.effQueue(req.Queue) != QueueHeap {
+		if path, found, done := w.boundedBucket(g, req, tb, minLen, maxLen); done {
+			return path, found
 		}
-		return f
 	}
+	return w.boundedHeap(g, req, tb, minLen, maxLen)
+}
+
+// boundedPrio is the bounded search's key: under-length states are ordered
+// by decreasing G+H, so the search stretches paths before settling;
+// conforming states use plain A* ordering.
+func boundedPrio(minLen, gv, hv int) int {
+	f := gv + hv
+	if f < minLen {
+		return 2*minLen - f
+	}
+	return f
+}
+
+// boundedHeap is the binary-heap bounded search loop.
+func (w *Workspace) boundedHeap(g grid.Grid, req Request, tb geom.Rect, minLen, maxLen int) (grid.Path, bool) {
+	w.lastQueue = QueueHeap
+	prio := func(gv, hv int) int { return boundedPrio(minLen, gv, hv) }
 
 	for _, s := range req.Sources {
 		if !g.In(s) {
@@ -420,17 +607,125 @@ func (w *Workspace) BoundedAStar(g grid.Grid, req Request, minLen, maxLen int) (
 	return nil, false
 }
 
+// boundedBucket is the Dial bucket-queue bounded search loop. Unlike A*'s
+// sliding window, the under-length penalty makes keys non-monotone (a push
+// can land below the cursor, which rolls back), so the ring covers the whole
+// key universe: penalized keys lie in (minLen, 2·minLen], conforming keys in
+// [minLen, maxLen + maxH] with maxH the heuristic's grid-corner maximum.
+// done=false means that universe exceeds the ring cap; no cell has been
+// stamped and the caller falls back to the heap.
+func (w *Workspace) boundedBucket(g grid.Grid, req Request, tb geom.Rect, minLen, maxLen int) (path grid.Path, found, done bool) {
+	gb := g.Bounds()
+	maxH := 0
+	for _, c := range [4]geom.Pt{
+		{X: gb.MinX, Y: gb.MinY}, {X: gb.MaxX, Y: gb.MinY},
+		{X: gb.MinX, Y: gb.MaxY}, {X: gb.MaxX, Y: gb.MaxY},
+	} {
+		if h := targetH(tb, c); h > maxH {
+			maxH = h
+		}
+	}
+	hi := int64(maxLen + maxH)
+	if m := int64(2 * minLen); m > hi {
+		hi = m
+	}
+	if !w.bq.prep(hi - int64(minLen)) {
+		return nil, false, false
+	}
+	w.lastQueue = QueueBucket
+
+	for _, s := range req.Sources {
+		if !g.In(s) {
+			continue
+		}
+		i := g.Index(s)
+		w.touchBounded(i)
+		w.arena = append(w.arena, bnode{cell: int32(i), g: 0, parent: -1}) //pacor:allow hotalloc amortized arena growth, capacity reused across searches
+		w.bq.push(int64(boundedPrio(minLen, 0, targetH(tb, s))), int32(len(w.arena)-1))
+		if w.maxSeen[i] < 0 {
+			w.maxSeen[i] = 0
+		}
+	}
+
+	cells := g.Cells()
+	if req.Bounds != nil {
+		if a := req.Bounds.Intersect(g.Bounds()).Area(); a < cells {
+			cells = a
+		}
+	}
+	budget := 16 * cells
+	if budget < 65536 {
+		budget = 65536
+	}
+	for budget > 0 {
+		it, ok := w.bq.pop()
+		if !ok {
+			break
+		}
+		budget--
+		nd := w.arena[it]
+		p := g.Pt(int(nd.cell))
+		if w.isTarget(int(nd.cell)) && int(nd.g) >= minLen && int(nd.g) <= maxLen {
+			// Same reconstruction-time cycle check as boundedHeap.
+			if path := reconstructArena(g, w.arena, int(it)); path.Valid() {
+				return path, true, true
+			}
+			continue
+		}
+		w.nbuf = g.Neighbors(p, w.nbuf)
+		for _, q := range w.nbuf {
+			j := g.Index(q)
+			ng := nd.g + 1
+			if int(ng) > maxLen {
+				continue
+			}
+			if w.track {
+				w.touchBounded(j)
+			}
+			if !req.inBounds(q) && !w.isTarget(j) {
+				continue
+			}
+			if req.Obs != nil && req.Obs.Blocked(q) && !w.isTarget(j) { //pacor:allow snapshotread untracked fast path; tracked searches stamp via the w.track branch above before this read
+				continue
+			}
+			if !w.track {
+				w.touchBounded(j)
+			}
+			if ng <= w.maxSeen[j] && !(w.isTarget(j) && int(ng) >= minLen) {
+				continue
+			}
+			if ng > w.maxSeen[j] {
+				w.maxSeen[j] = ng
+			}
+			w.arena = append(w.arena, bnode{cell: int32(j), g: ng, parent: it}) //pacor:allow hotalloc amortized arena growth, capacity reused across searches
+			w.bq.push(int64(boundedPrio(minLen, int(ng), targetH(tb, q))), int32(len(w.arena)-1))
+		}
+	}
+	return nil, false, true
+}
+
 // --- frontier heaps --------------------------------------------------------
 //
-// Manual binary heaps over the reusable slices. The sift algorithms mirror
-// container/heap exactly (same comparisons, same swap order), so tie-breaking
-// among equal-f items — and therefore every routed path — is identical to the
-// previous container/heap implementation, while push/pop avoid the
-// interface boxing allocation of heap.Push.
+// Manual binary heaps over the reusable slices (no interface boxing). Both
+// heaps order by an explicit total order: smaller f first, and among equal f
+// the earlier push first (openLess: lower seq; boundedLess: lower arena
+// node). FIFO is load-bearing for the bounded search — its monotone-G
+// pruning needs breadth-first settling among equal keys or parity-feasible
+// windows become unreachable — and it is exactly the order the Dial bucket
+// queue's chains produce, so every routed path is byte-identical across
+// queue modes.
 
 type openItem struct {
 	idx int32
+	seq uint32
 	f   float64
+}
+
+func openLess(a, b openItem) bool {
+	if a.f != b.f {
+		return a.f < b.f
+	}
+	return a.seq < b.seq
 }
 
 func pushOpen(h *[]openItem, it openItem) {
@@ -438,7 +733,7 @@ func pushOpen(h *[]openItem, it openItem) {
 	j := len(s) - 1
 	for j > 0 {
 		i := (j - 1) / 2
-		if !(s[j].f < s[i].f) {
+		if !openLess(s[j], s[i]) {
 			break
 		}
 		s[i], s[j] = s[j], s[i]
@@ -458,10 +753,10 @@ func popOpen(h *[]openItem) openItem {
 			break
 		}
 		j := j1
-		if j2 := j1 + 1; j2 < n && s[j2].f < s[j1].f {
+		if j2 := j1 + 1; j2 < n && openLess(s[j2], s[j1]) {
 			j = j2
 		}
-		if !(s[j].f < s[i].f) {
+		if !openLess(s[j], s[i]) {
 			break
 		}
 		s[i], s[j] = s[j], s[i]
@@ -477,12 +772,19 @@ type boundedItem struct {
 	f    int32
 }
 
+func boundedLess(a, b boundedItem) bool {
+	if a.f != b.f {
+		return a.f < b.f
+	}
+	return a.node < b.node
+}
+
 func pushBounded(h *[]boundedItem, it boundedItem) {
 	s := append(*h, it) //pacor:allow hotalloc amortized heap growth, capacity reused across searches
 	j := len(s) - 1
 	for j > 0 {
 		i := (j - 1) / 2
-		if !(s[j].f < s[i].f) {
+		if !boundedLess(s[j], s[i]) {
 			break
 		}
 		s[i], s[j] = s[j], s[i]
@@ -502,10 +804,10 @@ func popBounded(h *[]boundedItem) boundedItem {
 			break
 		}
 		j := j1
-		if j2 := j1 + 1; j2 < n && s[j2].f < s[j1].f {
+		if j2 := j1 + 1; j2 < n && boundedLess(s[j2], s[j1]) {
 			j = j2
 		}
-		if !(s[j].f < s[i].f) {
+		if !boundedLess(s[j], s[i]) {
 			break
 		}
 		s[i], s[j] = s[j], s[i]
