@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	pacorvet [-list] [-fix] [-format text|json|sarif] [patterns...]
+//	pacorvet [-list] [-fix] [-format text|json|sarif] [-cache dir] [-diff ref] [patterns...]
 //
 // Patterns are `go list` package patterns (default ./...); a pattern that
 // names a directory of loose .go files (e.g. internal/lint/testdata/src/maporder)
@@ -19,6 +19,13 @@
 // -fix applies each finding's first suggested repair in place, then
 // re-lints and reports what remains. -format=sarif emits SARIF 2.1.0 for
 // CI annotation; -format=json emits the raw finding list.
+//
+// -cache dir enables the incremental fact cache: packages whose sources
+// and transitive dependency summaries are unchanged since the last run
+// are served from dir instead of re-analyzed, with byte-identical output.
+// -diff ref replaces the patterns with the packages affected by the git
+// diff against ref (changed packages plus their reverse dependencies); a
+// diff touching nothing exits 0 immediately.
 //
 // Suppress a finding in place with a justified directive:
 //
@@ -49,8 +56,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	dir := fs.String("dir", ".", "module root to lint from")
 	fix := fs.Bool("fix", false, "apply suggested fixes in place, then re-lint")
 	format := fs.String("format", "text", "output format: text, json, or sarif")
+	cacheDir := fs.String("cache", "", "fact-cache directory; unchanged packages are served from it")
+	diffRef := fs.String("diff", "", "lint only packages affected by the git diff against this ref")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: pacorvet [-list] [-fix] [-format text|json|sarif] [-dir root] [patterns...]\n")
+		fmt.Fprintf(stderr, "usage: pacorvet [-list] [-fix] [-format text|json|sarif] [-cache dir] [-diff ref] [-dir root] [patterns...]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -70,7 +79,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	opts := lint.Options{Dir: *dir, Patterns: fs.Args()}
+	patterns := fs.Args()
+	if *diffRef != "" {
+		if len(patterns) > 0 {
+			fmt.Fprintf(stderr, "pacorvet: -diff and explicit patterns are mutually exclusive\n")
+			return 2
+		}
+		affected, err := lint.DiffPatterns(*dir, *diffRef)
+		if err != nil {
+			fmt.Fprintf(stderr, "pacorvet: %v\n", err)
+			return 2
+		}
+		if len(affected) == 0 {
+			fmt.Fprintf(stderr, "pacorvet: no Go packages affected since %s\n", *diffRef)
+			return 0
+		}
+		fmt.Fprintf(stderr, "pacorvet: %d package(s) affected since %s\n", len(affected), *diffRef)
+		patterns = affected
+	}
+
+	stats := &lint.RunStats{}
+	opts := lint.Options{Dir: *dir, Patterns: patterns, CacheDir: *cacheDir, Stats: stats}
 	findings, err := lint.Run(opts)
 	if err != nil {
 		fmt.Fprintf(stderr, "pacorvet: %v\n", err)
@@ -86,11 +115,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "pacorvet: applied %d fix(es) in %d file(s), %d skipped\n",
 			res.Applied, len(res.Files), res.Skipped)
 		// Report what the fixes did not repair.
+		*stats = lint.RunStats{}
 		findings, err = lint.Run(opts)
 		if err != nil {
 			fmt.Fprintf(stderr, "pacorvet: %v\n", err)
 			return 2
 		}
+	}
+
+	if *cacheDir != "" {
+		fmt.Fprintf(stderr, "pacorvet: %d module package(s): %d re-analyzed, %d from cache\n",
+			stats.Packages, stats.Reanalyzed, stats.CacheHits)
 	}
 
 	switch *format {

@@ -27,6 +27,10 @@ func TestFixturesFail(t *testing.T) {
 		"internal/lint/testdata/src/wsaliasing",
 		"internal/lint/testdata/src/snapshotread",
 		"internal/lint/testdata/src/nondeterm",
+		"internal/lint/testdata/src/interproc",
+		"internal/lint/testdata/src/snapinterproc",
+		"internal/lint/testdata/src/journalpair",
+		"internal/lint/testdata/src/parseerror",
 	}, &stdout, &stderr)
 	if code != 1 {
 		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
@@ -35,6 +39,7 @@ func TestFixturesFail(t *testing.T) {
 	for _, an := range []string{
 		"[maporder]", "[hotalloc]", "[floateq]", "[liberrs]", "[nostdout]",
 		"[wsaliasing]", "[snapshotread]", "[nondeterm]",
+		"[journalpair]", "[parse]",
 	} {
 		if !strings.Contains(out, an) {
 			t.Errorf("output missing findings from %s:\n%s", an, out)
@@ -66,7 +71,7 @@ func TestListFlag(t *testing.T) {
 	}
 	for _, an := range []string{
 		"maporder", "hotalloc", "floateq", "liberrs", "nostdout",
-		"wsaliasing", "snapshotread", "nondeterm",
+		"wsaliasing", "snapshotread", "journalpair", "nondeterm",
 	} {
 		if !strings.Contains(stdout.String(), an) {
 			t.Errorf("-list missing %s:\n%s", an, stdout.String())

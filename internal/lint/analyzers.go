@@ -1,9 +1,10 @@
 package lint
 
 // Analyzers returns the default registry, in stable order. The first five
-// are the syntax-level checks from the original gate; the last three are
-// the dataflow-aware concurrency/determinism checks built on
-// internal/lint/cfg.
+// are the syntax-level checks from the original gate; the rest are the
+// dataflow-aware concurrency/determinism checks built on internal/lint/cfg
+// (journalpair and the rewired wsaliasing/snapshotread additionally
+// consume the interprocedural summaries from internal/lint/summaries.go).
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		AnalyzerMapOrder,
@@ -13,6 +14,7 @@ func Analyzers() []*Analyzer {
 		AnalyzerNoStdout,
 		AnalyzerWsAliasing,
 		AnalyzerSnapshotRead,
+		AnalyzerJournalPair,
 		AnalyzerNonDeterm,
 	}
 }

@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// writeTestModule lays out a tiny two-package module: leaf (no deps) and
+// top (imports leaf, holds a deliberate wsaliasing violation so findings
+// survive caching). Returns the module root.
+func writeTestModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module cachemod\n\ngo 1.22\n",
+		"leaf/leaf.go": `// Package leaf is the dependency.
+package leaf
+
+// Workspace stands in for the pooled search state.
+type Workspace struct{ N int }
+
+// AcquireWorkspace stands in for the pooled acquire.
+func AcquireWorkspace() *Workspace { return &Workspace{} }
+
+// ReleaseWorkspace stands in for the pooled release.
+func ReleaseWorkspace(*Workspace) {}
+
+// Finish releases on every path.
+func Finish(ws *Workspace) int {
+	n := ws.N
+	ReleaseWorkspace(ws)
+	return n
+}
+`,
+		"top/top.go": `// Package top depends on leaf.
+package top
+
+import "cachemod/leaf"
+
+// Clean discharges through leaf.Finish's summary.
+func Clean() int {
+	ws := leaf.AcquireWorkspace()
+	return leaf.Finish(ws)
+}
+
+// Leaky never releases: one stable finding to round-trip through the
+// cache.
+func Leaky() int {
+	ws := leaf.AcquireWorkspace()
+	return ws.N
+}
+`,
+	}
+	for name, content := range files {
+		p := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// cacheRun lints the test module with the fact cache at cacheDir and
+// returns the findings plus the run stats.
+func cacheRun(t *testing.T, root, cacheDir string) ([]Finding, *RunStats) {
+	t.Helper()
+	stats := &RunStats{}
+	findings, err := Run(Options{
+		Dir:      root,
+		Patterns: []string{"./..."},
+		CacheDir: cacheDir,
+		Stats:    stats,
+	})
+	if err != nil {
+		t.Fatalf("lint run: %v", err)
+	}
+	return findings, stats
+}
+
+// TestCacheRoundTrip pins the incremental contract: a warm run re-analyzes
+// nothing and reproduces the cold run's findings byte for byte.
+func TestCacheRoundTrip(t *testing.T) {
+	root := writeTestModule(t)
+	cacheDir := filepath.Join(root, ".pacorvet-cache")
+
+	cold, coldStats := cacheRun(t, root, cacheDir)
+	if coldStats.CacheHits != 0 || coldStats.Reanalyzed != coldStats.Packages {
+		t.Fatalf("cold run stats = %+v, want all %d packages re-analyzed", coldStats, coldStats.Packages)
+	}
+	if len(cold) == 0 {
+		t.Fatal("test module produced no findings; the round-trip checks nothing")
+	}
+
+	warm, warmStats := cacheRun(t, root, cacheDir)
+	if warmStats.Reanalyzed != 0 || warmStats.CacheHits != warmStats.Packages {
+		t.Fatalf("warm run stats = %+v, want all %d packages from cache", warmStats, warmStats.Packages)
+	}
+
+	coldJSON, err := json.Marshal(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmJSON, err := json.Marshal(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(coldJSON) != string(warmJSON) {
+		t.Errorf("warm findings differ from cold:\ncold: %s\nwarm: %s", coldJSON, warmJSON)
+	}
+}
+
+// TestCacheEarlyCutoff pins the summary-hash cutoff: editing a comment in
+// the leaf package dirties the leaf (its sources changed) but not its
+// dependent, whose key folds in only the leaf's summary hash.
+func TestCacheEarlyCutoff(t *testing.T) {
+	root := writeTestModule(t)
+	cacheDir := filepath.Join(root, ".pacorvet-cache")
+	cacheRun(t, root, cacheDir)
+
+	leaf := filepath.Join(root, "leaf", "leaf.go")
+	data, err := os.ReadFile(leaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(leaf, append(data, []byte("\n// trailing comment, no semantic change\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, stats := cacheRun(t, root, cacheDir)
+	if want := []string{"cachemod/leaf"}; !reflect.DeepEqual(stats.ReanalyzedPkgs, want) {
+		t.Errorf("re-analyzed %v after a leaf comment edit, want %v (early cutoff for dependents)", stats.ReanalyzedPkgs, want)
+	}
+}
+
+// TestCacheInvalidationPropagates is the early-cutoff counterpart: a
+// semantic change to the leaf's summaries must dirty the dependent too.
+func TestCacheInvalidationPropagates(t *testing.T) {
+	root := writeTestModule(t)
+	cacheDir := filepath.Join(root, ".pacorvet-cache")
+
+	cold, _ := cacheRun(t, root, cacheDir)
+
+	// Finish stops releasing: top.Clean now leaks.
+	leaf := filepath.Join(root, "leaf", "leaf.go")
+	data, err := os.ReadFile(leaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patched := strings.Replace(string(data), "\tReleaseWorkspace(ws)\n", "\t// no longer releases\n", 1)
+	if patched == string(data) {
+		t.Fatal("release line not found in test module source")
+	}
+	if err := os.WriteFile(leaf, []byte(patched), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	warm, stats := cacheRun(t, root, cacheDir)
+	if stats.Reanalyzed != 2 {
+		t.Errorf("re-analyzed %v after a leaf summary change, want both packages", stats.ReanalyzedPkgs)
+	}
+	if len(warm) <= len(cold) {
+		t.Errorf("summary change produced no new finding: cold %d, warm %d", len(cold), len(warm))
+	}
+}

@@ -1,0 +1,112 @@
+package cfg
+
+import (
+	"bytes"
+	"testing"
+)
+
+func sampleSummaries() map[string]*Summary {
+	return map[string]*Summary{
+		"p.Finish": {
+			Params: []ParamSummary{{ReleasesAlways: true, ReleasesMay: true}},
+		},
+		"p.(T).Commit": {
+			Recv:   true,
+			Params: []ParamSummary{{StopsJournalAlways: true, StopsJournalMay: true}},
+		},
+		"p.Stamp": {StampsAlways: true, Checked: true},
+		"p.Die":   {NoReturn: true},
+		"p.host$0": {
+			Params: []ParamSummary{{Escapes: true}},
+		},
+	}
+}
+
+// TestEncodeDecodeRoundTrip checks that DecodePackage inverts
+// EncodePackage for everything that crosses the package boundary
+// (closures deliberately do not).
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	sums := sampleSummaries()
+	blob, err := EncodePackage(sums)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodePackage(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got["p.host$0"]; ok {
+		t.Error("closure summary crossed the package boundary")
+	}
+	for _, key := range []string{"p.Finish", "p.(T).Commit", "p.Stamp", "p.Die"} {
+		if !got[key].Equal(sums[key]) {
+			t.Errorf("%s: decoded %+v, want %+v", key, got[key], sums[key])
+		}
+	}
+}
+
+// TestEncodeDeterministic pins byte-identical encoding across calls —
+// the blob's hash stands in for the package interface in cache keys.
+func TestEncodeDeterministic(t *testing.T) {
+	a, err := EncodePackage(sampleSummaries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		b, err := EncodePackage(sampleSummaries())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("encoding differs between calls:\n%s\n%s", a, b)
+		}
+	}
+}
+
+// TestSummaryEqual covers the fixed-point change detector.
+func TestSummaryEqual(t *testing.T) {
+	a := &Summary{Params: []ParamSummary{{ReleasesAlways: true}}}
+	b := &Summary{Params: []ParamSummary{{ReleasesAlways: true}}}
+	if !a.Equal(b) {
+		t.Error("identical summaries compare unequal")
+	}
+	b.Params[0].Escapes = true
+	if a.Equal(b) {
+		t.Error("differing param summaries compare equal")
+	}
+	if a.Equal(nil) {
+		t.Error("non-nil equals nil")
+	}
+	var n *Summary
+	if !n.Equal(nil) {
+		t.Error("nil does not equal nil")
+	}
+}
+
+// TestParamOutOfRange pins the zero-value fallback for variadic tails.
+func TestParamOutOfRange(t *testing.T) {
+	s := &Summary{Params: []ParamSummary{{ReleasesAlways: true}}}
+	if got := s.Param(5); got != (ParamSummary{}) {
+		t.Errorf("out-of-range Param = %+v, want zero", got)
+	}
+	var n *Summary
+	if got := n.Param(0); got != (ParamSummary{}) {
+		t.Errorf("nil Param = %+v, want zero", got)
+	}
+}
+
+// TestStore covers the accumulation API the driver uses across packages.
+func TestStore(t *testing.T) {
+	s := NewStore()
+	if s.Get("x") != nil {
+		t.Error("empty store returned a summary")
+	}
+	s.Put("x", &Summary{NoReturn: true})
+	s.PutAll(map[string]*Summary{"y": {StampsAlways: true}})
+	if got := s.Get("x"); got == nil || !got.NoReturn {
+		t.Errorf("Get(x) = %+v", got)
+	}
+	if got := s.Get("y"); got == nil || !got.StampsAlways {
+		t.Errorf("Get(y) = %+v", got)
+	}
+}

@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// DiffPatterns maps the .go files changed since ref (committed changes,
+// the working tree, and untracked files) to the module packages holding
+// them, plus every module package that transitively depends on one — the
+// package set a pre-push lint run must cover. The returned import paths
+// are sorted; an empty slice means no package is affected.
+func DiffPatterns(dir, ref string) ([]string, error) {
+	root, err := gitOutput(dir, "rev-parse", "--show-toplevel")
+	if err != nil {
+		return nil, fmt.Errorf("lint: -diff needs a git checkout: %v", err)
+	}
+	root = strings.TrimSpace(root)
+
+	var changed []string
+	diffOut, err := gitOutput(dir, "diff", "--name-only", ref, "--", "*.go")
+	if err != nil {
+		return nil, fmt.Errorf("lint: git diff %s: %v", ref, err)
+	}
+	changed = append(changed, splitLines(diffOut)...)
+	untracked, err := gitOutput(dir, "ls-files", "--others", "--exclude-standard", "--", "*.go")
+	if err != nil {
+		return nil, fmt.Errorf("lint: git ls-files: %v", err)
+	}
+	changed = append(changed, splitLines(untracked)...)
+	if len(changed) == 0 {
+		return nil, nil
+	}
+
+	dirs := map[string]bool{}
+	for _, f := range changed {
+		dirs[filepath.Join(root, filepath.Dir(f))] = true
+	}
+
+	all, err := goList(dir, []string{"-e", "./..."})
+	if err != nil {
+		return nil, err
+	}
+	changedPkgs := map[string]bool{}
+	for _, lp := range all {
+		if dirs[lp.Dir] {
+			changedPkgs[lp.ImportPath] = true
+		}
+	}
+	var out []string
+	for _, lp := range all {
+		if changedPkgs[lp.ImportPath] {
+			out = append(out, lp.ImportPath)
+			continue
+		}
+		for _, d := range lp.Deps {
+			if changedPkgs[d] {
+				out = append(out, lp.ImportPath)
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// gitOutput runs one git command in dir and returns its stdout.
+func gitOutput(dir string, args ...string) (string, error) {
+	cmd := exec.Command("git", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return "", fmt.Errorf("git %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	return stdout.String(), nil
+}
+
+func splitLines(s string) []string {
+	var out []string
+	for _, l := range strings.Split(s, "\n") {
+		if l = strings.TrimSpace(l); l != "" {
+			out = append(out, l)
+		}
+	}
+	return out
+}

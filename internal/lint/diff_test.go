@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// gitTest runs one git command in dir, failing the test on error.
+func gitTest(t *testing.T, dir string, args ...string) {
+	t.Helper()
+	cmd := exec.Command("git", append([]string{
+		"-c", "user.email=test@example.com",
+		"-c", "user.name=test",
+	}, args...)...)
+	cmd.Dir = dir
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("git %v: %v\n%s", args, err, out)
+	}
+}
+
+// TestDiffPatterns pins the changed-package mapping: an edit to the leaf
+// package affects the leaf and its reverse dependency, an edit to the top
+// package affects only the top, and an untracked file counts as changed.
+func TestDiffPatterns(t *testing.T) {
+	root := writeTestModule(t)
+	gitTest(t, root, "init", "-q")
+	gitTest(t, root, "add", ".")
+	gitTest(t, root, "commit", "-q", "-m", "seed")
+
+	affected, err := DiffPatterns(root, "HEAD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(affected) != 0 {
+		t.Errorf("clean tree affects %v, want none", affected)
+	}
+
+	top := filepath.Join(root, "top", "top.go")
+	data, err := os.ReadFile(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(top, append(data, []byte("\n// edited\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	affected, err = DiffPatterns(root, "HEAD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"cachemod/top"}; !reflect.DeepEqual(affected, want) {
+		t.Errorf("top edit affects %v, want %v", affected, want)
+	}
+
+	// A leaf edit pulls in the reverse dependency.
+	leaf := filepath.Join(root, "leaf", "leaf.go")
+	data, err = os.ReadFile(leaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(leaf, append(data, []byte("\n// edited\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	affected, err = DiffPatterns(root, "HEAD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"cachemod/leaf", "cachemod/top"}; !reflect.DeepEqual(affected, want) {
+		t.Errorf("leaf edit affects %v, want %v", affected, want)
+	}
+
+	// An untracked package counts as changed too.
+	gitTest(t, root, "add", ".")
+	gitTest(t, root, "commit", "-q", "-m", "edits")
+	extra := filepath.Join(root, "extra", "extra.go")
+	if err := os.MkdirAll(filepath.Dir(extra), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(extra, []byte("// Package extra is new.\npackage extra\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	affected, err = DiffPatterns(root, "HEAD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"cachemod/extra"}; !reflect.DeepEqual(affected, want) {
+		t.Errorf("untracked package affects %v, want %v", affected, want)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"go/ast"
 	"go/importer"
 	"go/parser"
+	"go/scanner"
 	"go/token"
 	"go/types"
 	"io"
@@ -15,6 +16,9 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"repro/internal/lint/callgraph"
+	"repro/internal/lint/cfg"
 )
 
 // Options configures one lint run.
@@ -29,6 +33,28 @@ type Options struct {
 	Analyzers []*Analyzer
 	// Log receives progress/diagnostic output; discarded when nil.
 	Log io.Writer
+	// CacheDir enables the on-disk fact cache (see cache.go): packages
+	// whose sources and transitive dependency summaries are unchanged are
+	// served from it instead of being re-analyzed. Empty disables caching.
+	CacheDir string
+	// Stats, when non-nil, receives per-run cache counters.
+	Stats *RunStats
+}
+
+// RunStats reports what one run actually analyzed.
+type RunStats struct {
+	// Packages is the number of module packages considered (targets plus
+	// their module dependencies). Fixture directories are not counted.
+	Packages int
+	// Reanalyzed is the number of packages parsed, summarized, and (when
+	// targeted) linted this run.
+	Reanalyzed int
+	// CacheHits is the number of packages served entirely from the fact
+	// cache.
+	CacheHits int
+	// ReanalyzedPkgs lists the import paths behind Reanalyzed, in
+	// processing order.
+	ReanalyzedPkgs []string
 }
 
 // Run loads every package matched by opts.Patterns, type-checks it, runs
@@ -66,25 +92,24 @@ func Run(opts Options) ([]Finding, error) {
 		checked: map[string]*types.Package{},
 	}
 
-	var pkgs []*checkedPackage
+	store := cfg.NewStore()
+	var findings []Finding
 	if len(listPatterns) > 0 {
-		mod, err := ld.loadModule(listPatterns)
+		mod, err := ld.runModule(listPatterns, opts, store)
 		if err != nil {
 			return nil, err
 		}
-		pkgs = append(pkgs, mod...)
+		findings = append(findings, mod...)
 	}
 	for _, d := range dirPatterns {
-		p, err := ld.loadDir(d)
+		cp, err := ld.loadDir(d)
 		if err != nil {
 			return nil, err
 		}
-		pkgs = append(pkgs, p)
-	}
-
-	var findings []Finding
-	for _, pkg := range pkgs {
-		findings = append(findings, lintPackage(pkg, opts.Analyzers)...)
+		if len(cp.parseBad) == 0 {
+			summarizePackage(cp, store)
+		}
+		findings = append(findings, lintPackage(cp, opts.Analyzers, store)...)
 	}
 	findings = relativize(findings, opts.Dir)
 	sortFindings(findings)
@@ -101,11 +126,24 @@ type checkedPackage struct {
 	pkg     *types.Package
 	info    *types.Info
 	typeErr []error
+	// parseBad holds positioned findings for files that failed to parse;
+	// when non-empty the package is reported as broken instead of being
+	// analyzed (see analyzer "parse").
+	parseBad []Finding
+	// graph is the package call graph, built by summarizePackage; nil for
+	// packages that were never summarized (parse failures).
+	graph *callgraph.Graph
 }
 
 // lintPackage runs every analyzer over pkg and filters the findings
-// through the package's //pacor:allow directives.
-func lintPackage(pkg *checkedPackage, analyzers []*Analyzer) []Finding {
+// through the package's //pacor:allow directives. A package that failed
+// to parse reports its parse findings and nothing else — analyzers over a
+// half-parsed package would only add noise.
+func lintPackage(pkg *checkedPackage, analyzers []*Analyzer, store *cfg.Store) []Finding {
+	if len(pkg.parseBad) > 0 {
+		return pkg.parseBad
+	}
+	res := &ipResolver{info: pkg.info, graph: pkg.graph, store: store, active: map[*ast.FuncLit]bool{}}
 	// Directive tables per file.
 	allow := map[string]fileDirectives{} // filename -> directives
 	hot := map[*ast.FuncDecl]bool{}
@@ -137,6 +175,7 @@ func lintPackage(pkg *checkedPackage, analyzers []*Analyzer) []Finding {
 			Info:     pkg.info,
 			hot:      hot,
 			src:      pkg.src,
+			ip:       res,
 			report: func(f Finding) {
 				if allow[f.Pos.Filename].suppressed(f.Analyzer, f.Pos.Line) {
 					return
@@ -215,50 +254,187 @@ type listedPackage struct {
 	GoFiles    []string
 	Standard   bool
 	Deps       []string
+	// Error is set by `go list -e` on broken patterns and packages instead
+	// of a nonzero exit.
+	Error *listError
 }
 
-// loadModule runs `go list` for patterns, then parses and type-checks the
-// matched packages in dependency order.
-func (ld *loader) loadModule(patterns []string) ([]*checkedPackage, error) {
-	// -deps emits dependencies before dependents, which is exactly the
-	// order the cache-based importer needs.
-	all, err := goList(ld.dir, append([]string{"-deps"}, patterns...))
+// listError is the Error object in `go list -e -json` output.
+type listError struct {
+	Err string
+}
+
+// modPkg is one module package moving through the incremental pipeline.
+type modPkg struct {
+	lp       listedPackage
+	target   bool
+	files    []string          // absolute source paths, go list order
+	srcBytes map[string][]byte // path -> raw bytes
+	sumHash  string            // hash of the package's encoded summaries
+	cp       *checkedPackage   // set once parsed and type-checked
+}
+
+// runModule lints the packages matched by patterns, incrementally when a
+// fact cache is configured. Packages are processed in dependency order
+// (`go list -deps` emits dependencies first); for each one the driver
+// computes a content-addressed key from its sources and its dependencies'
+// summary hashes, and either replays the cached findings and summaries or
+// re-analyzes. Cache-hit packages are not even parsed unless a dirtied
+// dependent later needs their type information.
+func (ld *loader) runModule(patterns []string, opts Options, store *cfg.Store) ([]Finding, error) {
+	// -e tolerates broken packages so parse failures surface as findings
+	// rather than aborting the whole run.
+	all, err := goList(ld.dir, append([]string{"-e", "-deps"}, patterns...))
 	if err != nil {
 		return nil, err
 	}
-	targets, err := goList(ld.dir, patterns)
+	targets, err := goList(ld.dir, append([]string{"-e"}, patterns...))
 	if err != nil {
 		return nil, err
 	}
-	if len(targets) == 0 {
+	isTarget := map[string]bool{}
+	for _, t := range targets {
+		// With -e a broken pattern comes back as a pseudo-package carrying
+		// only an Error; report it instead of linting around it.
+		if t.Error != nil && len(t.GoFiles) == 0 && t.Dir == "" {
+			return nil, fmt.Errorf("lint: %s", t.Error.Err)
+		}
+		isTarget[t.ImportPath] = true
+	}
+	if len(isTarget) == 0 {
 		// `go list` exits 0 with only a stderr warning when a valid pattern
 		// matches no packages; silently linting nothing would report a clean
 		// tree that was never inspected.
 		return nil, fmt.Errorf("lint: patterns %s matched no packages", strings.Join(patterns, " "))
 	}
-	isTarget := map[string]bool{}
-	for _, t := range targets {
-		isTarget[t.ImportPath] = true
+
+	var cache *factCache
+	if opts.CacheDir != "" {
+		cache, err = openFactCache(opts.CacheDir)
+		if err != nil {
+			return nil, fmt.Errorf("lint: cache: %v", err)
+		}
 	}
 
-	var out []*checkedPackage
+	var order []*modPkg
+	byPath := map[string]*modPkg{}
 	for _, lp := range all {
 		if lp.Standard || len(lp.GoFiles) == 0 {
 			continue
 		}
-		var paths []string
-		for _, f := range lp.GoFiles {
-			paths = append(paths, filepath.Join(lp.Dir, f))
+		mp := &modPkg{lp: lp, target: isTarget[lp.ImportPath]}
+		order = append(order, mp)
+		byPath[lp.ImportPath] = mp
+	}
+
+	var out []Finding
+	for _, mp := range order {
+		if opts.Stats != nil {
+			opts.Stats.Packages++
 		}
-		cp, err := ld.check(lp.ImportPath, lp.Name, paths, "")
+		mp.srcBytes = map[string][]byte{}
+		for _, f := range mp.lp.GoFiles {
+			p := filepath.Join(mp.lp.Dir, f)
+			data, err := os.ReadFile(p)
+			if err != nil {
+				return nil, fmt.Errorf("lint: %s: %v", mp.lp.ImportPath, err)
+			}
+			mp.files = append(mp.files, p)
+			mp.srcBytes[p] = data
+		}
+		key := cacheKey(mp, byPath, opts.Analyzers)
+
+		if cache != nil {
+			if ent := cache.load(mp.lp.ImportPath); ent != nil && ent.Key == key && (ent.Linted || !mp.target) {
+				if sums, err := cfg.DecodePackage(ent.Summaries); err == nil {
+					store.PutAll(sums)
+					mp.sumHash = ent.SummaryHash
+					if opts.Stats != nil {
+						opts.Stats.CacheHits++
+					}
+					if mp.target {
+						out = append(out, ent.Findings...)
+					}
+					continue
+				}
+			}
+		}
+
+		cp, err := ld.ensureChecked(mp, byPath)
 		if err != nil {
-			return nil, fmt.Errorf("lint: %s: %v", lp.ImportPath, err)
+			return nil, fmt.Errorf("lint: %s: %v", mp.lp.ImportPath, err)
 		}
-		if isTarget[lp.ImportPath] {
-			out = append(out, cp)
+		sums := map[string]*cfg.Summary{}
+		if len(cp.parseBad) == 0 {
+			sums = summarizePackage(cp, store)
+		}
+		blob, err := cfg.EncodePackage(sums)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %v", mp.lp.ImportPath, err)
+		}
+		mp.sumHash = hashHex(blob)
+		if opts.Stats != nil {
+			opts.Stats.Reanalyzed++
+			opts.Stats.ReanalyzedPkgs = append(opts.Stats.ReanalyzedPkgs, mp.lp.ImportPath)
+		}
+		var pkgFindings []Finding
+		if mp.target {
+			// Relativize before caching so entries stay valid when the
+			// checkout moves between runs (CI restores the cache into a
+			// fresh workspace).
+			pkgFindings = relativize(lintPackage(cp, opts.Analyzers, store), ld.dir)
+			out = append(out, pkgFindings...)
+		}
+		if cache != nil {
+			ent := &cacheEntry{
+				Path:        mp.lp.ImportPath,
+				Key:         key,
+				SummaryHash: mp.sumHash,
+				Summaries:   blob,
+				Findings:    pkgFindings,
+				Linted:      mp.target,
+			}
+			if err := cache.save(mp.lp.ImportPath, ent); err != nil {
+				return nil, fmt.Errorf("lint: cache: %v", err)
+			}
 		}
 	}
 	return out, nil
+}
+
+// ensureChecked parses and type-checks mp, first ensuring every module
+// dependency is checked so the cache importer can serve it. Cache-hit
+// packages land here lazily, only when a re-analyzed dependent needs
+// their types.
+func (ld *loader) ensureChecked(mp *modPkg, byPath map[string]*modPkg) (*checkedPackage, error) {
+	if mp.cp != nil {
+		return mp.cp, nil
+	}
+	for _, dep := range mp.lp.Deps {
+		if d := byPath[dep]; d != nil && d.cp == nil {
+			if _, err := ld.ensureChecked(d, byPath); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if mp.srcBytes == nil {
+		mp.srcBytes = map[string][]byte{}
+		for _, f := range mp.lp.GoFiles {
+			p := filepath.Join(mp.lp.Dir, f)
+			data, err := os.ReadFile(p)
+			if err != nil {
+				return nil, err
+			}
+			mp.files = append(mp.files, p)
+			mp.srcBytes[p] = data
+		}
+	}
+	cp, err := ld.check(mp.lp.ImportPath, mp.lp.Name, mp.files, "", mp.srcBytes)
+	if err != nil {
+		return nil, err
+	}
+	mp.cp = cp
+	return cp, nil
 }
 
 // loadDir parses and type-checks the loose .go files in one directory
@@ -279,26 +455,47 @@ func (ld *loader) loadDir(dir string) (*checkedPackage, error) {
 
 // checkFiles parses the given files as one package and type-checks them.
 func (ld *loader) checkFiles(paths []string, fallbackPath string) (*checkedPackage, error) {
-	cp, err := ld.check("", "", paths, fallbackPath)
+	cp, err := ld.check("", "", paths, fallbackPath, nil)
 	return cp, err
 }
 
 // check parses paths into one package and type-checks it with the cache
-// importer. Type errors are collected, not fatal; parse errors are fatal.
-func (ld *loader) check(importPath, pkgName string, paths []string, fallbackPath string) (*checkedPackage, error) {
+// importer. preloaded, when non-nil, supplies source bytes already read by
+// the caller. Type errors are collected, not fatal. Parse errors become
+// positioned "parse" findings on the returned package (parseBad) — the
+// package is still returned so the driver can report them; only I/O
+// failures are fatal.
+func (ld *loader) check(importPath, pkgName string, paths []string, fallbackPath string, preloaded map[string][]byte) (*checkedPackage, error) {
 	var files []*ast.File
+	var parseBad []Finding
 	src := map[string][]byte{}
 	for _, p := range paths {
-		data, err := os.ReadFile(p)
-		if err != nil {
-			return nil, err
+		data, ok := preloaded[p]
+		if !ok {
+			var err error
+			data, err = os.ReadFile(p)
+			if err != nil {
+				return nil, err
+			}
 		}
+		src[p] = data
 		f, err := parser.ParseFile(ld.fset, p, data, parser.ParseComments)
 		if err != nil {
-			return nil, err
+			parseBad = append(parseBad, parseFindings(ld.fset, p, err)...)
+			continue
 		}
 		files = append(files, f)
-		src[p] = data
+	}
+	if len(parseBad) > 0 {
+		// A half-parsed package cannot be analyzed meaningfully; carry only
+		// the parse findings.
+		return &checkedPackage{
+			fset:     ld.fset,
+			path:     importPath,
+			name:     pkgName,
+			src:      src,
+			parseBad: parseBad,
+		}, nil
 	}
 	if len(files) == 0 {
 		return nil, fmt.Errorf("no Go files in %v", paths)
@@ -342,6 +539,38 @@ func (ld *loader) check(importPath, pkgName string, paths []string, fallbackPath
 		info:    info,
 		typeErr: typeErrs,
 	}, nil
+}
+
+// parseFindings converts a parse error for file p into positioned findings
+// under the "parse" analyzer. A scanner.ErrorList yields one finding per
+// error (capped — a mangled file can produce hundreds); anything else
+// yields a single finding at the top of the file.
+func parseFindings(fset *token.FileSet, p string, err error) []Finding {
+	const maxPerFile = 10
+	var out []Finding
+	if list, ok := err.(scanner.ErrorList); ok {
+		for i, e := range list {
+			if i == maxPerFile {
+				out = append(out, Finding{
+					Pos:      e.Pos,
+					Analyzer: "parse",
+					Message:  fmt.Sprintf("%d more syntax errors in this file omitted", len(list)-maxPerFile),
+				})
+				break
+			}
+			out = append(out, Finding{
+				Pos:      e.Pos,
+				Analyzer: "parse",
+				Message:  "syntax error: " + e.Msg,
+			})
+		}
+		return out
+	}
+	return []Finding{{
+		Pos:      token.Position{Filename: p, Line: 1, Column: 1},
+		Analyzer: "parse",
+		Message:  "syntax error: " + err.Error(),
+	}}
 }
 
 // goList shells out to `go list -json` and decodes the JSON stream.

@@ -169,7 +169,7 @@ func TestAnalyzersRegistry(t *testing.T) {
 		}
 		names = append(names, a.Name)
 	}
-	want := "maporder hotalloc floateq liberrs nostdout wsaliasing snapshotread nondeterm"
+	want := "maporder hotalloc floateq liberrs nostdout wsaliasing snapshotread journalpair nondeterm"
 	if got := strings.Join(names, " "); got != want {
 		t.Errorf("registry = %q, want %q", got, want)
 	}

@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestInterprocFixture covers the interprocedural wsaliasing cases:
+// obligations discharged through helper summaries, kept alive through
+// call-only closures and deferred closures, and (mutually) recursive
+// release helpers converging at the SCC fixed point.
+func TestInterprocFixture(t *testing.T) {
+	runFixture(t, AnalyzerWsAliasing, "testdata/src/interproc")
+}
+
+// TestSnapInterprocFixture covers the interprocedural snapshotread cases:
+// un-stamped Blocked reads hiding inside helpers and stamps supplied by
+// callee summaries.
+func TestSnapInterprocFixture(t *testing.T) {
+	runFixture(t, AnalyzerSnapshotRead, "testdata/src/snapinterproc")
+}
+
+// TestJournalPairFixture covers the journal pairing analyzer.
+func TestJournalPairFixture(t *testing.T) {
+	runFixture(t, AnalyzerJournalPair, "testdata/src/journalpair")
+}
+
+// TestParseErrorFixture pins the parse-failure contract: a broken file
+// yields positioned findings under the "parse" analyzer, suppresses every
+// other analyzer for the package, and does not abort the run.
+func TestParseErrorFixture(t *testing.T) {
+	findings, err := Run(Options{
+		Patterns: []string{"testdata/src/parseerror"},
+	})
+	if err != nil {
+		t.Fatalf("lint run: %v", err)
+	}
+	if len(findings) == 0 {
+		t.Fatal("broken fixture produced no findings")
+	}
+	for _, f := range findings {
+		if f.Analyzer != "parse" {
+			t.Errorf("want only parse findings on a broken package, got %s", f)
+		}
+		if f.Pos.Line == 0 || !strings.HasSuffix(f.Pos.Filename, "parseerror.go") {
+			t.Errorf("parse finding lacks a usable position: %s", f)
+		}
+		if !strings.Contains(f.Message, "syntax error") {
+			t.Errorf("parse finding message = %q, want a syntax error", f.Message)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerJournalPair guards the obstacle-journal protocol behind the
+// negotiation engine: ObsMap.StartJournal begins recording cell edits so a
+// failed routing attempt can be rolled back (RewindJournal) and the
+// recording handed back (StopJournal). A journal left open leaks every
+// subsequent edit into the rollback log — the next rewind then un-does
+// work that was supposed to be committed. The invariant: every
+// StartJournal must reach a StopJournal on every path out of the function,
+// either directly, through a deferred stop, or through a callee whose
+// summary says it always stops the journal (a commit helper).
+//
+// The check reuses the interprocedural effect engine: the started ObsMap
+// variables become dataflow targets, and the exit fact's "open" bit — set
+// by StartJournal, cleared by StopJournal and by callees that (may) stop —
+// is the violation. A journal object that escapes the function (stored,
+// captured, passed to an unknown callee) transfers the obligation to
+// wherever it went, and the local check stays silent.
+var AnalyzerJournalPair = &Analyzer{
+	Name: "journalpair",
+	Doc:  "every ObsMap.StartJournal must reach StopJournal on all paths, directly or through a callee that stops it",
+	Run:  runJournalPair,
+}
+
+// journalStart is one StartJournal site on a local ObsMap variable.
+type journalStart struct {
+	obj  types.Object
+	name string
+	pos  token.Pos
+}
+
+func runJournalPair(p *Pass) {
+	if p.ip == nil {
+		return // no interprocedural engine (hand-built Pass)
+	}
+	for _, file := range p.Files {
+		for _, fn := range flowFuncs(file) {
+			checkJournalFunc(p, fn)
+		}
+	}
+}
+
+func checkJournalFunc(p *Pass, fn flowFunc) {
+	// Collect the ObsMap variables this body starts a journal on, in
+	// source order so reports are deterministic.
+	var starts []journalStart
+	seen := map[types.Object]bool{}
+	inspectShallow(fn.body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "StartJournal" {
+			return true
+		}
+		if namedTypeName(p.TypeOf(sel.X)) != "ObsMap" {
+			return true
+		}
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.ObjectOf(id)
+		if obj == nil || seen[obj] {
+			return true
+		}
+		seen[obj] = true
+		starts = append(starts, journalStart{obj: obj, name: id.Name, pos: call.Pos()})
+		return true
+	})
+	if len(starts) == 0 {
+		return
+	}
+
+	targets := make([]types.Object, len(starts))
+	for i, s := range starts {
+		targets[i] = s.obj
+	}
+	res := p.ip.bodyEffects(fn.body, targets)
+	for i, s := range starts {
+		eff := res.effs[i]
+		if eff.escapes {
+			continue // obligation moved with the value
+		}
+		if eff.opens {
+			p.Reportf(s.pos, "journal on %s is started here but does not reach StopJournal on every path; pair it with a StopJournal (or defer one)", s.name)
+		}
+	}
+}

@@ -58,6 +58,10 @@ type Pass struct {
 	// src holds the raw bytes of each file, keyed by the filename recorded
 	// in Fset. Analyzers consult it to build byte-accurate text edits.
 	src map[string][]byte
+	// ip resolves call sites to callee summaries (interprocedural facts);
+	// nil in unit tests that build a Pass by hand, so analyzers must
+	// tolerate its absence.
+	ip *ipResolver
 
 	report func(Finding)
 }

@@ -66,12 +66,15 @@ type sarifRegion struct {
 }
 
 // WriteSARIF renders findings as one SARIF 2.1.0 run. The rule table lists
-// the full analyzer registry (plus the directive pseudo-analyzer) so a
-// clean run still documents what was checked.
+// the full analyzer registry (plus the directive and parse
+// pseudo-analyzers) so a clean run still documents what was checked.
 func WriteSARIF(w io.Writer, findings []Finding) error {
 	rules := []sarifRule{{
 		ID:               "directive",
 		ShortDescription: sarifText{Text: "//pacor:allow directives must carry a justification"},
+	}, {
+		ID:               "parse",
+		ShortDescription: sarifText{Text: "every linted file must parse; syntax errors are findings, not crashes"},
 	}}
 	for _, a := range Analyzers() {
 		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifText{Text: a.Doc}})

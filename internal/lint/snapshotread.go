@@ -113,25 +113,55 @@ func checkSnapshotFunc(p *Pass, fn flowFunc) {
 
 // snapScanNode scans one CFG node in preorder (approximating evaluation
 // order), raising *stamped at stamp calls and, when reporting (decl
-// non-nil), flagging Blocked reads seen while *stamped is false.
+// non-nil), flagging Blocked reads seen while *stamped is false. Calls to
+// known functions consult their summaries: a callee that stamps on every
+// path raises the fact like a direct stamp, and a callee that reads
+// Blocked before stamping is itself a violation at this call site —
+// unless it is Checked (reported in its own body already).
 func snapScanNode(p *Pass, n ast.Node, stamped *bool, decl *ast.FuncDecl) {
 	inspectShallow(n, func(m ast.Node) bool {
 		call, ok := m.(*ast.CallExpr)
 		if !ok {
 			return true
 		}
-		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-		if !ok {
-			return true
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			recv := namedTypeName(p.TypeOf(sel.X))
+			if snapStampMethods[sel.Sel.Name] && recv == "Workspace" {
+				*stamped = true
+				return true
+			}
+			if sel.Sel.Name == "Blocked" && recv == "ObsMap" && !*stamped && decl != nil {
+				p.Reportf(call.Pos(), "ObsMap.Blocked read is reachable before any workspace visit stamp; stamp the cell first (Workspace.touch/StartVisitTracking) or the scheduler cannot validate speculative runs")
+				return true
+			}
 		}
-		recv := namedTypeName(p.TypeOf(sel.X))
-		if snapStampMethods[sel.Sel.Name] && recv == "Workspace" {
-			*stamped = true
-			return true
-		}
-		if sel.Sel.Name == "Blocked" && recv == "ObsMap" && !*stamped && decl != nil {
-			p.Reportf(call.Pos(), "ObsMap.Blocked read is reachable before any workspace visit stamp; stamp the cell first (Workspace.touch/StartVisitTracking) or the scheduler cannot validate speculative runs")
+		if sum := p.ip.calleeSummary(call); sum != nil {
+			if sum.ReadsUnstamped && !sum.Checked && !*stamped && decl != nil {
+				p.Reportf(call.Pos(), "call to %s reads ObsMap.Blocked before any workspace visit stamp on this path; stamp first, or stamp inside the callee", snapCalleeName(p, call))
+			}
+			if sum.StampsAlways {
+				*stamped = true
+			}
 		}
 		return true
 	})
+}
+
+// snapCalleeName renders the resolved callee of call for a finding
+// message, without the package-path prefix.
+func snapCalleeName(p *Pass, call *ast.CallExpr) string {
+	key := p.ip.calleeKey(call)
+	if i := lastSlash(key); i >= 0 {
+		key = key[i+1:]
+	}
+	return key
+}
+
+func lastSlash(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '/' {
+			return i
+		}
+	}
+	return -1
 }

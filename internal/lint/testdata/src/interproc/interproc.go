@@ -1,0 +1,190 @@
+// Package interproc is a fixture for the interprocedural wsaliasing
+// cases: obligations discharged or kept alive through helper calls,
+// call-only closure bindings, deferred closures, and (mutual) recursion —
+// exactly the patterns the intraprocedural engine either missed (silent
+// escape) or could not prove clean.
+package interproc
+
+//pacor:pkgpath fixture/internal/search
+
+// Grid stands in for grid.Grid.
+type Grid struct{ W, H int }
+
+// Cells mirrors the real grid API.
+func (g Grid) Cells() int { return g.W * g.H }
+
+// Workspace stands in for route.Workspace.
+type Workspace struct{ cells int }
+
+// Search stands in for a workspace-backed search.
+func (w *Workspace) Search(from, to int) int { return from + to + w.cells }
+
+// AcquireWorkspace stands in for the pooled acquire.
+func AcquireWorkspace(g Grid) *Workspace { return &Workspace{cells: g.Cells()} }
+
+// ReleaseWorkspace stands in for the pooled release.
+func ReleaseWorkspace(*Workspace) {}
+
+// finish releases on every path: callers that hand their workspace to it
+// have discharged the obligation.
+func finish(ws *Workspace) int {
+	n := ws.Search(0, 1)
+	ReleaseWorkspace(ws)
+	return n
+}
+
+// finishMaybe releases on only one path: callers can neither keep nor
+// drop the obligation, so handing a workspace to it is treated as an
+// ownership transfer (no local report — the bug is inside finishMaybe's
+// contract, not at the call site).
+func finishMaybe(ws *Workspace, ok bool) int {
+	if ok {
+		ReleaseWorkspace(ws)
+		return 0
+	}
+	return ws.Search(1, 2)
+}
+
+// observe only reads the workspace; the caller keeps the obligation.
+func observe(ws *Workspace) int { return ws.Search(2, 3) }
+
+// helperDischarges is clean: finish always releases.
+func helperDischarges(g Grid) int {
+	ws := AcquireWorkspace(g)
+	return finish(ws)
+}
+
+// helperObservesLeak: the old engine wrote the observe call off as an
+// escape; the summary says observe merely reads, so the leak is visible.
+func helperObservesLeak(g Grid) int {
+	ws := AcquireWorkspace(g) // want `workspace ws does not reach ReleaseWorkspace on every path`
+	return observe(ws)
+}
+
+// doubleThroughHelpers: both helpers release, so the second call releases
+// an already-released workspace.
+func doubleThroughHelpers(g Grid) int {
+	ws := AcquireWorkspace(g)
+	n := finish(ws)
+	return n + finish(ws) // want `workspace ws may already be released`
+}
+
+// useAfterHelperRelease: finish released it, observe then touches freed
+// pool memory.
+func useAfterHelperRelease(g Grid) int {
+	ws := AcquireWorkspace(g)
+	n := finish(ws)
+	return n + observe(ws) // want `workspace ws is used after ReleaseWorkspace`
+}
+
+// maybeTransfers stays silent: finishMaybe's partial release makes the
+// call an ownership transfer.
+func maybeTransfers(g Grid, ok bool) int {
+	ws := AcquireWorkspace(g)
+	return finishMaybe(ws, ok)
+}
+
+// closureDischarges is clean: cleanup is bound once, only called, and
+// releases on its every path.
+func closureDischarges(g Grid) int {
+	ws := AcquireWorkspace(g)
+	cleanup := func() { ReleaseWorkspace(ws) }
+	n := ws.Search(3, 4)
+	cleanup()
+	return n
+}
+
+// closureNeverReleases: the bound closure only reads, so the obligation
+// never moves — the old engine saw a capture and gave up.
+func closureNeverReleases(g Grid) int {
+	ws := AcquireWorkspace(g) // want `workspace ws does not reach ReleaseWorkspace on every path`
+	peek := func() int { return ws.Search(4, 5) }
+	return peek()
+}
+
+// deferredClosureBranchLeak: the deferred closure releases on only one
+// path, which is exactly as leaky as no defer on the dry branch.
+func deferredClosureBranchLeak(g Grid, wet bool) int {
+	ws := AcquireWorkspace(g) // want `workspace ws does not reach ReleaseWorkspace on every path`
+	defer func() {
+		if wet {
+			ReleaseWorkspace(ws)
+		}
+	}()
+	return ws.Search(5, 6)
+}
+
+// deferredClosureClean releases unconditionally inside the deferred
+// closure: covered on every path.
+func deferredClosureClean(g Grid, fail bool) int {
+	ws := AcquireWorkspace(g)
+	defer func() { ReleaseWorkspace(ws) }()
+	if fail {
+		return -1
+	}
+	return ws.Search(6, 7)
+}
+
+// deferredHelperClean: defer finish(ws) discharges through the summary.
+func deferredHelperClean(g Grid, fail bool) int {
+	ws := AcquireWorkspace(g)
+	defer finish(ws)
+	if fail {
+		return -1
+	}
+	return ws.Search(7, 8)
+}
+
+// releaseEven / releaseOdd are mutually recursive and both bottom out in
+// a release: the SCC fixed point must converge on ReleasesAlways.
+func releaseEven(ws *Workspace, n int) {
+	if n <= 0 {
+		ReleaseWorkspace(ws)
+		return
+	}
+	releaseOdd(ws, n-1)
+}
+
+func releaseOdd(ws *Workspace, n int) {
+	if n <= 0 {
+		ReleaseWorkspace(ws)
+		return
+	}
+	releaseEven(ws, n-1)
+}
+
+// mutualRecursionClean: the recursive pair releases on every path.
+func mutualRecursionClean(g Grid, n int) {
+	ws := AcquireWorkspace(g)
+	releaseEven(ws, n)
+}
+
+// drainSelf is directly recursive and releases at the base case.
+func drainSelf(ws *Workspace, n int) {
+	if n <= 0 {
+		ReleaseWorkspace(ws)
+		return
+	}
+	drainSelf(ws, n-1)
+}
+
+// selfRecursionClean: direct recursion converges the same way.
+func selfRecursionClean(g Grid, n int) {
+	ws := AcquireWorkspace(g)
+	drainSelf(ws, n)
+}
+
+// recurseNoRelease is recursive and never releases on the returning path.
+func recurseNoRelease(ws *Workspace, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return recurseNoRelease(ws, n-1) + 1
+}
+
+// recursionLeak: the recursive helper's fixed point settles on "no
+// release", so the caller still owes one.
+func recursionLeak(g Grid, n int) int {
+	ws := AcquireWorkspace(g) // want `workspace ws does not reach ReleaseWorkspace on every path`
+	return recurseNoRelease(ws, n)
+}

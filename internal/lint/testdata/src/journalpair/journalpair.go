@@ -1,0 +1,120 @@
+// Package journalpair is a fixture for the journalpair analyzer: every
+// ObsMap.StartJournal must reach StopJournal on all paths, directly,
+// through a defer, or through a callee whose summary stops it.
+package journalpair
+
+//pacor:pkgpath fixture/internal/route
+
+// Pt stands in for geom.Pt.
+type Pt struct{ X, Y int }
+
+// ObsMap stands in for grid.ObsMap.
+type ObsMap struct {
+	bits    []bool
+	journal []int
+}
+
+// Blocked mirrors the real obstacle query.
+func (o *ObsMap) Blocked(p Pt) bool { return len(o.bits) > 0 && o.bits[0] }
+
+// StartJournal mirrors the recording switch.
+func (o *ObsMap) StartJournal() { o.journal = o.journal[:0] }
+
+// StopJournal mirrors the recording stop.
+func (o *ObsMap) StopJournal() { o.journal = nil }
+
+// RewindJournal mirrors the rollback.
+func (o *ObsMap) RewindJournal(n int) { o.journal = o.journal[:n] }
+
+// JournalLen mirrors the mark query.
+func (o *ObsMap) JournalLen() int { return len(o.journal) }
+
+// route stands in for one routing attempt against the journal.
+func route(o *ObsMap, p Pt) bool { return !o.Blocked(p) }
+
+// paired is the blessed pattern: start, attempt, stop.
+func paired(o *ObsMap, p Pt) bool {
+	o.StartJournal()
+	ok := route(o, p)
+	o.StopJournal()
+	return ok
+}
+
+// deferredStop covers every path, early returns included.
+func deferredStop(o *ObsMap, p Pt, fail bool) bool {
+	o.StartJournal()
+	defer o.StopJournal()
+	if fail {
+		return false
+	}
+	return route(o, p)
+}
+
+// leakOnError stops only on the happy path: the error return leaves the
+// journal recording every subsequent edit.
+func leakOnError(o *ObsMap, p Pt) bool {
+	o.StartJournal() // want `journal on o is started here but does not reach StopJournal on every path`
+	if !route(o, p) {
+		return false
+	}
+	o.StopJournal()
+	return true
+}
+
+// neverStopped has no stop at all.
+func neverStopped(o *ObsMap, p Pt) bool {
+	o.StartJournal() // want `journal on o is started here but does not reach StopJournal on every path`
+	return route(o, p)
+}
+
+// rewindThenLeak rolls back but forgets to stop: rewinding does not close
+// the journal.
+func rewindThenLeak(o *ObsMap, p Pt) bool {
+	o.StartJournal() // want `journal on o is started here but does not reach StopJournal on every path`
+	mark := o.JournalLen()
+	if !route(o, p) {
+		o.RewindJournal(mark)
+		return false
+	}
+	o.StopJournal()
+	return true
+}
+
+// commit stands in for a helper that always closes the journal.
+func commit(o *ObsMap) { o.StopJournal() }
+
+// stoppedByHelper is clean: commit's summary stops the journal on every
+// path, so the obligation is discharged through the call.
+func stoppedByHelper(o *ObsMap, p Pt) bool {
+	o.StartJournal()
+	ok := route(o, p)
+	commit(o)
+	return ok
+}
+
+// nestedMarks rewinds to an inner mark, then stops: still paired.
+func nestedMarks(o *ObsMap, p Pt, q Pt) bool {
+	o.StartJournal()
+	outer := o.JournalLen()
+	ok := route(o, p)
+	inner := o.JournalLen()
+	if !route(o, q) {
+		o.RewindJournal(inner)
+	}
+	if !ok {
+		o.RewindJournal(outer)
+	}
+	o.StopJournal()
+	return ok
+}
+
+// Request stands in for negotiation state that owns the journal after an
+// escape.
+type Request struct{ obs *ObsMap }
+
+// escapesIntoRequest transfers the obligation with the value: the local
+// check stays silent.
+func escapesIntoRequest(o *ObsMap) *Request {
+	o.StartJournal()
+	return &Request{obs: o}
+}

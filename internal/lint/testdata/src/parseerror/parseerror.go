@@ -1,0 +1,12 @@
+// Package parseerror is a fixture for the driver's parse-failure path: a
+// file that does not parse must surface as positioned "parse" findings
+// (exit 1), not abort the run. The body below is deliberately broken —
+// keep this file out of any gofmt sweep.
+package parseerror
+
+//pacor:pkgpath fixture/internal/route
+
+func broken() int {
+	x := 1 +
+	return x
+}

@@ -1,0 +1,93 @@
+// Package snapinterproc is a fixture for the interprocedural snapshotread
+// cases: un-stamped obstacle reads hiding inside helpers, and stamps
+// supplied by callees. The pkgpath directive places it inside
+// internal/route so the hot-package gate applies.
+package snapinterproc
+
+//pacor:pkgpath fixture/internal/route
+
+// Pt stands in for geom.Pt.
+type Pt struct{ X, Y int }
+
+// Grid stands in for grid.Grid.
+type Grid struct{ W, H int }
+
+// Index mirrors the real grid API.
+func (g Grid) Index(p Pt) int { return p.Y*g.W + p.X }
+
+// ObsMap stands in for grid.ObsMap.
+type ObsMap struct{ bits []bool }
+
+// Blocked mirrors the real obstacle query.
+func (o *ObsMap) Blocked(p Pt) bool { return len(o.bits) > 0 && o.bits[0] }
+
+// Workspace stands in for route.Workspace.
+type Workspace struct{ track bool }
+
+// StartVisitTracking mirrors the tracking switch.
+func (w *Workspace) StartVisitTracking() { w.track = true }
+
+// touch mirrors the per-cell stamp; it reports prior membership.
+func (w *Workspace) touch(i int) bool { return w.track && i >= 0 }
+
+// peekBlocked reads obstacle state with no workspace in scope, so it is
+// not its own reporting boundary — the violation belongs to whichever
+// stamped-protocol caller invokes it before stamping.
+func peekBlocked(obs *ObsMap, p Pt) bool {
+	return obs.Blocked(p)
+}
+
+// stampAll stamps on its every path; callers are in the stamped state
+// after the call.
+func stampAll(w *Workspace, g Grid, pts []Pt) {
+	w.StartVisitTracking()
+	for _, p := range pts {
+		w.touch(g.Index(p))
+	}
+}
+
+// helperReadLeak calls the reading helper before any stamp: the read the
+// intraprocedural engine could not see.
+func helperReadLeak(w *Workspace, g Grid, obs *ObsMap, p Pt) bool {
+	blocked := peekBlocked(obs, p) // want `call to route.peekBlocked reads ObsMap.Blocked before any workspace visit stamp`
+	w.touch(g.Index(p))
+	return blocked
+}
+
+// helperReadAfterStamp is clean: the stamp precedes the helper call.
+func helperReadAfterStamp(w *Workspace, g Grid, obs *ObsMap, p Pt) bool {
+	w.touch(g.Index(p))
+	return peekBlocked(obs, p)
+}
+
+// helperStampsFirst is clean: stampAll's summary says every path stamps,
+// so the direct read after it is covered — a false positive under the
+// old engine.
+func helperStampsFirst(w *Workspace, g Grid, obs *ObsMap, pts []Pt, p Pt) bool {
+	stampAll(w, g, pts)
+	return obs.Blocked(p)
+}
+
+// helperBranchLeak stamps through the helper on one branch only: the
+// must-join still catches the unstamped path into the helper read.
+func helperBranchLeak(w *Workspace, g Grid, obs *ObsMap, pts []Pt, p Pt, fast bool) bool {
+	if fast {
+		stampAll(w, g, pts)
+	}
+	return peekBlocked(obs, p) // want `call to route.peekBlocked reads ObsMap.Blocked before any workspace visit stamp`
+}
+
+// checkedHelper has its own workspace parameter, so it is its own
+// reporting boundary: the violation is reported here, in its body...
+func checkedHelper(w *Workspace, obs *ObsMap, p Pt) bool {
+	blocked := obs.Blocked(p) // want `ObsMap.Blocked read is reachable before any workspace visit stamp`
+	w.touch(0)
+	return blocked
+}
+
+// ...and does NOT propagate to its call sites.
+func callsCheckedHelper(w *Workspace, g Grid, obs *ObsMap, p Pt) bool {
+	blocked := checkedHelper(w, obs, p)
+	w.touch(g.Index(p))
+	return blocked
+}

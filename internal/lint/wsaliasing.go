@@ -5,6 +5,7 @@ import (
 	"go/token"
 	"go/types"
 
+	"repro/internal/lint/callgraph"
 	"repro/internal/lint/cfg"
 )
 
@@ -25,6 +26,14 @@ import (
 // the exception: a variable referenced by two or more `go` spawn sites
 // (one site inside a loop counts double) is shared mutable search state
 // and is flagged regardless.
+//
+// Calls are resolved interprocedurally when the driver provides summaries
+// (Pass.ip): passing the workspace to a helper whose summary says it
+// releases on every path discharges the obligation at the call site
+// instead of escaping; a helper that releases on only some paths, or a
+// call-only closure binding whose body leaks on a branch, keeps the
+// obligation alive — cases the intraprocedural analysis either missed or
+// wrote off as escapes.
 var AnalyzerWsAliasing = &Analyzer{
 	Name: "wsaliasing",
 	Doc:  "pooled workspaces must be released on every path, never used after release, and owned by one goroutine",
@@ -148,6 +157,12 @@ func checkWsFunc(p *Pass, fn flowFunc) {
 				if s := a.tracked[obj]; s != nil {
 					s.defRel = true
 				}
+			} else if rel, _, ok := a.deferSummaryFacts(n.Call); ok {
+				for obj := range rel {
+					if s := a.tracked[obj]; s != nil {
+						s.defRel = true
+					}
+				}
 			}
 		case *ast.GoStmt:
 			w := 1
@@ -251,6 +266,14 @@ func (a *wsFunc) node(n ast.Node, fact wsState, p *Pass) {
 		if obj := a.releaseTarget(n.Call); obj != nil && a.tracked[obj] != nil {
 			return // accounted for flow-insensitively via wsSite.defRel
 		}
+		if _, esc, ok := a.deferSummaryFacts(n.Call); ok {
+			// Must-releases were folded into wsSite.defRel by pass 2; only
+			// the partial effects (may-release, capture escape) matter here.
+			for obj := range esc {
+				fact[obj] |= wsEsc
+			}
+			return
+		}
 		a.expr(n.Call, fact, p, false)
 	case *ast.GoStmt:
 		a.expr(n.Call, fact, p, false)
@@ -339,6 +362,9 @@ func (a *wsFunc) expr(e ast.Expr, fact wsState, p *Pass, escaping bool) {
 		// the workspace itself does not escape.
 		a.expr(e.X, fact, p, false)
 	case *ast.CallExpr:
+		if a.interpCall(e, fact, p) {
+			return
+		}
 		switch fun := ast.Unparen(e.Fun).(type) {
 		case *ast.SelectorExpr:
 			a.expr(fun.X, fact, p, false) // method receiver: a use, not an escape
@@ -351,6 +377,11 @@ func (a *wsFunc) expr(e ast.Expr, fact wsState, p *Pass, escaping bool) {
 			a.expr(arg, fact, p, true) // the callee may retain the pointer
 		}
 	case *ast.FuncLit:
+		if a.callOnlyBinding(e) {
+			// Every call of this literal is a visible call site; its capture
+			// effects are applied there (interpCall), not at the definition.
+			return
+		}
 		// Closure capture: obligations transfer to the closure.
 		for obj := range a.referencedIn(e.Body) {
 			if a.tracked[obj] != nil {
@@ -387,6 +418,203 @@ func (a *wsFunc) expr(e ast.Expr, fact wsState, p *Pass, escaping bool) {
 			return true
 		})
 	}
+}
+
+// interpCall applies the resolved callee's summary at one synchronous call
+// site: a parameter the callee always releases discharges the obligation
+// here; a parameter it may release or retain escapes; a parameter it
+// merely reads is a use. Calls through call-only closure bindings apply
+// the literal's capture effects the same way. Returns false when no
+// interprocedural fact is available (the caller falls back to the
+// conservative walk).
+func (a *wsFunc) interpCall(call *ast.CallExpr, fact wsState, p *Pass) bool {
+	ip := a.p.ip
+	if ip == nil || ip.graph == nil {
+		return false
+	}
+	edge, ok := ip.graph.Sites[call]
+	if !ok || edge.Kind != callgraph.KindCall || edge.Callee == "" {
+		return false
+	}
+	var lit *ast.FuncLit
+	if node := ip.graph.ByKey[edge.Callee]; node != nil && node.Lit != nil {
+		lit = node.Lit
+	}
+	sum := ip.store.Get(edge.Callee)
+	if lit == nil && sum == nil {
+		return false
+	}
+
+	// The callee expression: receivers and function values are uses.
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		a.expr(fun.X, fact, p, false)
+	case *ast.Ident:
+		// plain callee name carries no workspace
+	default:
+		a.expr(call.Fun, fact, p, false)
+	}
+
+	// Capture effects of a bound closure apply at its call sites.
+	if lit != nil {
+		for obj := range a.referencedIn(lit.Body) {
+			if a.tracked[obj] == nil {
+				continue
+			}
+			a.applyWsEffect(obj, ip.capEffect(lit, obj), fact, p, call.Pos())
+		}
+	}
+
+	base := 0
+	if sum != nil && sum.Recv {
+		base = 1
+	}
+	for i, arg := range call.Args {
+		id, isIdent := ast.Unparen(arg).(*ast.Ident)
+		var obj types.Object
+		if isIdent {
+			obj = a.p.ObjectOf(id)
+		}
+		if obj == nil || a.tracked[obj] == nil {
+			a.expr(arg, fact, p, true)
+			continue
+		}
+		if sum == nil || base+i >= len(sum.Params) {
+			a.expr(arg, fact, p, true)
+			continue
+		}
+		ps := sum.Param(base + i)
+		a.applyWsEffect(obj, objEffect{
+			relAlways: ps.ReleasesAlways,
+			relMay:    ps.ReleasesMay,
+			escapes:   ps.Escapes,
+		}, fact, p, arg.Pos())
+	}
+	return true
+}
+
+// applyWsEffect folds one callee-side effect on a tracked workspace into
+// the caller's state.
+func (a *wsFunc) applyWsEffect(obj types.Object, eff objEffect, fact wsState, p *Pass, pos token.Pos) {
+	st := fact[obj]
+	if st&wsEsc != 0 {
+		return
+	}
+	switch {
+	case eff.relAlways:
+		if p != nil && st&wsRel != 0 {
+			p.Reportf(pos, "workspace %s may already be released here; a double release poisons the pool", a.tracked[obj].name)
+		}
+		fact[obj] = (st | wsRel) &^ wsAcq
+	case eff.escapes || eff.relMay:
+		// A partial release is as bad as an escape for local reasoning:
+		// the caller can no longer know whether it still owns the value.
+		fact[obj] = st | wsEsc
+	default:
+		if p != nil && st&wsRel != 0 {
+			p.Reportf(pos, "workspace %s is used after ReleaseWorkspace; the pool may already have handed it to another goroutine", a.tracked[obj].name)
+		}
+	}
+}
+
+// callOnlyBinding reports whether lit is bound to a variable whose every
+// use is a call (so the literal in value position is not an escape).
+func (a *wsFunc) callOnlyBinding(lit *ast.FuncLit) bool {
+	ip := a.p.ip
+	if ip == nil || ip.graph == nil {
+		return false
+	}
+	for obj, l := range ip.graph.Bindings {
+		if l == lit && ip.graph.CallOnly[obj] {
+			return true
+		}
+	}
+	return false
+}
+
+// deferSummaryFacts classifies one deferred call interprocedurally:
+// rel holds tracked objects the deferred work always releases (folded into
+// wsSite.defRel), esc holds objects it may retain or only partially
+// release. ok is false when the call resolves to nothing — the caller
+// falls back to the conservative escape walk.
+func (a *wsFunc) deferSummaryFacts(call *ast.CallExpr) (rel, esc map[types.Object]bool, ok bool) {
+	ip := a.p.ip
+	if ip == nil || ip.graph == nil {
+		return nil, nil, false
+	}
+	rel = map[types.Object]bool{}
+	esc = map[types.Object]bool{}
+
+	lit, _ := ast.Unparen(call.Fun).(*ast.FuncLit)
+	var sum *cfg.Summary
+	if e, found := ip.graph.Sites[call]; found && e.Callee != "" && e.Kind != callgraph.KindUnknown {
+		if node := ip.graph.ByKey[e.Callee]; node != nil && node.Lit != nil {
+			lit = node.Lit
+		} else {
+			sum = ip.store.Get(e.Callee)
+		}
+	}
+	if lit == nil && sum == nil {
+		return nil, nil, false
+	}
+
+	if lit != nil {
+		for obj := range a.referencedIn(lit.Body) {
+			if a.tracked[obj] == nil {
+				continue
+			}
+			eff := ip.capEffect(lit, obj)
+			switch {
+			case eff.relAlways:
+				rel[obj] = true
+			case eff.escapes:
+				esc[obj] = true
+				// A may-release keeps the obligation alive: neither
+				// discharged nor escaped, so the exit check still fires.
+			}
+		}
+		for _, arg := range call.Args {
+			for obj := range a.referenced(arg) {
+				esc[obj] = true
+			}
+		}
+		return rel, esc, true
+	}
+
+	base := 0
+	if sum.Recv {
+		base = 1
+		if sel, selOK := ast.Unparen(call.Fun).(*ast.SelectorExpr); selOK {
+			for obj := range a.referenced(sel.X) {
+				if sum.Param(0).ReleasesAlways {
+					rel[obj] = true
+				} else if sum.Param(0).Escapes {
+					esc[obj] = true
+				}
+			}
+		}
+	}
+	for i, arg := range call.Args {
+		id, isIdent := ast.Unparen(arg).(*ast.Ident)
+		var obj types.Object
+		if isIdent {
+			obj = a.p.ObjectOf(id)
+		}
+		if obj == nil || a.tracked[obj] == nil {
+			for o := range a.referenced(arg) {
+				esc[o] = true
+			}
+			continue
+		}
+		ps := sum.Param(base + i)
+		switch {
+		case ps.ReleasesAlways:
+			rel[obj] = true
+		case ps.Escapes, base+i >= len(sum.Params):
+			esc[obj] = true
+		}
+	}
+	return rel, esc, true
 }
 
 // referenced returns the tracked objects mentioned anywhere under n,
