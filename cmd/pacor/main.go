@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	pacor [-mode pacor|wosel|detourfirst] [-j N] [-queue auto|heap|bucket] [-stats] [-nocache] [-checkcache] [-render] [-clusters] design.json
+//	pacor [-mode pacor|wosel|detourfirst] [-j N] [-queue auto|heap|bucket] [-hier auto|on|off] [-stats] [-nocache] [-checkcache] [-render] [-clusters] design.json
 //	pacor -bench S3 [-mode ...] [-render] [-svg out.svg] [-skew] [-json out.json]
 //	pacor -bench S5 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
@@ -55,6 +55,7 @@ func run(args []string, stdout io.Writer) error {
 	noCache := fs.Bool("nocache", false, "disable the incremental negotiation cache (routes identically, wall-clock only)")
 	checkCache := fs.Bool("checkcache", false, "re-search every negotiation cache hit and fail loudly on divergence")
 	queueFlag := fs.String("queue", "auto", "open-list implementation: auto, heap, bucket (routes identically, wall-clock only)")
+	hierFlag := fs.String("hier", "auto", "hierarchical two-stage routing: auto (on above the Table 1 scale), on, off")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -123,6 +124,11 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	params.Queue = queue
+	hier, err := route.ParseHierMode(*hierFlag)
+	if err != nil {
+		return err
+	}
+	params.Hier.Mode = hier
 	res, err := pacor.Route(d, params)
 	if err != nil {
 		return err
@@ -138,6 +144,14 @@ func run(args []string, stdout io.Writer) error {
 			ns.Rounds, ns.Searches, ns.CacheHits, ns.CacheMisses, ns.Invalidated)
 		if len(ns.FailedIDs) > 0 {
 			fmt.Fprintf(stdout, "  negotiation failed edges: %v\n", ns.FailedIDs)
+		}
+		if hs := ns.Hier; hs.Tiles > 0 {
+			fmt.Fprintf(stdout, "  negotiation hier: %d tiles, corridors %d (+%d none), rungs %d corridor / %d widened / %d flat\n",
+				hs.Tiles, hs.Corridors, hs.NoCorridor, hs.CorridorHits, hs.Widened, hs.FlatFallbacks)
+		}
+		if hs := res.EscapeHier; hs.Tiles > 0 {
+			fmt.Fprintf(stdout, "  escape hier: %d tiles, corridors %d (+%d none), rungs %d corridor / %d widened / %d flat\n",
+				hs.Tiles, hs.Corridors, hs.NoCorridor, hs.CorridorHits, hs.Widened, hs.FlatFallbacks)
 		}
 	}
 	if err := pacor.Verify(d, res); err != nil {

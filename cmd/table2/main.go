@@ -10,7 +10,7 @@
 //
 // Usage:
 //
-//	table2 [-designs Chip1,S3,...] [-verify] [-csv out.csv] [-j N] [-queue auto|heap|bucket] [-stable] [-stats] [-nocache] [-checkcache]
+//	table2 [-designs Chip1,S3,...] [-verify] [-csv out.csv] [-j N] [-queue auto|heap|bucket] [-hier auto|on|off] [-stable] [-stats] [-nocache] [-checkcache]
 //	table2 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
@@ -59,6 +59,7 @@ func run(args []string, stdout io.Writer) error {
 	noCache := fs.Bool("nocache", false, "disable the incremental negotiation cache (routes identically, wall-clock only)")
 	checkCache := fs.Bool("checkcache", false, "re-search every negotiation cache hit and fail loudly on divergence")
 	queueFlag := fs.String("queue", "auto", "open-list implementation: auto, heap, bucket (routes identically, wall-clock only)")
+	hierFlag := fs.String("hier", "auto", "hierarchical two-stage routing: auto (on above the Table 1 scale), on, off")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -68,6 +69,10 @@ func run(args []string, stdout io.Writer) error {
 		*workers = 1
 	}
 	queue, err := route.ParseQueueMode(*queueFlag)
+	if err != nil {
+		return err
+	}
+	hier, err := route.ParseHierMode(*hierFlag)
 	if err != nil {
 		return err
 	}
@@ -121,7 +126,7 @@ func run(args []string, stdout io.Writer) error {
 		go func() {
 			defer wg.Done()
 			for j := range next {
-				rows[j.idx], errs[j.idx] = runJob(j, *verify, *noCache, *checkCache, queue)
+				rows[j.idx], errs[j.idx] = runJob(j, *verify, *noCache, *checkCache, queue, hier)
 			}
 		}()
 	}
@@ -151,6 +156,10 @@ func run(args []string, stdout io.Writer) error {
 			ns := r.Result.Negotiate
 			fmt.Fprintf(stdout, "  %-6s %-12s %d / %d / %d / %d / %d\n",
 				r.Design, r.Mode, ns.Rounds, ns.Searches, ns.CacheHits, ns.CacheMisses, ns.Invalidated)
+			if hs := r.Result.EscapeHier; hs.Tiles > 0 {
+				fmt.Fprintf(stdout, "  %-6s %-12s escape hier: corridors %d (+%d none), rungs %d / %d / %d\n",
+					r.Design, r.Mode, hs.Corridors, hs.NoCorridor, hs.CorridorHits, hs.Widened, hs.FlatFallbacks)
+			}
 		}
 	}
 	if *csvFlag != "" {
@@ -164,7 +173,7 @@ func run(args []string, stdout io.Writer) error {
 
 // runJob routes one design with one mode. The design is generated inside the
 // worker so no mutable state is shared between jobs.
-func runJob(j job, verify, noCache, checkCache bool, queue route.QueueMode) (report.Row, error) {
+func runJob(j job, verify, noCache, checkCache bool, queue route.QueueMode, hier route.HierMode) (report.Row, error) {
 	d, err := bench.Generate(j.design)
 	if err != nil {
 		return report.Row{}, err
@@ -174,6 +183,7 @@ func runJob(j job, verify, noCache, checkCache bool, queue route.QueueMode) (rep
 	params.Negotiate.NoCache = noCache
 	params.Negotiate.CheckCache = checkCache
 	params.Queue = queue
+	params.Hier.Mode = hier
 	res, err := pacor.Route(d, params)
 	if err != nil {
 		return report.Row{}, fmt.Errorf("%s/%s: %w", j.design, j.mode, err)

@@ -1,0 +1,168 @@
+package mcf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomGraph builds a random layered-ish network and returns it with its
+// source and sink.
+func randomGraph(rng *rand.Rand, n, arcs int) (*Graph, int, int) {
+	g := NewGraph(n)
+	for i := 0; i < arcs; i++ {
+		from := rng.Intn(n)
+		to := rng.Intn(n)
+		if from == to {
+			continue
+		}
+		g.AddArc(from, to, 1+rng.Intn(3), rng.Intn(8))
+	}
+	return g, 0, n - 1
+}
+
+func TestResetRestoresCapacities(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 30; trial++ {
+		g, s, tt := randomGraph(rng, 8+rng.Intn(8), 30)
+		f1, c1 := g.MinCostFlow(s, tt, -1)
+		g.Reset()
+		for id := 0; id < len(g.arcs); id += 2 {
+			if g.Flow(id) != 0 {
+				t.Fatalf("trial %d: arc %d carries flow %d after Reset", trial, id, g.Flow(id))
+			}
+		}
+		f2, c2 := g.MinCostFlow(s, tt, -1)
+		if f1 != f2 || c1 != c2 {
+			t.Fatalf("trial %d: solve after Reset gave %d/%d, first solve %d/%d", trial, f2, c2, f1, c1)
+		}
+	}
+}
+
+func TestCommitHidesAndProtectsFlow(t *testing.T) {
+	// Two disjoint unit paths 0->1->3 (cost 2) and 0->2->3 (cost 4).
+	g := NewGraph(4)
+	a01 := g.AddArc(0, 1, 1, 1)
+	g.AddArc(1, 3, 1, 1)
+	g.AddArc(0, 2, 1, 2)
+	g.AddArc(2, 3, 1, 2)
+	if f, c := g.MinCostFlow(0, 3, 1); f != 1 || c != 2 {
+		t.Fatalf("first unit: flow=%d cost=%d, want 1/2", f, c)
+	}
+	g.Commit()
+	if g.Flow(a01) != 0 {
+		t.Fatalf("Flow after Commit = %d, want 0 (absorbed)", g.Flow(a01))
+	}
+	// The second unit must route on the expensive path — the committed
+	// cheap path's backward residual is gone, so it can neither be
+	// cancelled nor show up in the decomposition.
+	if f, c := g.MinCostFlow(0, 3, 1); f != 1 || c != 4 {
+		t.Fatalf("second unit: flow=%d cost=%d, want 1/4", f, c)
+	}
+	paths := g.DecomposeUnitPaths(0, 3)
+	if len(paths) != 1 {
+		t.Fatalf("decomposition sees %d paths, want only the uncommitted one", len(paths))
+	}
+	want := []int{0, 2, 3}
+	for i, nd := range want {
+		if paths[0][i] != nd {
+			t.Fatalf("decomposed path %v, want %v", paths[0], want)
+		}
+	}
+	// Reset undoes commits too.
+	g.Reset()
+	if f, c := g.MinCostFlow(0, 3, -1); f != 2 || c != 6 {
+		t.Fatalf("after Reset: flow=%d cost=%d, want 2/6", f, c)
+	}
+}
+
+func TestSetCostReprices(t *testing.T) {
+	g := NewGraph(3)
+	cheap := g.AddArc(0, 1, 1, 1)
+	g.AddArc(1, 2, 1, 0)
+	if _, c := g.MinCostFlow(0, 2, -1); c != 1 {
+		t.Fatalf("cost=%d, want 1", c)
+	}
+	g.Reset()
+	g.SetCost(cheap, 7)
+	if _, c := g.MinCostFlow(0, 2, -1); c != 7 {
+		t.Fatalf("cost after SetCost=%d, want 7", c)
+	}
+	if g.Cost(cheap) != 7 {
+		t.Fatalf("Cost=%d, want 7", g.Cost(cheap))
+	}
+}
+
+func TestSetCostPanicsOnFlow(t *testing.T) {
+	g := NewGraph(2)
+	a := g.AddArc(0, 1, 1, 1)
+	g.MinCostFlow(0, 1, -1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetCost on an arc carrying flow did not panic")
+		}
+	}()
+	g.SetCost(a, 2)
+}
+
+// TestSolverMatchesPerCallState checks that a reused Solver produces
+// bit-identical flow state to fresh per-call solves across many graphs.
+func TestSolverMatchesPerCallState(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	sv := NewSolver()
+	for trial := 0; trial < 40; trial++ {
+		n := 6 + rng.Intn(12)
+		seed := rng.Int63()
+		ga, s, tt := randomGraph(rand.New(rand.NewSource(seed)), n, 40)
+		gb, _, _ := randomGraph(rand.New(rand.NewSource(seed)), n, 40)
+		fa, ca := ga.MinCostFlow(s, tt, -1)
+		fb, cb := sv.MinCostFlow(gb, s, tt, -1)
+		if fa != fb || ca != cb {
+			t.Fatalf("trial %d: reused solver %d/%d, fresh %d/%d", trial, fb, cb, fa, ca)
+		}
+		for id := 0; id < len(ga.arcs); id += 2 {
+			if ga.Flow(id) != gb.Flow(id) {
+				t.Fatalf("trial %d: arc %d flow %d vs %d", trial, id, ga.Flow(id), gb.Flow(id))
+			}
+		}
+	}
+}
+
+// TestSolverSteadyStateAllocs pins the arena behavior: after the first call
+// has sized the arrays, Reset+solve cycles allocate nothing.
+func TestSolverSteadyStateAllocs(t *testing.T) {
+	g, s, tt := randomGraph(rand.New(rand.NewSource(7)), 24, 120)
+	sv := NewSolver()
+	sv.MinCostFlow(g, s, tt, -1) // size the arenas
+	allocs := testing.AllocsPerRun(50, func() {
+		g.Reset()
+		sv.MinCostFlow(g, s, tt, -1)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Reset+MinCostFlow allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// BenchmarkSolverReuse measures the arena path the hierarchical global stage
+// runs every negotiation round: Reset, re-price, solve per-net unit flows.
+func BenchmarkSolverReuse(b *testing.B) {
+	g, s, tt := randomGraph(rand.New(rand.NewSource(7)), 256, 2048)
+	sv := NewSolver()
+	sv.MinCostFlow(g, s, tt, -1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Reset()
+		sv.MinCostFlow(g, s, tt, -1)
+	}
+}
+
+// BenchmarkMinCostFlowFresh is the per-call baseline for the same instance.
+func BenchmarkMinCostFlowFresh(b *testing.B) {
+	g, s, tt := randomGraph(rand.New(rand.NewSource(7)), 256, 2048)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Reset()
+		g.MinCostFlow(s, tt, -1)
+	}
+}

@@ -8,7 +8,6 @@
 package mcf
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -18,6 +17,7 @@ type Graph struct {
 	n    int
 	arcs []arc     // forward/backward arcs interleaved: arc i pairs with i^1
 	head [][]int32 // adjacency: arc indices per node
+	orig []int32   // as-built capacity per arc pair (indexed id/2), for Reset
 }
 
 type arc struct {
@@ -57,9 +57,45 @@ func (g *Graph) AddArc(from, to, capacity, cost int) int {
 	id := len(g.arcs)
 	g.arcs = append(g.arcs, arc{to: int32(to), cap: int32(capacity), cost: int32(cost)})
 	g.arcs = append(g.arcs, arc{to: int32(from), cap: 0, cost: int32(-cost)})
+	g.orig = append(g.orig, int32(capacity))
 	g.head[from] = append(g.head[from], int32(id))
 	g.head[to] = append(g.head[to], int32(id+1))
 	return id
+}
+
+// Reset restores every arc to its as-built capacity, erasing all flow —
+// including flow absorbed by Commit. The graph structure (nodes, arcs,
+// costs) is untouched, so a caller can rebuild the network state between
+// solver rounds without re-adding arcs or reallocating adjacency.
+func (g *Graph) Reset() {
+	for i := 0; i < len(g.arcs); i += 2 {
+		g.arcs[i].cap = g.orig[i>>1]
+		g.arcs[i^1].cap = 0
+	}
+}
+
+// Commit absorbs the current flow into the capacities: every forward arc
+// keeps its (already reduced) residual capacity, and the backward residual
+// is zeroed so later MinCostFlow calls can neither cancel the committed
+// flow nor see it via Flow/DecomposeUnitPaths. Sequential per-net routing
+// on one shared graph uses it between nets: each net's decomposition then
+// observes only its own unit of flow. Reset undoes all commits.
+func (g *Graph) Commit() {
+	for i := 0; i < len(g.arcs); i += 2 {
+		g.arcs[i^1].cap = 0
+	}
+}
+
+// SetCost re-prices arc id (an AddArc identifier) to cost, updating the
+// paired backward arc to -cost. Re-pricing an arc that currently carries
+// flow would corrupt the residual-cost invariant, so it panics; call it
+// only on a flow-free graph (fresh, Reset, or after Commit).
+func (g *Graph) SetCost(id, cost int) {
+	if g.arcs[id^1].cap != 0 {
+		panic(fmt.Sprintf("mcf: SetCost on arc %d carrying flow", id))
+	}
+	g.arcs[id].cost = int32(cost)
+	g.arcs[id^1].cost = int32(-cost)
 }
 
 // Flow returns the flow pushed through arc id (0 before solving).
@@ -78,13 +114,48 @@ const inf = math.MaxInt64 / 4
 // and total cost. Costs may be negative only on arcs out of s reachable in
 // the first Bellman-Ford potential pass; the general case is handled by the
 // initial Bellman-Ford.
+//
+// The call allocates fresh solver state; callers that solve repeatedly on
+// the same (or equally sized) graphs should hold a Solver and reuse it.
 func (g *Graph) MinCostFlow(s, t, maxFlow int) (flow, cost int) {
-	if s == t {
+	var sv Solver
+	return sv.MinCostFlow(g, s, t, maxFlow)
+}
+
+// Solver is a reusable arena for MinCostFlow runs: the potential, distance,
+// and predecessor tables plus the Dijkstra frontier persist across calls, so
+// repeated solves — the hierarchical global stage re-prices and re-solves
+// one tile graph every negotiation round — allocate nothing in steady state.
+// A Solver is not safe for concurrent use; the graph it runs on may change
+// between calls (the arrays resize on demand).
+//
+// The frontier is a hand-rolled binary heap with the same sift order as
+// container/heap over a d-ordered slice, so the node settle order — and with
+// it every tie-break in the computed flow — is identical to the boxed
+// implementation it replaced.
+type Solver struct {
+	pot    []int64
+	dist   []int64
+	inqArc []int32
+	heap   []nodeItem
+}
+
+// NewSolver returns an empty solver arena.
+func NewSolver() *Solver { return &Solver{} }
+
+// MinCostFlow solves on g exactly like Graph.MinCostFlow, reusing the
+// solver's arrays.
+func (s *Solver) MinCostFlow(g *Graph, src, dst, maxFlow int) (flow, cost int) {
+	if src == dst {
 		return 0, 0
 	}
-	pot := g.initPotentials(s)
-	dist := make([]int64, g.n)
-	inqArc := make([]int32, g.n) // arc used to reach node
+	if len(s.pot) < g.n {
+		s.pot = make([]int64, g.n)
+		s.dist = make([]int64, g.n)
+		s.inqArc = make([]int32, g.n)
+	}
+	pot, dist, inqArc := s.pot[:g.n], s.dist[:g.n], s.inqArc[:g.n]
+	s.initPotentials(g, src, pot)
 	want := int64(inf)
 	if maxFlow >= 0 {
 		want = int64(maxFlow)
@@ -96,16 +167,17 @@ func (g *Graph) MinCostFlow(s, t, maxFlow int) (flow, cost int) {
 			dist[i] = inf
 			inqArc[i] = -1
 		}
-		dist[s] = 0
-		pq := &nodeHeap{{node: int32(s), d: 0}}
+		dist[src] = 0
+		s.heap = s.heap[:0]
+		s.hpush(nodeItem{node: int32(src), d: 0})
 		distT := int64(inf)
-		for pq.Len() > 0 {
-			it := heap.Pop(pq).(nodeItem)
+		for len(s.heap) > 0 {
+			it := s.hpop()
 			u := int(it.node)
 			if it.d > dist[u] {
 				continue
 			}
-			if u == t {
+			if u == dst {
 				distT = it.d
 				break // early exit: nodes beyond t keep dist >= distT
 			}
@@ -119,7 +191,7 @@ func (g *Graph) MinCostFlow(s, t, maxFlow int) (flow, cost int) {
 				if nd < dist[v] {
 					dist[v] = nd
 					inqArc[v] = ai
-					heap.Push(pq, nodeItem{node: int32(v), d: nd})
+					s.hpush(nodeItem{node: int32(v), d: nd})
 				}
 			}
 		}
@@ -138,14 +210,14 @@ func (g *Graph) MinCostFlow(s, t, maxFlow int) (flow, cost int) {
 		}
 		// Bottleneck along the path.
 		push := want - totalFlow
-		for v := t; v != s; {
+		for v := dst; v != src; {
 			a := g.arcs[inqArc[v]]
 			if int64(a.cap) < push {
 				push = int64(a.cap)
 			}
 			v = int(g.arcs[inqArc[v]^1].to)
 		}
-		for v := t; v != s; {
+		for v := dst; v != src; {
 			ai := inqArc[v]
 			g.arcs[ai].cap -= int32(push)
 			g.arcs[ai^1].cap += int32(push)
@@ -157,10 +229,9 @@ func (g *Graph) MinCostFlow(s, t, maxFlow int) (flow, cost int) {
 	return int(totalFlow), int(totalCost)
 }
 
-// initPotentials runs Bellman-Ford from s to support negative arc costs.
-// With all-nonnegative costs it converges immediately.
-func (g *Graph) initPotentials(s int) []int64 {
-	pot := make([]int64, g.n)
+// initPotentials fills pot via Bellman-Ford from src to support negative arc
+// costs. With all-nonnegative costs it converges immediately.
+func (s *Solver) initPotentials(g *Graph, src int, pot []int64) {
 	hasNeg := false
 	for i := 0; i < len(g.arcs); i += 2 {
 		if g.arcs[i].cost < 0 && g.arcs[i].cap > 0 {
@@ -169,12 +240,15 @@ func (g *Graph) initPotentials(s int) []int64 {
 		}
 	}
 	if !hasNeg {
-		return pot
+		for i := range pot {
+			pot[i] = 0
+		}
+		return
 	}
 	for i := range pot {
 		pot[i] = inf
 	}
-	pot[s] = 0
+	pot[src] = 0
 	for iter := 0; iter < g.n; iter++ {
 		changed := false
 		for u := 0; u < g.n; u++ {
@@ -201,7 +275,54 @@ func (g *Graph) initPotentials(s int) []int64 {
 			pot[i] = 0 // unreachable: potential irrelevant
 		}
 	}
-	return pot
+}
+
+// nodeItem is one frontier entry: a node and its tentative distance.
+type nodeItem struct {
+	node int32
+	d    int64
+}
+
+// hpush appends it and sifts up, mirroring container/heap's up().
+func (s *Solver) hpush(it nodeItem) {
+	h := append(s.heap, it)
+	j := len(h) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !(h[j].d < h[i].d) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+	s.heap = h
+}
+
+// hpop removes and returns the minimum, mirroring container/heap's Pop()
+// (swap root with last, sift down over the shortened slice).
+func (s *Solver) hpop() nodeItem {
+	h := s.heap
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h[j2].d < h[j1].d {
+			j = j2
+		}
+		if !(h[j].d < h[i].d) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	it := h[n]
+	s.heap = h[:n]
+	return it
 }
 
 // DecomposeUnitPaths decomposes the current flow from s to t into unit-flow
@@ -250,24 +371,4 @@ func (g *Graph) DecomposeUnitPaths(s, t int) [][]int {
 		paths = append(paths, path)
 	}
 	return paths
-}
-
-// nodeHeap is a min-heap over tentative distances.
-type nodeItem struct {
-	node int32
-	d    int64
-}
-
-type nodeHeap []nodeItem
-
-func (h nodeHeap) Len() int            { return len(h) }
-func (h nodeHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
-func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(nodeItem)) }
-func (h *nodeHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
 }

@@ -110,6 +110,9 @@ func Route(d *valve.Design, params Params) (*Result, error) {
 	if params.Negotiate.Queue == route.QueueAuto {
 		params.Negotiate.Queue = params.Queue
 	}
+	if params.Negotiate.Hier == (route.HierParams{}) {
+		params.Negotiate.Hier = params.Hier
+	}
 
 	stageTimes := map[string]time.Duration{}
 	stage := func(name string, since time.Time) {
@@ -166,7 +169,8 @@ func Route(d *valve.Design, params Params) (*Result, error) {
 
 	// Stage 4: escape routing with de-clustering retries.
 	t0 = time.Now()
-	fcs = escapeRoute(ws, d, obs, fcs, params)
+	var escHier route.HierStats
+	fcs = escapeRoute(ws, d, obs, fcs, params, &escHier)
 	stage("escape", t0)
 
 	// Stage 5: final path detouring (PACOR and w/o Sel variants).
@@ -179,6 +183,7 @@ func Route(d *valve.Design, params Params) (*Result, error) {
 	res := assemble(d, fcs, params.Mode, time.Since(start))
 	res.StageTimes = stageTimes
 	res.Negotiate = negStats
+	res.EscapeHier = escHier
 	return res, nil
 }
 
@@ -612,7 +617,7 @@ func routeOrdinary(d *valve.Design, obs *grid.ObsMap, fcs []*flowCluster, worker
 // singletons, and a trapped singleton triggers rip-up of the blocking
 // clusters' channels: the trapped valve's escape is committed first and the
 // blockers' internal channels re-route around it.
-func escapeRoute(ws *route.Workspace, d *valve.Design, obs *grid.ObsMap, fcs []*flowCluster, params Params) []*flowCluster {
+func escapeRoute(ws *route.Workspace, d *valve.Design, obs *grid.ObsMap, fcs []*flowCluster, params Params, escHier *route.HierStats) []*flowCluster {
 	trace := traceWriter(params)
 	byID := func() map[int]*flowCluster {
 		m := make(map[int]*flowCluster, len(fcs))
@@ -644,7 +649,13 @@ func escapeRoute(ws *route.Workspace, d *valve.Design, obs *grid.ObsMap, fcs []*
 				pins = append(pins, p)
 			}
 		}
-		res = escape.Route(obs, terms, pins)
+		if params.Hier.On(obs.Grid().Cells()) {
+			var hs route.HierStats
+			res, hs = escape.RouteHier(obs, terms, pins, params.Hier, params.Workers, params.Queue)
+			escHier.Add(hs)
+		} else {
+			res = escape.Route(obs, terms, pins)
+		}
 		tracef(trace, "escape round %d: %d terms, unrouted %v\n", round, len(terms), res.Unrouted)
 		if len(res.Unrouted) == 0 {
 			break

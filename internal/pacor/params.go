@@ -62,6 +62,14 @@ type Params struct {
 	// pure wall-clock knob — routed output is byte-identical across modes —
 	// and it seeds Negotiate.Queue unless that is set explicitly.
 	Queue route.QueueMode
+	// Hier configures the hierarchical two-stage router (route.HierParams)
+	// for both the negotiation searches (exact — output unchanged) and the
+	// escape stage (approximate — pin assignment and total length may differ
+	// from the flat flow network; Result.EscapeHier reports the stage's
+	// work). The zero value is auto: hierarchical only above the cell
+	// threshold, so every design at or below 256x256 routes exactly as
+	// before. It seeds Negotiate.Hier unless that is set explicitly.
+	Hier route.HierParams
 	// Solver picks the MWCP solver (the paper adopted ILP).
 	Solver seltree.Solver
 	// EscapeRetries bounds the de-clustering/rip-up escape rounds.

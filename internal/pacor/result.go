@@ -73,6 +73,11 @@ type Result struct {
 	// cache-independent, while a cache hit replaces exactly one search
 	// (Searches with the cache off equals Searches + CacheHits with it on).
 	Negotiate route.NegotiateStats
+	// EscapeHier aggregates the hierarchical escape router's per-stage work
+	// across the escape retries (zero when the hierarchy is off or the grid
+	// is below its auto threshold; see Params.Hier). The negotiation
+	// hierarchy's counters live in Negotiate.Hier.
+	EscapeHier route.HierStats
 }
 
 // CompletionRate returns the fraction of valves connected to a control pin.

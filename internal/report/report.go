@@ -9,7 +9,9 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/geom"
 	"repro/internal/pacor"
+	"repro/internal/valve"
 )
 
 // Row is one (design, mode) measurement.
@@ -137,4 +139,41 @@ func ClusterReport(r *pacor.Result) string {
 			c.TotalLen(), c.FullLens)
 	}
 	return b.String()
+}
+
+// Validate is the post-route design-rule gate behind the property tests and
+// the CI smoke jobs: pacor.Verify's channel rules (on-grid paths, no overlap
+// across clusters, no channel on an obstacle or foreign valve, cluster
+// connectivity to its pin) plus the pin-side rules Verify leaves to the
+// escape stage — every routed cluster's pin is one of the design's candidate
+// pins, no two routed clusters share a pin, and a nonempty escape channel
+// actually ends on the cluster's pin. The hierarchical escape router is
+// approximate (pin assignment and lengths may differ from the flat network),
+// so these invariants, not byte-identity, are its correctness contract.
+func Validate(d *valve.Design, r *pacor.Result) error {
+	if err := pacor.Verify(d, r); err != nil {
+		return err
+	}
+	candidate := make(map[geom.Pt]bool, len(d.Pins))
+	for _, p := range d.Pins {
+		candidate[p] = true
+	}
+	pinOwner := map[geom.Pt]int{}
+	for i := range r.Clusters {
+		c := &r.Clusters[i]
+		if !c.Routed {
+			continue
+		}
+		if !candidate[c.Pin] {
+			return fmt.Errorf("cluster %d: pin %v is not a candidate control pin", c.ID, c.Pin)
+		}
+		if prev, used := pinOwner[c.Pin]; used {
+			return fmt.Errorf("clusters %d and %d share pin %v", prev, c.ID, c.Pin)
+		}
+		pinOwner[c.Pin] = c.ID
+		if n := len(c.Escape); n > 0 && c.Escape[n-1] != c.Pin {
+			return fmt.Errorf("cluster %d: escape ends at %v, pin is %v", c.ID, c.Escape[n-1], c.Pin)
+		}
+	}
+	return nil
 }

@@ -29,6 +29,13 @@ type Request struct {
 	// Bounds, when non-nil, restricts the search to the given window (cells
 	// outside are treated as blocked). Detour searches use it to stay local.
 	Bounds *geom.Rect
+	// Mask, when non-nil, restricts the search to a set of tiles (cells in
+	// unadmitted tiles are treated as blocked, targets exempt). The
+	// hierarchical router confines each net's detailed search to its
+	// corridor with it; Workspace.Clipped reports whether the mask (or
+	// Bounds) actually rejected anything — a search that never clipped has a
+	// transcript identical to the unmasked one.
+	Mask *TileMask
 	// Queue selects the open-list implementation. The zero value (QueueAuto)
 	// inherits the workspace default (SetQueueMode); auto there too means
 	// "bucket when the key domain is certified integral, heap otherwise".
@@ -47,7 +54,8 @@ type Request struct {
 
 // inBounds reports whether the request admits cell q.
 func (r *Request) inBounds(q geom.Pt) bool {
-	return r.Bounds == nil || r.Bounds.Contains(q)
+	return (r.Bounds == nil || r.Bounds.Contains(q)) &&
+		(r.Mask == nil || r.Mask.Contains(q))
 }
 
 // AStar finds a cheapest path from any source to any target. The returned

@@ -36,7 +36,10 @@ import (
 // can differ in *shape* (never in length) from AStar's. It is therefore a
 // separate entry point used where only cost matters — it is NOT wired into
 // the negotiation/flow pipeline, whose golden outputs pin AStar's exact
-// paths.
+// paths. For the same reason there is no QueueMode that selects it:
+// QueueAuto chooses only between the heap and the bucket queue (see
+// queue.go), so no -queue flag value or workspace default can accidentally
+// route paths through the bidirectional search.
 
 // BiAStar finds a shortest path between a single source and a single target.
 // Requests outside its profile — multiple sources or targets, a history
@@ -52,7 +55,7 @@ func BiAStar(g grid.Grid, req Request) (grid.Path, bool) {
 // biEligible reports whether the request fits the bidirectional profile.
 func biEligible(req *Request) bool {
 	return len(req.Sources) == 1 && len(req.Targets) == 1 &&
-		req.Hist == nil && req.Bounds == nil
+		req.Hist == nil && req.Bounds == nil && req.Mask == nil
 }
 
 // growReverse sizes the backward-direction state arrays (allocated only when

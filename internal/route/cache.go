@@ -51,6 +51,9 @@ type NegotiateStats struct {
 	// Invalidated counts the subset of CacheMisses whose entry existed but
 	// had a dirty cell inside its cone.
 	Invalidated int
+	// Hier counts the hierarchical router's work (zero when the hierarchy is
+	// off or below its auto threshold).
+	Hier HierStats
 	// FailedIDs lists, in edge order, the IDs left unrouted in the final
 	// round when negotiation gave up (ok=false); empty on success.
 	FailedIDs []int
@@ -63,6 +66,7 @@ func (s *NegotiateStats) Add(o NegotiateStats) {
 	s.CacheHits += o.CacheHits
 	s.CacheMisses += o.CacheMisses
 	s.Invalidated += o.Invalidated
+	s.Hier.Add(o.Hier)
 	s.FailedIDs = append(s.FailedIDs, o.FailedIDs...) //pacor:allow hotalloc stats aggregation runs once per flow stage, not per search
 }
 

@@ -1,0 +1,89 @@
+package route
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+// TestHierNegotiateEqualsFlat is the satellite property test of the
+// hierarchical router's exactness contract: on random mid-size congested
+// instances, negotiation with the hierarchy forced ON returns byte-identical
+// paths (and identical search/round counters) to the flat router. The ladder
+// makes this unconditional — a masked rung is accepted only when the mask
+// clipped nothing (transcript identical to flat by construction), and any
+// clipped rung escalates until the unmasked search — so the test asserts
+// identity on every instance, not just fallback-free ones; the stats tell the
+// two cases apart (CorridorHits = accepted masked searches, FlatFallbacks =
+// escalations that ran the full ladder).
+func TestHierNegotiateEqualsFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(108))
+	usedCorridor, fellBack := 0, 0
+	for trial := 0; trial < 40; trial++ {
+		n := 64 + rng.Intn(64)
+		g := grid.New(n, n)
+		obs := grid.NewObsMap(g)
+		for i := 0; i < n*n/12; i++ {
+			obs.Set(geom.Pt{X: rng.Intn(n), Y: rng.Intn(n)}, true)
+		}
+		var edges []Edge
+		used := map[geom.Pt]bool{}
+		pick := func() geom.Pt {
+			for {
+				p := geom.Pt{X: rng.Intn(n), Y: rng.Intn(n)}
+				if !used[p] {
+					used[p] = true
+					obs.Set(p, false)
+					return p
+				}
+			}
+		}
+		for i := 0; i < 4+rng.Intn(8); i++ {
+			edges = append(edges, Edge{ID: i, Sources: []geom.Pt{pick()}, Targets: []geom.Pt{pick()}})
+		}
+
+		flat := DefaultNegotiateParams()
+		flat.Hier.Mode = HierOff
+		var flatStats NegotiateStats
+		wf := AcquireWorkspace(g)
+		wantPaths, wantOK := wf.NegotiateTracked(obs, edges, flat, &flatStats)
+		ReleaseWorkspace(wf)
+
+		hier := DefaultNegotiateParams()
+		hier.Hier.Mode = HierOn
+		hier.Hier.TileSize = 16
+		var hierStats NegotiateStats
+		wh := AcquireWorkspace(g)
+		gotPaths, gotOK := wh.NegotiateTracked(obs, edges, hier, &hierStats)
+		ReleaseWorkspace(wh)
+
+		if gotOK != wantOK {
+			t.Fatalf("trial %d: hier ok=%v, flat ok=%v", trial, gotOK, wantOK)
+		}
+		if len(gotPaths) != len(wantPaths) {
+			t.Fatalf("trial %d: hier routed %d edges, flat %d", trial, len(gotPaths), len(wantPaths))
+		}
+		for id, p := range wantPaths {
+			if !pathsEqual(p, gotPaths[id]) {
+				t.Fatalf("trial %d edge %d: hier path differs from flat\nhier %v\nflat %v",
+					trial, id, gotPaths[id], p)
+			}
+		}
+		if hierStats.Searches != flatStats.Searches || hierStats.Rounds != flatStats.Rounds {
+			t.Fatalf("trial %d: hier stats {searches %d rounds %d} differ from flat {%d %d}",
+				trial, hierStats.Searches, hierStats.Rounds, flatStats.Searches, flatStats.Rounds)
+		}
+		usedCorridor += hierStats.Hier.CorridorHits + hierStats.Hier.Widened
+		fellBack += hierStats.Hier.FlatFallbacks
+	}
+	// The sweep must actually exercise both sides of the ladder, or the
+	// identity above proves nothing about the masked rungs.
+	if usedCorridor == 0 {
+		t.Error("no trial accepted a corridor-masked search; the hierarchy never engaged")
+	}
+	if fellBack == 0 {
+		t.Error("no trial escalated to the flat rung; the clipped path is untested")
+	}
+}

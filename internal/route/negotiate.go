@@ -40,6 +40,13 @@ type NegotiateParams struct {
 	// (e.g. the paper's Alpha = 0.1 after two bumps). Like Workers and the
 	// cache knobs, the choice never changes routed output.
 	Queue QueueMode
+	// Hier configures the hierarchical two-stage router (hier.go): a tile-
+	// level min-cost-flow global stage assigns each edge a corridor, and the
+	// detailed searches run masked to it, escalating to the flat search
+	// whenever the mask clips. For negotiation the hierarchy is exact — like
+	// Workers, the cache, and Queue, it never changes routed output, only
+	// wall-clock. The zero value is auto: on only above the cell threshold.
+	Hier HierParams
 }
 
 // DefaultNegotiateParams mirrors the paper's settings.
@@ -115,6 +122,16 @@ func (w *Workspace) NegotiateTracked(obs *grid.ObsMap, edges []Edge, params Nego
 	mark := work.JournalLen()
 	w.negFailed = w.negFailed[:0]
 
+	// Hierarchical global stage: coarsen the round-start work map (terminals
+	// included as obstacles) once per run; corridors are reassigned per round
+	// against the round's history. The run flag is always (re)set so a pooled
+	// workspace never carries a stale hierarchy into a flat run.
+	hierOn := params.Hier.On(g.Cells()) && len(edges) > 0
+	w.hier.run = false
+	if hierOn {
+		w.hierPrepare(work, len(edges), params.Hier, stats)
+	}
+
 	// Queue-mode resolution happens once against the owning workspace so the
 	// scheduler's worker workspaces see a fully resolved mode; the per-round
 	// quantization certificate (HistQuant) is refreshed before each round —
@@ -127,6 +144,9 @@ func (w *Workspace) NegotiateTracked(obs *grid.ObsMap, edges []Edge, params Nego
 	for r := 0; r < params.Gamma; r++ { // Steps 5-16
 		if r > 0 {
 			work.RewindJournal(mark)
+		}
+		if hierOn {
+			w.hierAssign(edges, hist, r, stats)
 		}
 		w.negScale, w.negMaxStep = 0, 0
 		if quantOK && w.negQueue != QueueHeap {
@@ -198,11 +218,13 @@ func (w *Workspace) negRoundSeq(g grid.Grid, work *grid.ObsMap, edges []Edge, hi
 		req := w.negReq(e, work, hist)
 		var p grid.Path
 		var ok bool
+		var lvl hierLevel
 		switch {
 		case !caching:
-			p, ok = w.AStar(g, req)
+			p, ok, lvl = w.negSearch(g, req, ei)
 			if stats != nil {
 				stats.Searches++
+				stats.Hier.count(lvl)
 			}
 		case w.negEntryValid(&w.negEntries[ei]):
 			ent := &w.negEntries[ei]
@@ -222,9 +244,15 @@ func (w *Workspace) negRoundSeq(g grid.Grid, work *grid.ObsMap, edges []Edge, hi
 					stats.Invalidated++
 				}
 			}
+			// The whole ladder runs tracked: its recorded cone is the union of
+			// every rung's visits — a superset of the flat search's cone, so
+			// cache invalidation stays sound (it can only over-trigger).
 			w.StartVisitTracking()
-			p, ok = w.AStar(g, req)
+			p, ok, lvl = w.negSearch(g, req, ei)
 			w.StopVisitTracking()
+			if stats != nil {
+				stats.Hier.count(lvl)
+			}
 			w.negVisits = w.CopyVisits(w.negVisits[:0])
 			w.negRecord(g, ent, p, ok, w.negVisits)
 		}
@@ -256,11 +284,14 @@ func (w *Workspace) negRoundParallel(g grid.Grid, work *grid.ObsMap, edges []Edg
 	if !caching {
 		tasks := make([]ScheduledTask, len(edges))
 		for i := range edges {
-			tasks[i] = negTask(g, w.negReq(&edges[i], work, hist))
+			tasks[i] = w.negTask(g, w.negReq(&edges[i], work, hist), i)
 		}
 		RunScheduled(work, tasks, params.Workers, func(i int, out TaskOutcome) {
 			if stats != nil {
 				stats.Searches++
+				if lvl, isHier := out.Payload.(hierLevel); isHier {
+					stats.Hier.count(lvl)
+				}
 			}
 			if out.OK {
 				paths[edges[i].ID] = out.Paths[0]
@@ -303,7 +334,7 @@ func (w *Workspace) negRoundParallel(g grid.Grid, work *grid.ObsMap, edges []Edg
 		block := edges[ei:m]
 		tasks := make([]ScheduledTask, len(block))
 		for i := range block {
-			tasks[i] = negTask(g, w.negReq(&block[i], work, hist))
+			tasks[i] = w.negTask(g, w.negReq(&block[i], work, hist), base+i)
 		}
 		RunScheduledVisits(work, tasks, params.Workers, func(i int, out TaskOutcome, visits []uint64) {
 			ent := &w.negEntries[base+i]
@@ -312,6 +343,9 @@ func (w *Workspace) negRoundParallel(g grid.Grid, work *grid.ObsMap, edges []Edg
 				stats.CacheMisses++
 				if ent.recorded {
 					stats.Invalidated++
+				}
+				if lvl, isHier := out.Payload.(hierLevel); isHier {
+					stats.Hier.count(lvl)
 				}
 			}
 			var p grid.Path
@@ -331,22 +365,40 @@ func (w *Workspace) negRoundParallel(g grid.Grid, work *grid.ObsMap, edges []Edg
 	return done
 }
 
-// negTask wraps one edge's A* as a scheduler task. req carries the edge's
-// fully resolved request (negReq); the scheduler substitutes each run's
-// private obstacle snapshot for req.Obs.
+// negTask wraps one edge's search as a scheduler task. req carries the
+// edge's fully resolved request (negReq); the scheduler substitutes each
+// run's private obstacle snapshot for req.Obs. When the hierarchy gave edge
+// ei a corridor, the task runs the escalation ladder (exact — see hier.go)
+// on the worker workspace and reports the accepted rung through Payload; the
+// window covers the corridor so the scheduler's overlap heuristic sees where
+// the masked search actually goes. The scheduler validates results by visit
+// set, so a ladder that escalates past its window is still committed exactly.
 //
 //pacor:allow hotalloc one task record and one single-path result slice per edge, amortized over the edge's search
-func negTask(g grid.Grid, req Request) ScheduledTask {
+func (w *Workspace) negTask(g grid.Grid, req Request, ei int) ScheduledTask {
+	var mask, wide *TileMask
+	win := SearchWindow(g, req.Sources, req.Targets)
+	if w.hier.run && w.hier.has[ei] {
+		mask, wide = &w.hier.masks[ei], &w.hier.wide[ei]
+		win = win.Union(w.hier.win[ei])
+	}
 	return ScheduledTask{
-		Window: SearchWindow(g, req.Sources, req.Targets),
+		Window: win,
 		Run: func(ws *Workspace, obs *grid.ObsMap) TaskOutcome {
 			r := req
 			r.Obs = obs
-			p, ok := ws.AStar(g, r)
-			if !ok {
-				return TaskOutcome{}
+			var p grid.Path
+			var ok bool
+			lvl := hierLevelNone
+			if mask != nil {
+				p, ok, lvl = ws.hierSearch(g, r, mask, wide)
+			} else {
+				p, ok = ws.AStar(g, r)
 			}
-			return TaskOutcome{OK: true, Paths: []grid.Path{p}}
+			if !ok {
+				return TaskOutcome{Payload: lvl}
+			}
+			return TaskOutcome{OK: true, Paths: []grid.Path{p}, Payload: lvl}
 		},
 	}
 }

@@ -40,6 +40,13 @@ const (
 	// QueueAuto defers the choice: a request inherits its workspace's default
 	// (SetQueueMode), and an auto workspace uses the bucket queue whenever the
 	// request's key domain is certified integral, the heap otherwise.
+	//
+	// QueueAuto selects only between the heap and the bucket queue — never
+	// BiAStar. The bidirectional search is cost-only: its path can differ in
+	// shape (never length) from AStar's, so auto-selecting it would silently
+	// change routed output. There is deliberately no QueueMode for it;
+	// callers that only need a path cost opt in explicitly via BiAStar
+	// (TestQueueAutoNeverSelectsBidir pins this).
 	QueueAuto QueueMode = iota
 	// QueueHeap forces the binary heap.
 	QueueHeap

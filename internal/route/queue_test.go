@@ -308,3 +308,53 @@ func TestNegotiateQueueByteIdentical(t *testing.T) {
 		}
 	}
 }
+
+// TestQueueAutoNeverSelectsBidir pins the honest-note contract from the PR 6
+// bidirectional search: BiAStar is cost-only (its path can differ in SHAPE,
+// never length, from AStar's), so no QueueMode may ever resolve to it — a
+// caller routing paths under any mode, auto included, must get AStar's exact
+// output. The test sweeps every workspace default x request mode over random
+// instances and checks (a) the resolved open list is always the heap or the
+// bucket, and (b) the routed path is byte-identical to a forced-heap search,
+// which BiAStar's differently-shaped paths could not guarantee.
+func TestQueueAutoNeverSelectsBidir(t *testing.T) {
+	// There is deliberately no QueueMode spelling for the bidirectional
+	// search; the flag parser must reject it rather than map it.
+	if _, err := ParseQueueMode("bidir"); err == nil {
+		t.Fatal(`ParseQueueMode("bidir") parsed; bidir must not be selectable as a queue mode`)
+	}
+	rng := rand.New(rand.NewSource(8008))
+	g := grid.New(32, 32)
+	ref := NewWorkspace(g)
+	for trial := 0; trial < 40; trial++ {
+		obs := grid.NewObsMap(g)
+		for i := 0; i < 140; i++ {
+			obs.Set(geom.Pt{X: rng.Intn(32), Y: rng.Intn(32)}, true)
+		}
+		src := geom.Pt{X: rng.Intn(32), Y: rng.Intn(32)}
+		dst := geom.Pt{X: rng.Intn(32), Y: rng.Intn(32)}
+		obs.Set(src, false)
+		obs.Set(dst, false)
+		req := Request{Sources: []geom.Pt{src}, Targets: []geom.Pt{dst}, Obs: obs}
+		hr := req
+		hr.Queue = QueueHeap
+		want, wantOK := ref.AStar(g, hr)
+		for _, def := range []QueueMode{QueueAuto, QueueHeap, QueueBucket} {
+			for _, reqMode := range []QueueMode{QueueAuto, QueueHeap, QueueBucket} {
+				w := NewWorkspace(g)
+				w.SetQueueMode(def)
+				r := req
+				r.Queue = reqMode
+				p, ok := w.AStar(g, r)
+				if w.lastQueue != QueueHeap && w.lastQueue != QueueBucket {
+					t.Fatalf("trial %d def=%v req=%v: resolved open list %v, want heap or bucket",
+						trial, def, reqMode, w.lastQueue)
+				}
+				if ok != wantOK || !pathsEqual(p, want) {
+					t.Fatalf("trial %d def=%v req=%v: path diverged from forced-heap AStar (bidir-shaped?)",
+						trial, def, reqMode)
+				}
+			}
+		}
+	}
+}

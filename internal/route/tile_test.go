@@ -1,0 +1,140 @@
+package route
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+// TestTilingCountsBruteForce checks the coarsening's bookkeeping — free cells
+// per tile and crossing capacities per adjacency — against a brute-force
+// recount on random obstacle maps with grid sizes that do and do not divide
+// evenly by the tile side.
+func TestTilingCountsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	for trial := 0; trial < 25; trial++ {
+		g := grid.Grid{W: 20 + rng.Intn(45), H: 20 + rng.Intn(45)}
+		obs := grid.NewObsMap(g)
+		for i := 0; i < g.Cells()/5; i++ {
+			obs.Set(geom.Pt{X: rng.Intn(g.W), Y: rng.Intn(g.H)}, true)
+		}
+		size := []int{2, 4, 8, 16}[rng.Intn(4)]
+		tl := NewTiling(obs, size)
+		if tl.Size() != size {
+			t.Fatalf("trial %d: size %d rounded to %d", trial, size, tl.Size())
+		}
+
+		free := make([]int, tl.Tiles())
+		for y := 0; y < g.H; y++ {
+			for x := 0; x < g.W; x++ {
+				p := geom.Pt{X: x, Y: y}
+				ti := tl.TileOf(p)
+				if ti != tl.TileOfIndex(g.Index(p)) {
+					t.Fatalf("trial %d: TileOf(%v)=%d but TileOfIndex=%d", trial, p, ti, tl.TileOfIndex(g.Index(p)))
+				}
+				if !tl.TileRect(ti).Contains(p) {
+					t.Fatalf("trial %d: %v outside its tile rect %v", trial, p, tl.TileRect(ti))
+				}
+				if !obs.Blocked(p) {
+					free[ti]++
+				}
+			}
+		}
+		for ti := range free {
+			if tl.FreeCells(ti) != free[ti] {
+				t.Fatalf("trial %d tile %d: FreeCells=%d, brute force %d", trial, ti, tl.FreeCells(ti), free[ti])
+			}
+		}
+
+		// Crossing capacities: count free cell pairs straddling each tile edge.
+		capOf := map[[2]int]int{}
+		for y := 0; y < g.H; y++ {
+			for x := 0; x < g.W; x++ {
+				p := geom.Pt{X: x, Y: y}
+				if obs.Blocked(p) {
+					continue
+				}
+				for _, q := range []geom.Pt{{X: x + 1, Y: y}, {X: x, Y: y + 1}} {
+					if !g.In(q) || obs.Blocked(q) {
+						continue
+					}
+					if u, v := tl.TileOf(p), tl.TileOf(q); u != v {
+						capOf[[2]int{u, v}]++
+					}
+				}
+			}
+		}
+		got := map[[2]int]int{}
+		prev := -1
+		tl.ForEachAdjacency(func(u, v, c int) {
+			if c <= 0 {
+				t.Fatalf("trial %d: adjacency %d-%d with capacity %d", trial, u, v, c)
+			}
+			if u < prev {
+				t.Fatalf("trial %d: adjacency order not deterministic (tile %d after %d)", trial, u, prev)
+			}
+			prev = u
+			got[[2]int{u, v}] = c
+		})
+		if len(got) != len(capOf) {
+			t.Fatalf("trial %d: %d adjacencies, brute force %d", trial, len(got), len(capOf))
+		}
+		for k, c := range capOf {
+			if got[k] != c {
+				t.Fatalf("trial %d: adjacency %v capacity %d, brute force %d", trial, k, got[k], c)
+			}
+		}
+	}
+}
+
+// TestTileMaskHalo checks BuildMask against a brute-force Chebyshev dilation
+// and CorridorRect against the mask's cell bounding box plus halo.
+func TestTileMaskHalo(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	for trial := 0; trial < 20; trial++ {
+		g := grid.Grid{W: 30 + rng.Intn(34), H: 30 + rng.Intn(34)}
+		obs := grid.NewObsMap(g)
+		tl := NewTiling(obs, 8)
+		var corridor []int32
+		for n := 1 + rng.Intn(4); n > 0; n-- {
+			corridor = append(corridor, int32(rng.Intn(tl.Tiles())))
+		}
+		for _, halo := range []int{0, 1, 3} {
+			m := tl.BuildMask(corridor, halo)
+			admitted := func(ti int) bool {
+				tx, ty := ti%tl.tw, ti/tl.tw
+				for _, c := range corridor {
+					cx, cy := int(c)%tl.tw, int(c)/tl.tw
+					dx, dy := tx-cx, ty-cy
+					if dx < 0 {
+						dx = -dx
+					}
+					if dy < 0 {
+						dy = -dy
+					}
+					if dx <= halo && dy <= halo {
+						return true
+					}
+				}
+				return false
+			}
+			for y := 0; y < g.H; y++ {
+				for x := 0; x < g.W; x++ {
+					p := geom.Pt{X: x, Y: y}
+					if m.Contains(p) != admitted(tl.TileOf(p)) {
+						t.Fatalf("trial %d halo %d: Contains(%v)=%v, brute force %v",
+							trial, halo, p, m.Contains(p), admitted(tl.TileOf(p)))
+					}
+				}
+			}
+			r := tl.CorridorRect(corridor, halo)
+			for _, c := range corridor {
+				if !r.Contains(geom.Pt{X: (int(c) % tl.tw) << tl.shift, Y: (int(c) / tl.tw) << tl.shift}) {
+					t.Fatalf("trial %d halo %d: corridor tile %d outside CorridorRect %v", trial, halo, c, r)
+				}
+			}
+		}
+	}
+}
