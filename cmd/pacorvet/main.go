@@ -2,13 +2,14 @@
 // runs the internal/lint analyzer suite — determinism (maporder,
 // nondeterm), allocation discipline (hotalloc), numeric tolerance
 // (floateq), error hygiene (liberrs), stdout hygiene (nostdout), pooled
-// workspace ownership (wsaliasing), and the speculative-read stamping
-// protocol (snapshotread) — over the packages matched by its arguments and
-// exits nonzero on any finding.
+// workspace ownership (wsaliasing), the speculative-read stamping
+// protocol (snapshotread), and the concurrency layer (sharedcapture,
+// commitorder, conchygiene, mcfpair) — over the packages matched by its
+// arguments and exits nonzero on any finding.
 //
 // Usage:
 //
-//	pacorvet [-list] [-fix] [-format text|json|sarif] [-cache dir] [-diff ref] [patterns...]
+//	pacorvet [-list] [-fix] [-format text|json|sarif] [-cache dir] [-diff ref] [-j n] [patterns...]
 //
 // Patterns are `go list` package patterns (default ./...); a pattern that
 // names a directory of loose .go files (e.g. internal/lint/testdata/src/maporder)
@@ -25,7 +26,9 @@
 // are served from dir instead of re-analyzed, with byte-identical output.
 // -diff ref replaces the patterns with the packages affected by the git
 // diff against ref (changed packages plus their reverse dependencies); a
-// diff touching nothing exits 0 immediately.
+// diff touching nothing exits 0 immediately. -j n analyzes up to n
+// independent packages concurrently (default: GOMAXPROCS); findings,
+// stats, and cache contents are byte-identical for every n.
 //
 // Suppress a finding in place with a justified directive:
 //
@@ -39,6 +42,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"repro/internal/lint"
 )
@@ -58,8 +62,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	format := fs.String("format", "text", "output format: text, json, or sarif")
 	cacheDir := fs.String("cache", "", "fact-cache directory; unchanged packages are served from it")
 	diffRef := fs.String("diff", "", "lint only packages affected by the git diff against this ref")
+	jobs := fs.Int("j", runtime.NumCPU(), "packages analyzed concurrently; output is identical for every value")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: pacorvet [-list] [-fix] [-format text|json|sarif] [-cache dir] [-diff ref] [-dir root] [patterns...]\n")
+		fmt.Fprintf(stderr, "usage: pacorvet [-list] [-fix] [-format text|json|sarif] [-cache dir] [-diff ref] [-j n] [-dir root] [patterns...]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -99,7 +104,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	stats := &lint.RunStats{}
-	opts := lint.Options{Dir: *dir, Patterns: patterns, CacheDir: *cacheDir, Stats: stats}
+	opts := lint.Options{Dir: *dir, Patterns: patterns, CacheDir: *cacheDir, Stats: stats, Jobs: *jobs}
 	findings, err := lint.Run(opts)
 	if err != nil {
 		fmt.Fprintf(stderr, "pacorvet: %v\n", err)

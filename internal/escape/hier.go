@@ -391,20 +391,7 @@ func RouteHier(obs *grid.ObsMap, terms []Terminal, pins []geom.Pt, hp route.Hier
 		tasks[i] = route.ScheduledTask{
 			Window: pr.win,
 			Run: func(ws *route.Workspace, sobs *grid.ObsMap) route.TaskOutcome {
-				r := req
-				r.Obs = sobs
-				r.Mask = mask
-				lvl := 0
-				p, ok := ws.AStar(g, r)
-				if !ok {
-					r.Mask = wide
-					p, ok = ws.AStar(g, r)
-					lvl = 1
-				}
-				if !ok {
-					return route.TaskOutcome{Payload: lvl}
-				}
-				return route.TaskOutcome{OK: true, Paths: []grid.Path{p}, Payload: lvl}
+				return detailLadder(ws, sobs, g, req, mask, wide)
 			},
 		}
 	}
@@ -580,4 +567,28 @@ func RouteHier(obs *grid.ObsMap, terms []Terminal, pins []geom.Pt, hp route.Hier
 	}
 	sort.Ints(res.Unrouted)
 	return res, st
+}
+
+// detailLadder is the per-unit body of the scheduled detail pass: the
+// corridor mask first, the widened mask on a miss, Payload recording which
+// rung succeeded (0 corridor, 1 widened) so the commit callback can keep
+// the hit statistics.
+//
+//pacor:hot
+func detailLadder(ws *route.Workspace, sobs *grid.ObsMap, g grid.Grid, req route.Request, mask, wide *route.TileMask) route.TaskOutcome {
+	r := req
+	r.Obs = sobs
+	r.Mask = mask
+	lvl := 0
+	p, ok := ws.AStar(g, r)
+	if !ok {
+		r.Mask = wide
+		p, ok = ws.AStar(g, r)
+		lvl = 1
+	}
+	if !ok {
+		return route.TaskOutcome{Payload: lvl}
+	}
+	//pacor:allow hotalloc one-element path slice per completed unit, on the commit path rather than the search loop
+	return route.TaskOutcome{OK: true, Paths: []grid.Path{p}, Payload: lvl}
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // This file defines the function-summary lattice the interprocedural
@@ -44,6 +45,17 @@ type ParamSummary struct {
 	// OpensJournal: some path calls StartJournal on the parameter and
 	// returns without stopping it.
 	OpensJournal bool `json:",omitempty"`
+	// LocksParam / UnlocksParam: some path acquires / releases the
+	// parameter as a mutex (Lock/RLock, Unlock/RUnlock — directly or
+	// through a callee's summary). The concurrency analyzers transfer
+	// locksets through calls with these bits.
+	LocksParam   bool `json:",omitempty"`
+	UnlocksParam bool `json:",omitempty"`
+	// WGDoneMay / WGDoneAlways: Done is called on the parameter WaitGroup
+	// on some / every terminating path (deferred calls count on every
+	// path).
+	WGDoneMay    bool `json:",omitempty"`
+	WGDoneAlways bool `json:",omitempty"`
 }
 
 // Summary is the effect summary of one function.
@@ -70,6 +82,20 @@ type Summary struct {
 	// path panics, exits, or loops forever). Callers prune the successor
 	// paths of such calls.
 	NoReturn bool `json:",omitempty"`
+	// Concurrency effects, all may-facts folded transitively over
+	// synchronous callees: Spawns starts a goroutine; LocksAny/UnlocksAny
+	// acquire or release some mutex; SendsChan/RecvsChan perform channel
+	// operations; WGAdd/WGDone/WGWait are sync.WaitGroup traffic. The
+	// concurrency analyzers use them for barrier detection (a callee that
+	// waits ends the spawner's racy window) and hygiene checks.
+	Spawns     bool `json:",omitempty"`
+	LocksAny   bool `json:",omitempty"`
+	UnlocksAny bool `json:",omitempty"`
+	SendsChan  bool `json:",omitempty"`
+	RecvsChan  bool `json:",omitempty"`
+	WGAdd      bool `json:",omitempty"`
+	WGDone     bool `json:",omitempty"`
+	WGWait     bool `json:",omitempty"`
 }
 
 // Param returns the i-th parameter summary, zero when out of range (more
@@ -93,6 +119,12 @@ func (s *Summary) Equal(o *Summary) bool {
 		s.NoReturn != o.NoReturn || len(s.Params) != len(o.Params) {
 		return false
 	}
+	if s.Spawns != o.Spawns || s.LocksAny != o.LocksAny ||
+		s.UnlocksAny != o.UnlocksAny || s.SendsChan != o.SendsChan ||
+		s.RecvsChan != o.RecvsChan || s.WGAdd != o.WGAdd ||
+		s.WGDone != o.WGDone || s.WGWait != o.WGWait {
+		return false
+	}
 	for i := range s.Params {
 		if s.Params[i] != o.Params[i] {
 			return false
@@ -103,22 +135,35 @@ func (s *Summary) Equal(o *Summary) bool {
 
 // A Store holds summaries keyed by callgraph function key, accumulated
 // across packages in dependency order so a package's analysis finds its
-// dependencies' summaries already present.
+// dependencies' summaries already present. It is safe for concurrent use:
+// the parallel driver summarizes independent packages on separate
+// goroutines against one shared store.
 type Store struct {
-	m map[string]*Summary
+	mu sync.RWMutex
+	m  map[string]*Summary
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store { return &Store{m: map[string]*Summary{}} }
 
 // Get returns the summary for key, or nil.
-func (s *Store) Get(key string) *Summary { return s.m[key] }
+func (s *Store) Get(key string) *Summary {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.m[key]
+}
 
 // Put records the summary for key, replacing any previous one.
-func (s *Store) Put(key string, sum *Summary) { s.m[key] = sum }
+func (s *Store) Put(key string, sum *Summary) {
+	s.mu.Lock()
+	s.m[key] = sum
+	s.mu.Unlock()
+}
 
 // PutAll records every summary in m.
 func (s *Store) PutAll(m map[string]*Summary) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for k, v := range m {
 		s.m[k] = v
 	}

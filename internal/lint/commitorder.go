@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// AnalyzerCommitOrder enforces the scheduler's concurrency contract inside
+// spawn-graph worker roles (functions that run exclusively on spawned
+// goroutines, in the hot packages or marked //pacor:hot):
+//
+//   - shared obstacle state may only be mutated through the commit path:
+//     an ObsMap mutator on a receiver that is not body-local requires a
+//     must-held lock at the call site, or an enclosing function marked
+//     //pacor:locked ("my callers hold the lock" — the scheduler's
+//     advance());
+//   - a call to a //pacor:locked function itself requires a must-held
+//     lock at the call site;
+//   - obstacle reads need a prior visit stamp on every path, the
+//     snapshotread rule tightened from "workspace in scope" to "running
+//     on a worker role" (bodies with a workspace in scope are already
+//     covered by snapshotread and are not re-reported here).
+//
+// Functions the spawn graph cannot place (role unknown — e.g. task
+// closures stored in a struct and invoked by another package) are
+// skipped: the scheduler contract only binds code proven to run on
+// workers.
+var AnalyzerCommitOrder = &Analyzer{
+	Name: "commitorder",
+	Doc:  "worker-role goroutines must mutate shared obstacle state under a lock (commit path) and stamp before reading",
+	Run:  runCommitOrder,
+}
+
+// obsMutators are the ObsMap methods that change observable state.
+var obsMutators = map[string]bool{
+	"Set": true, "SetPath": true, "SetRect": true, "CopyFrom": true,
+	"StartJournal": true, "StopJournal": true, "RewindJournal": true,
+}
+
+func runCommitOrder(p *Pass) {
+	if p.ip == nil {
+		return
+	}
+	inHotPkg := pathHasSuffix(p.PkgPath, hotPackages...)
+
+	// //pacor:locked declarations of this package, by callgraph key, for
+	// the call-site rule.
+	p.ip.initRoles()
+	lockedKey := map[string]bool{}
+	for _, file := range p.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && p.LockedFunc(fd) {
+				if key := p.ip.declKey[fd]; key != "" {
+					lockedKey[key] = true
+				}
+			}
+		}
+	}
+
+	for _, file := range p.Files {
+		for _, fn := range flowFuncs(file) {
+			if fn.body == nil {
+				continue
+			}
+			if !inHotPkg && !p.HotFunc(fn.decl) {
+				continue
+			}
+			if !p.ip.funcRole(fn).SpawnOnly() {
+				continue
+			}
+			locked := p.LockedFunc(fn.decl)
+			if !locked {
+				checkCommitWrites(p, fn, lockedKey)
+			}
+			if !snapWsInScope(p, fn) {
+				checkSnapshotFunc(p, fn)
+			}
+		}
+	}
+}
+
+// checkCommitWrites flags unlocked mutations of shared obstacle state and
+// unlocked calls into //pacor:locked helpers inside one worker-role body.
+func checkCommitWrites(p *Pass, fn flowFunc, lockedKey map[string]bool) {
+	lockWalk(p, fn.body, func(n ast.Node, held lockset) {
+		inspectShallow(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if len(held) > 0 {
+				return true
+			}
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok &&
+				obsMutators[sel.Sel.Name] && namedTypeName(p.TypeOf(sel.X)) == "ObsMap" &&
+				sharedObsRecv(p, fn, sel.X) {
+				p.Reportf(call.Pos(), "worker-role %s mutates shared obstacle state (ObsMap.%s) without holding a lock; commit through the scheduler or mark the helper //pacor:locked", fn.name, sel.Sel.Name)
+				return true
+			}
+			if key := p.ip.calleeKey(call); key != "" && lockedKey[key] {
+				p.Reportf(call.Pos(), "worker-role %s calls //pacor:locked %s without holding a lock", fn.name, key[lastSlash(key)+1:])
+			}
+			return true
+		})
+	})
+}
+
+// sharedObsRecv reports whether the receiver expression denotes obstacle
+// state shared across goroutines. Body-local variables and direct
+// parameters are per-goroutine (the scheduler hands each worker its own
+// scratch map); anything reached through a field path rooted outside the
+// body — receiver fields, captures, package state — is shared.
+func sharedObsRecv(p *Pass, fn flowFunc, e ast.Expr) bool {
+	bodyLocal := func(id *ast.Ident) bool {
+		obj := p.ObjectOf(id)
+		if obj == nil {
+			return false
+		}
+		return fn.body.Pos() <= obj.Pos() && obj.Pos() < fn.body.End()
+	}
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if bodyLocal(e) || isParamIdent(p, fn, e) {
+			return false
+		}
+		return true
+	case *ast.SelectorExpr:
+		root := e.X
+		for {
+			switch r := ast.Unparen(root).(type) {
+			case *ast.SelectorExpr:
+				root = r.X
+				continue
+			case *ast.Ident:
+				return !bodyLocal(r)
+			}
+			return true
+		}
+	}
+	return true
+}
+
+// isParamIdent reports whether id resolves to a parameter (or receiver)
+// of fn itself.
+func isParamIdent(p *Pass, fn flowFunc, id *ast.Ident) bool {
+	obj := p.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	var lo, hi int
+	if fn.lit != nil {
+		lo, hi = int(fn.lit.Pos()), int(fn.lit.Body.Pos())
+	} else if fn.decl != nil && fn.decl.Body != nil {
+		lo, hi = int(fn.decl.Pos()), int(fn.decl.Body.Pos())
+	} else {
+		return false
+	}
+	return lo <= int(obj.Pos()) && int(obj.Pos()) < hi
+}

@@ -1,0 +1,456 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/cfg"
+)
+
+// AnalyzerConcHygiene checks WaitGroup and channel usage patterns whose
+// failure mode is a silent hang or panic rather than a data race:
+//
+//   - wg.Add called after a goroutine using the same WaitGroup was already
+//     spawned (Wait may return early); a Wait on the group re-arms it;
+//   - a spawned closure that calls wg.Done on some paths but not all
+//     (Wait hangs forever on the missed path) — deferred Done counts on
+//     every path;
+//   - a send on a channel declared `var ch chan T` and never assigned:
+//     it blocks forever (sends in select communication clauses are exempt —
+//     a nil channel disabling a case is the idiom);
+//   - ranging over a locally made channel that no code in the function
+//     ever closes and that never escapes: the loop never terminates.
+var AnalyzerConcHygiene = &Analyzer{
+	Name: "conchygiene",
+	Doc:  "WaitGroup ordering (Add before go, Done on all paths) and channel liveness (nil send, never-closed range)",
+	Run:  runConcHygiene,
+}
+
+func runConcHygiene(p *Pass) {
+	if p.ip == nil {
+		return
+	}
+	for _, file := range p.Files {
+		for _, fn := range flowFuncs(file) {
+			if fn.body == nil {
+				continue
+			}
+			checkAddAfterSpawn(p, fn)
+			checkDoneAllPaths(p, fn)
+			checkNilChannel(p, fn)
+			if fn.lit == nil {
+				checkUnclosedRange(p, fn)
+			}
+		}
+	}
+}
+
+// wgObjOf resolves a WaitGroup-typed method receiver to its root object.
+func wgObjOf(p *Pass, e ast.Expr) types.Object {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = ast.Unparen(u.X)
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := p.ObjectOf(id)
+	if obj == nil || namedTypeName(obj.Type()) != "WaitGroup" {
+		return nil
+	}
+	return obj
+}
+
+// checkAddAfterSpawn flags wg.Add calls forward-reachable from a go
+// statement that references the same WaitGroup. The fact is propagated
+// over forward edges only (back edges excluded via dominators), so the
+// idiomatic `for { wg.Add(1); go ... }` loop stays clean; a wg.Wait
+// re-arms the group and clears it.
+func checkAddAfterSpawn(p *Pass, fn flowFunc) {
+	hasGo := false
+	inspectShallow(fn.body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			hasGo = true
+		}
+		return !hasGo
+	})
+	if !hasGo {
+		return
+	}
+
+	g := cfg.New(fn.body)
+	idom := g.Idoms()
+	// spawned[obj] per block entry: a goroutine referencing obj was
+	// spawned on every... no — on *some* forward path (may-fact, union).
+	in := make([]map[types.Object]bool, len(g.Blocks))
+	step := func(n ast.Node, state map[types.Object]bool, report bool) {
+		inspectShallow(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.GoStmt:
+				// Any WaitGroup mentioned under the go statement (receiver
+				// or argument) is concurrently in use from here on.
+				ast.Inspect(m, func(k ast.Node) bool {
+					if id, ok := k.(*ast.Ident); ok {
+						if obj := wgObjOf(p, id); obj != nil {
+							state[obj] = true
+						}
+					}
+					return true
+				})
+			case *ast.CallExpr:
+				sel, ok := ast.Unparen(m.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				obj := wgObjOf(p, sel.X)
+				if obj == nil {
+					return true
+				}
+				switch sel.Sel.Name {
+				case "Add":
+					if report && state[obj] {
+						p.Reportf(m.Pos(), "%s.Add after a goroutine using the same WaitGroup was spawned; Add before the go statement so Wait cannot return early", obj.Name())
+					}
+				case "Wait":
+					delete(state, obj) // the group is drained; re-arming is legal
+				}
+			}
+			return true
+		})
+	}
+	// Forward edges form a DAG, so one reverse-postorder pass reaches the
+	// fixed point; the replay with reporting reuses the same pass.
+	for _, b := range g.RPO() {
+		state := map[types.Object]bool{}
+		for _, pred := range b.Preds {
+			if cfg.Dominates(idom, b, pred) {
+				continue // back edge
+			}
+			for obj := range in[pred.Index] {
+				state[obj] = true
+			}
+		}
+		for _, n := range b.Nodes {
+			step(n, state, true)
+		}
+		in[b.Index] = state
+	}
+}
+
+// checkDoneAllPaths flags spawned closures that call Done on some paths
+// only.
+func checkDoneAllPaths(p *Pass, fn flowFunc) {
+	inspectShallow(fn.body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit := spawnedClosure(p, gs)
+		if lit == nil {
+			return true
+		}
+		// WaitGroups on which the closure calls Done somewhere.
+		done := map[types.Object]bool{}
+		escaped := map[types.Object]bool{}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if obj := wgObjOf(p, sel.X); obj != nil && sel.Sel.Name == "Done" {
+					done[obj] = true
+					return true
+				}
+			}
+			// The group passed to a callee without a summary may be Done'd
+			// there; stay silent for it.
+			if p.ip.calleeSummary(call) == nil {
+				for _, a := range call.Args {
+					if obj := wgObjOf(p, a); obj != nil {
+						escaped[obj] = true
+					}
+				}
+			}
+			return true
+		})
+		for obj := range done {
+			if escaped[obj] {
+				continue
+			}
+			if !p.ip.doneOnAllPaths(lit.Body, obj) {
+				p.Reportf(gs.Pos(), "spawned closure calls %s.Done on some paths but not all; Wait hangs on the missed path — use defer %s.Done()", obj.Name(), obj.Name())
+			}
+		}
+		return true
+	})
+}
+
+// checkNilChannel flags sends on channels declared with `var ch chan T`
+// that cannot have been assigned on any path to the send.
+func checkNilChannel(p *Pass, fn flowFunc) {
+	// Channels declared var-without-value directly in this body.
+	nilDecls := map[types.Object]bool{}
+	inspectShallow(fn.body, func(n ast.Node) bool {
+		ds, ok := n.(*ast.DeclStmt)
+		if !ok {
+			return true
+		}
+		gd, ok := ds.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			return true
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || len(vs.Values) > 0 {
+				continue
+			}
+			for _, name := range vs.Names {
+				obj := p.ObjectOf(name)
+				if obj == nil {
+					continue
+				}
+				if _, ok := obj.Type().Underlying().(*types.Chan); ok {
+					nilDecls[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	if len(nilDecls) == 0 {
+		return
+	}
+	// A channel referenced inside a nested closure, address-taken, or
+	// passed to a call could be assigned out of band; drop it.
+	inspectShallow(fn.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			ast.Inspect(n, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					delete(nilDecls, p.ObjectOf(id))
+				}
+				return true
+			})
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+					delete(nilDecls, p.ObjectOf(id))
+				}
+			}
+		}
+		return true
+	})
+	if len(nilDecls) == 0 {
+		return
+	}
+
+	// select communication sends are the nil-disables-this-case idiom.
+	selectComm := map[ast.Stmt]bool{}
+	inspectShallow(fn.body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, cl := range sel.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok && cc.Comm != nil {
+				selectComm[cc.Comm] = true
+			}
+		}
+		return true
+	})
+
+	// May-assigned dataflow: a send is a definite nil-send only when no
+	// path to it assigns the channel.
+	g := cfg.New(fn.body)
+	assignedIn := cfg.Solve(g, cfg.Problem[map[types.Object]bool]{
+		Entry: map[types.Object]bool{},
+		Transfer: func(b *cfg.Block, in map[types.Object]bool) map[types.Object]bool {
+			state := map[types.Object]bool{}
+			for obj := range in {
+				state[obj] = true
+			}
+			for _, nd := range b.Nodes {
+				inspectShallow(nd, func(m ast.Node) bool {
+					if as, ok := m.(*ast.AssignStmt); ok {
+						for _, lhs := range as.Lhs {
+							if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+								if obj := p.ObjectOf(id); obj != nil && nilDecls[obj] {
+									state[obj] = true
+								}
+							}
+						}
+					}
+					return true
+				})
+			}
+			return state
+		},
+		Join: func(a, b map[types.Object]bool) map[types.Object]bool {
+			out := make(map[types.Object]bool, len(a)+len(b))
+			for obj := range a {
+				out[obj] = true
+			}
+			for obj := range b {
+				out[obj] = true
+			}
+			return out
+		},
+		Equal: func(a, b map[types.Object]bool) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for obj := range a {
+				if !b[obj] {
+					return false
+				}
+			}
+			return true
+		},
+	})
+	for _, b := range g.RPO() {
+		state := map[types.Object]bool{}
+		for obj := range assignedIn[b.Index] {
+			state[obj] = true
+		}
+		for _, nd := range b.Nodes {
+			if send, ok := nd.(*ast.SendStmt); ok && !selectComm[send] {
+				if id, ok := ast.Unparen(send.Chan).(*ast.Ident); ok {
+					if obj := p.ObjectOf(id); obj != nil && nilDecls[obj] && !state[obj] {
+						p.Reportf(send.Pos(), "send on %s, which is declared `var %s chan ...` and never assigned on any path here: a nil-channel send blocks forever", id.Name, id.Name)
+					}
+				}
+			}
+			inspectShallow(nd, func(m ast.Node) bool {
+				if as, ok := m.(*ast.AssignStmt); ok {
+					for _, lhs := range as.Lhs {
+						if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+							if obj := p.ObjectOf(id); obj != nil && nilDecls[obj] {
+								state[obj] = true
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkUnclosedRange flags `for range ch` over a channel made in this
+// declaration that nothing ever closes and that never escapes — the range
+// can only end via close, so the loop (and its goroutine) leaks. A break
+// or return inside the loop body is an explicit exit and silences the
+// check. Runs once per declaration (closures included in the scan).
+func checkUnclosedRange(p *Pass, fn flowFunc) {
+	body := fn.body
+	madeHere := map[types.Object]bool{}
+	closed := map[types.Object]bool{}
+	escaped := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || i >= len(n.Rhs) {
+					continue
+				}
+				if call, ok := ast.Unparen(n.Rhs[i]).(*ast.CallExpr); ok && isBuiltin(p, call.Fun, "make") {
+					if obj := p.ObjectOf(id); obj != nil {
+						if _, isChan := obj.Type().Underlying().(*types.Chan); isChan {
+							madeHere[obj] = true
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if isBuiltin(p, n.Fun, "close") && len(n.Args) == 1 {
+				if id, ok := ast.Unparen(n.Args[0]).(*ast.Ident); ok {
+					closed[p.ObjectOf(id)] = true
+				}
+				return true
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); !ok || p.ip.boundLit(p.ObjectOf(id)) == nil {
+				// A channel passed to any real call may be closed there.
+				for _, a := range n.Args {
+					if id, ok := ast.Unparen(a).(*ast.Ident); ok {
+						escaped[p.ObjectOf(id)] = true
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+					escaped[p.ObjectOf(id)] = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if id, ok := ast.Unparen(r).(*ast.Ident); ok {
+					escaped[p.ObjectOf(id)] = true
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(rs.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.ObjectOf(id)
+		if obj == nil || !madeHere[obj] || closed[obj] || escaped[obj] {
+			return true
+		}
+		if t := p.TypeOf(rs.X); t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); !isChan {
+				return true
+			}
+		}
+		if loopExits(rs.Body) {
+			return true
+		}
+		p.Reportf(rs.Pos(), "ranging over %s, a channel made in this function that is never closed and never escapes; the loop cannot terminate", id.Name)
+		return true
+	})
+}
+
+// loopExits reports whether body contains a statement that leaves the
+// enclosing range loop: a return or goto anywhere (closures aside), a
+// labeled break or continue (assumed to target an outer statement), or an
+// unlabeled break outside any nested breakable statement.
+func loopExits(body *ast.BlockStmt) bool {
+	found := false
+	inspectShallow(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			found = true
+		case *ast.BranchStmt:
+			if n.Tok == token.GOTO || n.Label != nil {
+				found = true
+			}
+		}
+		return !found
+	})
+	if found {
+		return true
+	}
+	inspectShallow(body, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.BranchStmt:
+			if m.Tok == token.BREAK {
+				found = true
+			}
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SelectStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt:
+			return false // an unlabeled break in there stays in there
+		}
+		return !found
+	})
+	return found
+}

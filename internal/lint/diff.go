@@ -3,6 +3,7 @@ package lint
 import (
 	"bytes"
 	"fmt"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"sort"
@@ -36,9 +37,23 @@ func DiffPatterns(dir, ref string) ([]string, error) {
 		return nil, nil
 	}
 
+	// A changed file whose directory no longer exists is a deleted package:
+	// it cannot be linted (there is nothing to list), but its reverse
+	// dependencies are now broken and must be. `go list -e ./...` no longer
+	// enumerates the deleted import path, so dependents cannot be found
+	// through the Deps edge to it — instead, any still-listed package that
+	// go list marks broken is treated as affected whenever the diff deleted
+	// a directory (the breakage is what the deletion caused, and linting it
+	// surfaces the dangling imports rather than silently skipping them).
 	dirs := map[string]bool{}
+	sawDeleted := false
 	for _, f := range changed {
-		dirs[filepath.Join(root, filepath.Dir(f))] = true
+		d := filepath.Join(root, filepath.Dir(f))
+		if st, err := os.Stat(d); err != nil || !st.IsDir() {
+			sawDeleted = true
+			continue
+		}
+		dirs[d] = true
 	}
 
 	all, err := goList(dir, []string{"-e", "./..."})
@@ -47,7 +62,7 @@ func DiffPatterns(dir, ref string) ([]string, error) {
 	}
 	changedPkgs := map[string]bool{}
 	for _, lp := range all {
-		if dirs[lp.Dir] {
+		if dirs[lp.Dir] || (sawDeleted && (lp.Error != nil || len(lp.DepsErrors) > 0)) {
 			changedPkgs[lp.ImportPath] = true
 		}
 	}

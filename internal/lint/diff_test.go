@@ -89,3 +89,31 @@ func TestDiffPatterns(t *testing.T) {
 		t.Errorf("untracked package affects %v, want %v", affected, want)
 	}
 }
+
+// TestDiffPatternsDeletedDir pins the deleted-package behavior: removing a
+// package's whole directory must not fail or come back empty — the deleted
+// path itself is skipped (there is nothing to list), and its now-broken
+// reverse dependencies are returned instead.
+func TestDiffPatternsDeletedDir(t *testing.T) {
+	root := writeTestModule(t)
+	gitTest(t, root, "init", "-q")
+	gitTest(t, root, "add", ".")
+	gitTest(t, root, "commit", "-q", "-m", "seed")
+
+	if err := os.RemoveAll(filepath.Join(root, "leaf")); err != nil {
+		t.Fatal(err)
+	}
+	affected, err := DiffPatterns(root, "HEAD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"cachemod/top"}; !reflect.DeepEqual(affected, want) {
+		t.Errorf("deleting leaf/ affects %v, want %v", affected, want)
+	}
+
+	// The returned pattern must actually lint: the broken import surfaces
+	// as findings on top, not as a hard load failure.
+	if _, err := Run(Options{Dir: root, Patterns: affected}); err != nil {
+		t.Fatalf("Run over %v: %v", affected, err)
+	}
+}

@@ -24,10 +24,17 @@ import (
 //	//pacor:pkgpath <import/path>
 //	    Fixture-only: overrides the package path seen by analyzers when a
 //	    directory of loose files is linted (testdata has no go.mod entry).
+//
+//	//pacor:locked
+//	    In a function's doc comment or trailing the func line: asserts that
+//	    every caller holds the scheduler lock, so the commitorder analyzer
+//	    accepts the function's own shared-state writes and instead requires
+//	    a must-held lock at each call site.
 const (
 	allowPrefix   = "//pacor:allow"
 	hotPrefix     = "//pacor:hot"
 	pkgpathPrefix = "//pacor:pkgpath"
+	lockedPrefix  = "//pacor:locked"
 )
 
 // allowDirective is one parsed //pacor:allow comment (kept only for
@@ -164,14 +171,26 @@ func parseDirectives(fset *token.FileSet, file *ast.File) fileDirectives {
 // hotFuncs returns the function declarations in file marked //pacor:hot,
 // either in the doc comment or as a trailing comment on the func line.
 func hotFuncs(fset *token.FileSet, file *ast.File) map[*ast.FuncDecl]bool {
+	return markedFuncs(fset, file, hotPrefix)
+}
+
+// lockedFuncs returns the function declarations in file marked
+// //pacor:locked (callers hold the scheduler lock).
+func lockedFuncs(fset *token.FileSet, file *ast.File) map[*ast.FuncDecl]bool {
+	return markedFuncs(fset, file, lockedPrefix)
+}
+
+// markedFuncs returns the function declarations carrying the given bare
+// directive, either in the doc comment or trailing the func line.
+func markedFuncs(fset *token.FileSet, file *ast.File, prefix string) map[*ast.FuncDecl]bool {
 	marked := map[*ast.FuncDecl]bool{}
 
-	// Comment lines carrying a bare //pacor:hot.
-	hotLines := map[int]bool{}
+	// Comment lines carrying the bare directive.
+	markLines := map[int]bool{}
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
-			if c.Text == hotPrefix || strings.HasPrefix(c.Text, hotPrefix+" ") {
-				hotLines[fset.Position(c.Pos()).Line] = true
+			if c.Text == prefix || strings.HasPrefix(c.Text, prefix+" ") {
+				markLines[fset.Position(c.Pos()).Line] = true
 			}
 		}
 	}
@@ -182,12 +201,12 @@ func hotFuncs(fset *token.FileSet, file *ast.File) map[*ast.FuncDecl]bool {
 		}
 		if fn.Doc != nil {
 			for _, c := range fn.Doc.List {
-				if c.Text == hotPrefix || strings.HasPrefix(c.Text, hotPrefix+" ") {
+				if c.Text == prefix || strings.HasPrefix(c.Text, prefix+" ") {
 					marked[fn] = true
 				}
 			}
 		}
-		if hotLines[fset.Position(fn.Pos()).Line] {
+		if markLines[fset.Position(fn.Pos()).Line] {
 			marked[fn] = true
 		}
 	}

@@ -16,6 +16,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/lint/callgraph"
 	"repro/internal/lint/cfg"
@@ -39,6 +40,11 @@ type Options struct {
 	CacheDir string
 	// Stats, when non-nil, receives per-run cache counters.
 	Stats *RunStats
+	// Jobs is the number of packages analyzed concurrently in module mode.
+	// Values below 2 run sequentially. Output is byte-identical for every
+	// value: packages are scheduled in dependency order and findings,
+	// stats, and cache entries are assembled in `go list -deps` order.
+	Jobs int
 }
 
 // RunStats reports what one run actually analyzed.
@@ -147,6 +153,7 @@ func lintPackage(pkg *checkedPackage, analyzers []*Analyzer, store *cfg.Store) [
 	// Directive tables per file.
 	allow := map[string]fileDirectives{} // filename -> directives
 	hot := map[*ast.FuncDecl]bool{}
+	locked := map[*ast.FuncDecl]bool{}
 	var findings []Finding
 	for _, f := range pkg.files {
 		d := parseDirectives(pkg.fset, f)
@@ -162,6 +169,9 @@ func lintPackage(pkg *checkedPackage, analyzers []*Analyzer, store *cfg.Store) [
 		for fn := range hotFuncs(pkg.fset, f) {
 			hot[fn] = true
 		}
+		for fn := range lockedFuncs(pkg.fset, f) {
+			locked[fn] = true
+		}
 	}
 
 	for _, a := range analyzers {
@@ -174,6 +184,7 @@ func lintPackage(pkg *checkedPackage, analyzers []*Analyzer, store *cfg.Store) [
 			Pkg:      pkg.pkg,
 			Info:     pkg.info,
 			hot:      hot,
+			locked:   locked,
 			src:      pkg.src,
 			ip:       res,
 			report: func(f Finding) {
@@ -228,11 +239,17 @@ func isGoFileDir(dir, pattern string) bool {
 
 // loader incrementally parses and type-checks packages, serving
 // module-internal imports from its own cache and everything else (the
-// standard library) from the stdlib source importer.
+// standard library) from the stdlib source importer. Safe for concurrent
+// use by the parallel driver: the checked map is mutex-guarded and the
+// stdlib source importer (which keeps its own unguarded package cache) is
+// serialized behind srcMu. The shared token.FileSet is internally
+// synchronized, and *types.Package values are immutable once checked.
 type loader struct {
 	fset    *token.FileSet
 	dir     string
 	source  types.Importer
+	mu      sync.Mutex // guards checked
+	srcMu   sync.Mutex // serializes source.Import
 	checked map[string]*types.Package
 }
 
@@ -240,9 +257,14 @@ type loader struct {
 // (they are checked in dependency order before their importers), the
 // standard library from the source importer.
 func (ld *loader) Import(path string) (*types.Package, error) {
-	if p, ok := ld.checked[path]; ok && p != nil {
+	ld.mu.Lock()
+	p, ok := ld.checked[path]
+	ld.mu.Unlock()
+	if ok && p != nil {
 		return p, nil
 	}
+	ld.srcMu.Lock()
+	defer ld.srcMu.Unlock()
 	return ld.source.Import(path)
 }
 
@@ -257,6 +279,10 @@ type listedPackage struct {
 	// Error is set by `go list -e` on broken patterns and packages instead
 	// of a nonzero exit.
 	Error *listError
+	// DepsErrors carries the errors of broken imports (e.g. an import of a
+	// package whose directory was deleted) — go list -e reports those here
+	// rather than in Error.
+	DepsErrors []*listError
 }
 
 // listError is the Error object in `go list -e -json` output.
@@ -271,6 +297,7 @@ type modPkg struct {
 	files    []string          // absolute source paths, go list order
 	srcBytes map[string][]byte // path -> raw bytes
 	sumHash  string            // hash of the package's encoded summaries
+	mu       sync.Mutex        // guards cp (lazy checking of cache hits)
 	cp       *checkedPackage   // set once parsed and type-checked
 }
 
@@ -327,7 +354,9 @@ func (ld *loader) runModule(patterns []string, opts Options, store *cfg.Store) (
 		byPath[lp.ImportPath] = mp
 	}
 
-	var out []Finding
+	// Read every package's sources up front, serially: the content keys of
+	// all packages must reflect one consistent snapshot of the tree, and
+	// doing it here keeps processPkg free of ordering concerns.
 	for _, mp := range order {
 		if opts.Stats != nil {
 			opts.Stats.Packages++
@@ -342,76 +371,213 @@ func (ld *loader) runModule(patterns []string, opts Options, store *cfg.Store) (
 			mp.files = append(mp.files, p)
 			mp.srcBytes[p] = data
 		}
-		key := cacheKey(mp, byPath, opts.Analyzers)
+	}
 
-		if cache != nil {
-			if ent := cache.load(mp.lp.ImportPath); ent != nil && ent.Key == key && (ent.Linted || !mp.target) {
-				if sums, err := cfg.DecodePackage(ent.Summaries); err == nil {
-					store.PutAll(sums)
-					mp.sumHash = ent.SummaryHash
-					if opts.Stats != nil {
-						opts.Stats.CacheHits++
-					}
-					if mp.target {
-						out = append(out, ent.Findings...)
-					}
-					continue
-				}
+	results := make([]pkgResult, len(order))
+	if opts.Jobs > 1 && len(order) > 1 {
+		if err := ld.processParallel(order, byPath, opts, store, cache, results); err != nil {
+			return nil, err
+		}
+	} else {
+		for i, mp := range order {
+			r, err := ld.processPkg(mp, byPath, opts, store, cache)
+			if err != nil {
+				return nil, err
 			}
+			results[i] = r
 		}
+	}
 
-		cp, err := ld.ensureChecked(mp, byPath)
-		if err != nil {
-			return nil, fmt.Errorf("lint: %s: %v", mp.lp.ImportPath, err)
-		}
-		sums := map[string]*cfg.Summary{}
-		if len(cp.parseBad) == 0 {
-			sums = summarizePackage(cp, store)
-		}
-		blob, err := cfg.EncodePackage(sums)
-		if err != nil {
-			return nil, fmt.Errorf("lint: %s: %v", mp.lp.ImportPath, err)
-		}
-		mp.sumHash = hashHex(blob)
+	// Assemble findings and stats in `go list -deps` order regardless of
+	// the completion order above: byte-identical output for every -j.
+	var out []Finding
+	for i, mp := range order {
+		r := results[i]
 		if opts.Stats != nil {
-			opts.Stats.Reanalyzed++
-			opts.Stats.ReanalyzedPkgs = append(opts.Stats.ReanalyzedPkgs, mp.lp.ImportPath)
-		}
-		var pkgFindings []Finding
-		if mp.target {
-			// Relativize before caching so entries stay valid when the
-			// checkout moves between runs (CI restores the cache into a
-			// fresh workspace).
-			pkgFindings = relativize(lintPackage(cp, opts.Analyzers, store), ld.dir)
-			out = append(out, pkgFindings...)
-		}
-		if cache != nil {
-			ent := &cacheEntry{
-				Path:        mp.lp.ImportPath,
-				Key:         key,
-				SummaryHash: mp.sumHash,
-				Summaries:   blob,
-				Findings:    pkgFindings,
-				Linted:      mp.target,
+			if r.hit {
+				opts.Stats.CacheHits++
+			} else {
+				opts.Stats.Reanalyzed++
+				opts.Stats.ReanalyzedPkgs = append(opts.Stats.ReanalyzedPkgs, mp.lp.ImportPath)
 			}
-			if err := cache.save(mp.lp.ImportPath, ent); err != nil {
-				return nil, fmt.Errorf("lint: cache: %v", err)
+		}
+		out = append(out, r.findings...)
+	}
+	return out, nil
+}
+
+// pkgResult is the outcome of processing one module package.
+type pkgResult struct {
+	findings []Finding
+	hit      bool // served entirely from the fact cache
+}
+
+// processPkg analyzes one package: cache probe, then parse/type-check,
+// summarize, lint (targets only), and cache write-back. Every module
+// dependency must have completed first (its sumHash feeds this package's
+// cache key); the schedulers below guarantee that in both modes. Safe to
+// run concurrently for independent packages.
+func (ld *loader) processPkg(mp *modPkg, byPath map[string]*modPkg, opts Options, store *cfg.Store, cache *factCache) (pkgResult, error) {
+	key := cacheKey(mp, byPath, opts.Analyzers)
+
+	if cache != nil {
+		if ent := cache.load(mp.lp.ImportPath); ent != nil && ent.Key == key && (ent.Linted || !mp.target) {
+			if sums, err := cfg.DecodePackage(ent.Summaries); err == nil {
+				store.PutAll(sums)
+				mp.sumHash = ent.SummaryHash
+				r := pkgResult{hit: true}
+				if mp.target {
+					r.findings = ent.Findings
+				}
+				return r, nil
 			}
 		}
 	}
-	return out, nil
+
+	cp, err := ld.ensureChecked(mp, byPath)
+	if err != nil {
+		return pkgResult{}, fmt.Errorf("lint: %s: %v", mp.lp.ImportPath, err)
+	}
+	sums := map[string]*cfg.Summary{}
+	if len(cp.parseBad) == 0 {
+		sums = summarizePackage(cp, store)
+	}
+	blob, err := cfg.EncodePackage(sums)
+	if err != nil {
+		return pkgResult{}, fmt.Errorf("lint: %s: %v", mp.lp.ImportPath, err)
+	}
+	mp.sumHash = hashHex(blob)
+	var pkgFindings []Finding
+	if mp.target {
+		// Relativize before caching so entries stay valid when the
+		// checkout moves between runs (CI restores the cache into a
+		// fresh workspace).
+		pkgFindings = relativize(lintPackage(cp, opts.Analyzers, store), ld.dir)
+	}
+	if cache != nil {
+		ent := &cacheEntry{
+			Path:        mp.lp.ImportPath,
+			Key:         key,
+			SummaryHash: mp.sumHash,
+			Summaries:   blob,
+			Findings:    pkgFindings,
+			Linted:      mp.target,
+		}
+		if err := cache.save(mp.lp.ImportPath, ent); err != nil {
+			return pkgResult{}, fmt.Errorf("lint: cache: %v", err)
+		}
+	}
+	return pkgResult{findings: pkgFindings}, nil
+}
+
+// processParallel runs processPkg over the packages with opts.Jobs
+// workers, scheduling by module-dependency DAG: a package becomes ready
+// when every module dependency has finished, so summaries and summary
+// hashes are always in place before a dependent's cache key is computed —
+// the same invariant the sequential loop gets from `go list -deps` order.
+// Results land in per-index slots; the caller assembles them in order, so
+// output does not depend on completion timing. On failure the first error
+// in `go list -deps` order wins, again matching sequential behavior.
+func (ld *loader) processParallel(order []*modPkg, byPath map[string]*modPkg, opts Options, store *cfg.Store, cache *factCache, results []pkgResult) error {
+	n := len(order)
+	index := map[*modPkg]int{}
+	for i, mp := range order {
+		index[mp] = i
+	}
+	indeg := make([]int, n)
+	dependents := make([][]int, n)
+	for i, mp := range order {
+		for _, d := range mp.lp.Deps {
+			if dep := byPath[d]; dep != nil {
+				indeg[i]++
+				j := index[dep]
+				dependents[j] = append(dependents[j], i)
+			}
+		}
+	}
+
+	var (
+		mu     sync.Mutex
+		cond   = sync.NewCond(&mu)
+		ready  []int
+		done   int
+		errs   = make([]error, n)
+		failed bool
+	)
+	for i := range order {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+
+	workers := opts.Jobs
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			for {
+				for len(ready) == 0 && done < n && !failed {
+					cond.Wait()
+				}
+				if failed || (len(ready) == 0 && done >= n) {
+					mu.Unlock()
+					return
+				}
+				i := ready[0]
+				ready = ready[1:]
+				mu.Unlock()
+
+				r, err := ld.processPkg(order[i], byPath, opts, store, cache)
+
+				mu.Lock()
+				if err != nil {
+					errs[i] = err
+					failed = true
+					cond.Broadcast()
+					mu.Unlock()
+					return
+				}
+				results[i] = r
+				done++
+				for _, j := range dependents[i] {
+					indeg[j]--
+					if indeg[j] == 0 {
+						ready = append(ready, j)
+					}
+				}
+				cond.Broadcast()
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ensureChecked parses and type-checks mp, first ensuring every module
 // dependency is checked so the cache importer can serve it. Cache-hit
 // packages land here lazily, only when a re-analyzed dependent needs
-// their types.
+// their types — under the parallel driver two dependents can race here,
+// so mp.mu serializes the check. Locks nest only along dependency edges
+// (mp before its deps) and the dependency graph is acyclic, so the
+// nesting cannot deadlock.
 func (ld *loader) ensureChecked(mp *modPkg, byPath map[string]*modPkg) (*checkedPackage, error) {
+	mp.mu.Lock()
+	defer mp.mu.Unlock()
 	if mp.cp != nil {
 		return mp.cp, nil
 	}
 	for _, dep := range mp.lp.Deps {
-		if d := byPath[dep]; d != nil && d.cp == nil {
+		if d := byPath[dep]; d != nil {
 			if _, err := ld.ensureChecked(d, byPath); err != nil {
 				return nil, err
 			}
@@ -527,7 +693,9 @@ func (ld *loader) check(importPath, pkgName string, paths []string, fallbackPath
 	}
 	pkg, _ := conf.Check(importPath, ld.fset, files, info) // errors collected above
 	if pkg != nil {
+		ld.mu.Lock()
 		ld.checked[importPath] = pkg
+		ld.mu.Unlock()
 	}
 	return &checkedPackage{
 		fset:    ld.fset,

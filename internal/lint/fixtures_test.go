@@ -169,7 +169,7 @@ func TestAnalyzersRegistry(t *testing.T) {
 		}
 		names = append(names, a.Name)
 	}
-	want := "maporder hotalloc floateq liberrs nostdout wsaliasing snapshotread journalpair nondeterm"
+	want := "maporder hotalloc floateq liberrs nostdout wsaliasing snapshotread journalpair nondeterm sharedcapture commitorder conchygiene mcfpair"
 	if got := strings.Join(names, " "); got != want {
 		t.Errorf("registry = %q, want %q", got, want)
 	}
@@ -190,4 +190,17 @@ func TestFixtureSuiteFails(t *testing.T) {
 	if len(findings) == 0 {
 		t.Fatal("fixture corpus produced zero findings under the full registry")
 	}
+}
+
+func TestSharedCaptureFixture(t *testing.T) {
+	runFixture(t, AnalyzerSharedCapture, "testdata/src/sharedcapture")
+}
+func TestCommitOrderFixture(t *testing.T) {
+	runFixture(t, AnalyzerCommitOrder, "testdata/src/commitorder")
+}
+func TestConcHygieneFixture(t *testing.T) {
+	runFixture(t, AnalyzerConcHygiene, "testdata/src/conchygiene")
+}
+func TestMcfPairFixture(t *testing.T) {
+	runFixture(t, AnalyzerMcfPair, "testdata/src/mcfpair")
 }

@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// writeParallelModule lays out a diamond-shaped seven-package module —
+// four leaves, two mids that each import two leaves, and a top importing
+// both mids — so the parallel driver has real width and real dependency
+// edges to schedule. Every package carries one deliberate wsaliasing
+// violation, which makes finding order observable end to end.
+func writeParallelModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+
+	leaky := func(pkg, imports string) string {
+		return fmt.Sprintf(`// Package %[1]s is part of the parallel-driver diamond.
+package %[1]s
+%[2]s
+// Workspace stands in for the pooled search state.
+type Workspace struct{ N int }
+
+// AcquireWorkspace stands in for the pooled acquire.
+func AcquireWorkspace() *Workspace { return &Workspace{} }
+
+// ReleaseWorkspace stands in for the pooled release.
+func ReleaseWorkspace(*Workspace) {}
+
+// Leaky never releases: one stable finding per package.
+func Leaky() int {
+	ws := AcquireWorkspace()
+	return ws.N
+}
+`, pkg, imports)
+	}
+
+	files := map[string]string{
+		"go.mod":         "module parmod\n\ngo 1.22\n",
+		"leafa/leafa.go": leaky("leafa", ""),
+		"leafb/leafb.go": leaky("leafb", ""),
+		"leafc/leafc.go": leaky("leafc", ""),
+		"leafd/leafd.go": leaky("leafd", ""),
+		"midab/midab.go": leaky("midab", "\nimport (\n\t_ \"parmod/leafa\"\n\t_ \"parmod/leafb\"\n)\n"),
+		"midcd/midcd.go": leaky("midcd", "\nimport (\n\t_ \"parmod/leafc\"\n\t_ \"parmod/leafd\"\n)\n"),
+		"top/top.go":     leaky("top", "\nimport (\n\t_ \"parmod/midab\"\n\t_ \"parmod/midcd\"\n)\n"),
+	}
+	for name, content := range files {
+		p := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// jobsRun lints the diamond module with the given worker count and
+// returns the findings serialized to JSON plus the run stats.
+func jobsRun(t *testing.T, root, cacheDir string, jobs int) (string, *RunStats) {
+	t.Helper()
+	stats := &RunStats{}
+	findings, err := Run(Options{
+		Dir:      root,
+		Patterns: []string{"./..."},
+		CacheDir: cacheDir,
+		Jobs:     jobs,
+		Stats:    stats,
+	})
+	if err != nil {
+		t.Fatalf("lint run (-j %d): %v", jobs, err)
+	}
+	out, err := json.Marshal(findings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out), stats
+}
+
+// TestParallelByteIdentity pins the driver's core contract: the findings
+// and stats are byte-identical for every -j value, on a cold cache and on
+// a warm one.
+func TestParallelByteIdentity(t *testing.T) {
+	root := writeParallelModule(t)
+
+	baseCache := filepath.Join(root, "cache-j1")
+	want, wantStats := jobsRun(t, root, baseCache, 1)
+	if want == "[]" || want == "null" {
+		t.Fatal("diamond module produced no findings; identity check is vacuous")
+	}
+	if wantStats.Packages != 7 {
+		t.Fatalf("diamond module lists %d packages, want 7", wantStats.Packages)
+	}
+
+	for _, jobs := range []int{2, 4, 8} {
+		// Cold: a fresh cache per worker count, so every package is
+		// analyzed live under contention.
+		cold, coldStats := jobsRun(t, root, filepath.Join(root, fmt.Sprintf("cache-j%d", jobs)), jobs)
+		if cold != want {
+			t.Errorf("-j %d cold findings differ from -j 1:\nwant %s\ngot  %s", jobs, want, cold)
+		}
+		if coldStats.Reanalyzed != wantStats.Packages {
+			t.Errorf("-j %d cold stats = %+v, want all %d packages re-analyzed", jobs, coldStats, wantStats.Packages)
+		}
+		if !reflect.DeepEqual(coldStats.ReanalyzedPkgs, wantStats.ReanalyzedPkgs) {
+			t.Errorf("-j %d cold re-analysis order = %v, want %v (deps order)", jobs, coldStats.ReanalyzedPkgs, wantStats.ReanalyzedPkgs)
+		}
+
+		// Warm: replay through the -j 1 cache; every package must hit and
+		// the serialized findings must still match byte for byte.
+		warm, warmStats := jobsRun(t, root, baseCache, jobs)
+		if warm != want {
+			t.Errorf("-j %d warm findings differ from -j 1:\nwant %s\ngot  %s", jobs, want, warm)
+		}
+		if warmStats.CacheHits != wantStats.Packages {
+			t.Errorf("-j %d warm stats = %+v, want all %d packages from cache", jobs, warmStats, wantStats.Packages)
+		}
+	}
+}
+
+// TestParallelSelfModule runs the real module both ways and compares the
+// serialized output — the end-to-end identity the CI job re-checks with a
+// warm cache. Skipped in -short mode: it type-checks the whole repo twice.
+func TestParallelSelfModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module double lint")
+	}
+	seq, seqStats := jobsRun(t, "../..", t.TempDir(), 1)
+	par, parStats := jobsRun(t, "../..", t.TempDir(), 4)
+	if seq != par {
+		t.Errorf("-j 4 self-lint differs from -j 1:\nseq %s\npar %s", seq, par)
+	}
+	if seqStats.Packages != parStats.Packages {
+		t.Errorf("package counts differ: seq %d, par %d", seqStats.Packages, parStats.Packages)
+	}
+}

@@ -1,0 +1,336 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/lint/cfg"
+)
+
+// AnalyzerSharedCapture is a RacerD-style compositional race check on
+// spawned closures: a variable captured by a `go` closure that is written
+// on one side (goroutine or spawner) and accessed on the other without a
+// common must-held lock, before any synchronization barrier, is a data
+// race. Two rules fire:
+//
+//   - loop spawn: a closure spawned inside a loop writes a captured
+//     variable declared outside the loop without a lock — concurrent
+//     instances of the closure race with each other (Go 1.22 per-iteration
+//     loop variables are exempt: each instance captures its own copy);
+//   - spawner window: between the `go` statement and the spawner's next
+//     barrier (WaitGroup.Wait, a channel receive, or a call that does
+//     either), spawner accesses race goroutine accesses when at least one
+//     side writes and their must-locksets are disjoint.
+//
+// Known unsoundness, chosen so today's repo stays finding-free: element
+// and map-entry writes (a[i] = x) are never flagged (disjoint-index
+// sharding is the repo's idiom), accesses inside closures nested in the
+// goroutine are invisible, and sync-typed captures (Mutex, WaitGroup,
+// Cond, channels) are exempt.
+var AnalyzerSharedCapture = &Analyzer{
+	Name: "sharedcapture",
+	Doc:  "captured variables written by a spawned closure and accessed concurrently without a lock",
+	Run:  runSharedCapture,
+}
+
+// concAccess is one read or write of a captured variable.
+type concAccess struct {
+	write bool
+	locks lockset
+}
+
+func runSharedCapture(p *Pass) {
+	if p.ip == nil {
+		return
+	}
+	for _, file := range p.Files {
+		for _, fn := range flowFuncs(file) {
+			if fn.body != nil {
+				checkSpawns(p, fn)
+			}
+		}
+	}
+}
+
+// checkSpawns analyzes every go statement directly in fn's body.
+func checkSpawns(p *Pass, fn flowFunc) {
+	var spawns []*ast.GoStmt
+	inspectShallow(fn.body, func(n ast.Node) bool {
+		if gs, ok := n.(*ast.GoStmt); ok {
+			spawns = append(spawns, gs)
+		}
+		return true
+	})
+	if len(spawns) == 0 {
+		return
+	}
+
+	// Per-node must-locksets and the CFG, shared by every spawn site.
+	g := cfg.New(fn.body)
+	idom := g.Idoms()
+	heldAt := map[ast.Node]lockset{}
+	lockWalk(p, fn.body, func(n ast.Node, held lockset) {
+		heldAt[n] = held.clone()
+	})
+	loops := hostLoopSpans(fn.body)
+
+	for _, gs := range spawns {
+		lit := spawnedClosure(p, gs)
+		if lit == nil {
+			continue // named-function spawns pass arguments by value
+		}
+		caps := capturedVars(p, fn, lit)
+		if len(caps) == 0 {
+			continue
+		}
+		capSet := map[types.Object]bool{}
+		for _, c := range caps {
+			capSet[c] = true
+		}
+
+		gorAcc := map[types.Object][]concAccess{}
+		lockWalk(p, lit.Body, func(n ast.Node, held lockset) {
+			collectAccesses(p, n, capSet, held, gorAcc)
+		})
+		spawnerAcc := windowAccesses(p, g, idom, heldAt, gs, capSet)
+
+		loop, inLoop := enclosingLoop(loops, gs.Pos())
+		for _, obj := range caps {
+			ga, sa := gorAcc[obj], spawnerAcc[obj]
+			if inLoop && obj.Pos() < loop.lo && hasUnlockedWrite(ga) {
+				p.Reportf(gs.Pos(), "closure spawned in a loop writes captured variable %s without a lock; concurrent instances of the closure race on it", obj.Name())
+				continue
+			}
+			if racyPair(ga, sa) {
+				p.Reportf(gs.Pos(), "captured variable %s is accessed by both this goroutine and its spawner after the go statement, with a write on at least one side and no common lock or barrier between them", obj.Name())
+			}
+		}
+	}
+}
+
+// racyPair reports whether some goroutine access and some spawner-window
+// access conflict: at least one of the pair writes and their must-locksets
+// share no lock.
+func racyPair(ga, sa []concAccess) bool {
+	for _, a := range ga {
+		for _, b := range sa {
+			if !a.write && !b.write {
+				continue
+			}
+			if !locksOverlap(a.locks, b.locks) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func locksOverlap(a, b lockset) bool {
+	for k := range a {
+		if b[k] {
+			return true
+		}
+	}
+	return false
+}
+
+func hasUnlockedWrite(acc []concAccess) bool {
+	for _, a := range acc {
+		if a.write && len(a.locks) == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// spawnedClosure resolves the closure a go statement runs: a literal
+// operand, or a call through a call-only bound closure variable.
+func spawnedClosure(p *Pass, gs *ast.GoStmt) *ast.FuncLit {
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun
+	case *ast.Ident:
+		return p.ip.boundLit(p.ObjectOf(fun))
+	}
+	return nil
+}
+
+// capturedVars returns the function-local variables lit captures from its
+// enclosing function, in declaration order. Synchronization objects
+// (mutexes, wait groups, condition variables, channels) are exempt: they
+// are shared by design.
+func capturedVars(p *Pass, fn flowFunc, lit *ast.FuncLit) []types.Object {
+	hostLo, hostHi := fn.body.Pos(), fn.body.End()
+	if fn.decl != nil {
+		hostLo, hostHi = fn.decl.Pos(), fn.decl.End()
+	}
+	seen := map[types.Object]bool{}
+	var out []types.Object
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := p.ObjectOf(id).(*types.Var)
+		if !ok || v.IsField() || seen[v] {
+			return true
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true // the literal's own parameters and locals
+		}
+		if v.Pos() < hostLo || v.Pos() >= hostHi {
+			return true // package-level state is not a capture
+		}
+		if isSyncType(v.Type()) {
+			return true
+		}
+		seen[v] = true
+		out = append(out, v)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+func isSyncType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch namedTypeName(t) {
+	case "Mutex", "RWMutex", "WaitGroup", "Cond", "Once", "Locker":
+		return true
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	_, isChan := t.Underlying().(*types.Chan)
+	return isChan
+}
+
+// collectAccesses records obj reads and writes in node n (shallow: nested
+// closures keep their accesses to themselves). A write is a whole-variable
+// or field-path assignment; element and map-entry stores are deliberately
+// not writes (disjoint-index sharding).
+func collectAccesses(p *Pass, n ast.Node, objs map[types.Object]bool, held lockset, out map[types.Object][]concAccess) {
+	writeOf := func(lhs ast.Expr) types.Object {
+		for {
+			switch e := ast.Unparen(lhs).(type) {
+			case *ast.Ident:
+				if obj := p.ObjectOf(e); obj != nil && objs[obj] {
+					return obj
+				}
+				return nil
+			case *ast.SelectorExpr:
+				lhs = e.X
+			default:
+				return nil // index, deref, call results: not a tracked write
+			}
+		}
+	}
+	written := map[types.Object]bool{}
+	inspectShallow(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range m.Lhs {
+				if obj := writeOf(lhs); obj != nil && !written[obj] {
+					written[obj] = true
+					out[obj] = append(out[obj], concAccess{write: true, locks: held.clone()})
+				}
+			}
+		case *ast.IncDecStmt:
+			if obj := writeOf(m.X); obj != nil && !written[obj] {
+				written[obj] = true
+				out[obj] = append(out[obj], concAccess{write: true, locks: held.clone()})
+			}
+		}
+		return true
+	})
+	inspectShallow(n, func(m ast.Node) bool {
+		id, ok := m.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := p.ObjectOf(id); obj != nil && objs[obj] && !written[obj] {
+			out[obj] = append(out[obj], concAccess{locks: held.clone()})
+		}
+		return true
+	})
+}
+
+// windowAccesses collects the spawner's accesses to the captured variables
+// in the concurrent window: every CFG node forward-reachable from the go
+// statement (back edges excluded) up to the first barrier on each path.
+func windowAccesses(p *Pass, g *cfg.Graph, idom []*cfg.Block, heldAt map[ast.Node]lockset, gs *ast.GoStmt, objs map[types.Object]bool) map[types.Object][]concAccess {
+	out := map[types.Object][]concAccess{}
+	startBlock, startIdx := -1, -1
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			if n == ast.Node(gs) {
+				startBlock, startIdx = b.Index, i
+			}
+		}
+	}
+	if startBlock < 0 {
+		return out
+	}
+
+	visited := map[int]bool{}
+	type item struct{ block, from int }
+	queue := []item{{startBlock, startIdx + 1}}
+	visited[startBlock] = true
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		b := g.Blocks[it.block]
+		stopped := false
+		for _, n := range b.Nodes[it.from:] {
+			if isBarrier(p, n) {
+				stopped = true
+				break
+			}
+			collectAccesses(p, n, objs, heldAt[n], out)
+		}
+		if stopped {
+			continue
+		}
+		for _, s := range b.Succs {
+			if visited[s.Index] || cfg.Dominates(idom, s, b) {
+				continue // back edge: the next iteration re-spawns, handled by the loop rule
+			}
+			visited[s.Index] = true
+			queue = append(queue, item{s.Index, 0})
+		}
+	}
+	return out
+}
+
+// hostLoopSpans returns the source spans of loop statements directly in
+// body.
+func hostLoopSpans(body *ast.BlockStmt) []posSpan {
+	var out []posSpan
+	inspectShallow(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			out = append(out, posSpan{n.Pos(), n.End()})
+		case *ast.RangeStmt:
+			out = append(out, posSpan{n.Pos(), n.End()})
+		}
+		return true
+	})
+	return out
+}
+
+type posSpan struct{ lo, hi token.Pos }
+
+// enclosingLoop returns the innermost loop span containing pos.
+func enclosingLoop(spans []posSpan, pos token.Pos) (posSpan, bool) {
+	best, found := posSpan{}, false
+	for _, s := range spans {
+		if s.lo <= pos && pos < s.hi && (!found || s.lo > best.lo) {
+			best, found = s, true
+		}
+	}
+	return best, found
+}

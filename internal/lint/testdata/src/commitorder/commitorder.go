@@ -1,0 +1,81 @@
+// Package commitorder is a fixture for the commitorder analyzer. The
+// pkgpath directive places it inside internal/route so the hot-package
+// gate applies; the sched stand-in spawns its workers in a loop, which is
+// what makes the spawn graph classify them as worker-role (spawn-only).
+package commitorder
+
+//pacor:pkgpath fixture/internal/route
+
+import "sync"
+
+// Pt stands in for geom.Pt.
+type Pt struct{ X, Y int }
+
+// ObsMap stands in for grid.ObsMap.
+type ObsMap struct{ bits []bool }
+
+// Set mirrors the real mutator.
+func (o *ObsMap) Set(i int, v bool) { o.bits[i] = v }
+
+// Blocked mirrors the real obstacle query.
+func (o *ObsMap) Blocked(p Pt) bool { return len(o.bits) > 0 && o.bits[0] }
+
+// sched stands in for the scheduler: shared obstacle state behind a lock,
+// workers fanned out in a loop.
+type sched struct {
+	mu  sync.Mutex
+	wg  sync.WaitGroup
+	obs *ObsMap
+}
+
+// Run fans the workers out. Exported, so it seeds the main role; go edges
+// do not propagate it to the spawned methods.
+func (s *sched) Run(n int) {
+	for i := 0; i < n; i++ {
+		s.wg.Add(4)
+		go s.worker()
+		go s.lockedWorker()
+		go s.scout()
+		go s.scratchOK()
+	}
+	s.wg.Wait()
+}
+
+// worker mutates the shared obstacle map and enters the locked commit
+// helper, both without holding the lock.
+func (s *sched) worker() {
+	defer s.wg.Done()
+	s.obs.Set(1, true) // want `worker-role worker mutates shared obstacle state \(ObsMap\.Set\) without holding a lock`
+	s.commit()         // want `worker-role worker calls //pacor:locked .*commit without holding a lock`
+}
+
+// lockedWorker does the same work under the lock: the commit path.
+func (s *sched) lockedWorker() {
+	defer s.wg.Done()
+	s.mu.Lock()
+	s.obs.Set(1, true)
+	s.commit()
+	s.mu.Unlock()
+}
+
+// scout reads obstacle state speculatively with no workspace anywhere in
+// scope: on a worker role that read is unvalidatable.
+func (s *sched) scout() {
+	defer s.wg.Done()
+	_ = s.obs.Blocked(Pt{}) // want `ObsMap.Blocked read is reachable before any workspace visit stamp`
+}
+
+// scratchOK mutates a worker-local scratch map: per-goroutine state needs
+// no lock.
+func (s *sched) scratchOK() {
+	defer s.wg.Done()
+	local := &ObsMap{bits: make([]bool, 4)}
+	local.Set(1, true)
+}
+
+// commit applies staged cells to the shared map. Callers hold s.mu.
+//
+//pacor:locked
+func (s *sched) commit() {
+	s.obs.Set(2, true)
+}

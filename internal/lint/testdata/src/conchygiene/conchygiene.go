@@ -1,0 +1,160 @@
+// Package conchygiene is a fixture for the conchygiene analyzer:
+// WaitGroup ordering and channel liveness, the hangs-not-races half of
+// the concurrency layer.
+package conchygiene
+
+import "sync"
+
+func sink(int) {}
+
+// addAfterGo arms the group after the goroutine is already running: Wait
+// can observe the zero counter and return before Done.
+func addAfterGo() {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Done()
+	}()
+	wg.Add(1) // want `wg.Add after a goroutine using the same WaitGroup was spawned`
+	wg.Wait()
+}
+
+// addInLoopOK is the idiomatic fan-out: the Add textually follows a go
+// statement only through the loop's back edge, which is not a real
+// execution order violation.
+func addInLoopOK(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// rearmOK waits the group out before arming the next round.
+func rearmOK() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done() }()
+	wg.Wait()
+	wg.Add(1)
+	go func() { defer wg.Done() }()
+	wg.Wait()
+}
+
+// doneSomePaths signals completion on one branch only: the other branch
+// leaves Wait hanging forever.
+func doneSomePaths(ok bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `spawned closure calls wg.Done on some paths but not all`
+		if ok {
+			wg.Done()
+		}
+	}()
+	wg.Wait()
+}
+
+// deferDoneOK discharges on every path by construction.
+func deferDoneOK(ok bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if !ok {
+			return
+		}
+		sink(1)
+	}()
+	wg.Wait()
+}
+
+// bothBranchesOK calls Done on each branch explicitly.
+func bothBranchesOK(ok bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		if ok {
+			wg.Done()
+			return
+		}
+		wg.Done()
+	}()
+	wg.Wait()
+}
+
+// nilSend sends on a channel that is never assigned: it blocks forever.
+func nilSend() {
+	var ch chan int
+	ch <- 1 // want "send on ch, which is declared .var ch chan .* and never assigned on any path"
+	<-ch
+}
+
+// nilSendSelectOK is the nil-disables-this-case idiom: a nil channel in a
+// select communication clause just deselects the case.
+func nilSendSelectOK() {
+	var ch chan int
+	select {
+	case ch <- 1:
+	default:
+	}
+}
+
+// assignedSendOK assigns the channel on every path to the send.
+func assignedSendOK(ready chan int) {
+	var ch chan int
+	ch = ready
+	ch <- 1
+}
+
+// neverClosed ranges over a channel made here that nothing closes and
+// that never escapes: the loop cannot terminate.
+func neverClosed() int {
+	ch := make(chan int)
+	total := 0
+	for v := range ch { // want `ranging over ch, a channel made in this function that is never closed`
+		total += v
+	}
+	return total
+}
+
+// closedOK closes the channel from the producing goroutine.
+func closedOK() int {
+	ch := make(chan int)
+	go func() {
+		ch <- 1
+		close(ch)
+	}()
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	return total
+}
+
+// breakOK exits the loop explicitly, so the missing close is a judgment
+// call rather than a guaranteed hang.
+func breakOK() int {
+	ch := make(chan int)
+	go func() { ch <- 1 }()
+	total := 0
+	for v := range ch {
+		total += v
+		if total > 10 {
+			break
+		}
+	}
+	return total
+}
+
+// escapedOK hands the channel to a callee that may close it.
+func escapedOK(drain func(chan int)) int {
+	ch := make(chan int)
+	drain(ch)
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,108 @@
+// Package mcfpair is a fixture for the mcfpair analyzer: the min-cost-flow
+// arena contract. The Graph stand-in carries the method set the analyzer
+// matches by name; DecomposeUnitPaths is a method on Graph, exactly as in
+// internal/mcf.
+package mcfpair
+
+// Graph stands in for mcf.Graph.
+type Graph struct{ n int }
+
+// NewGraph mirrors the real constructor: a fresh graph is flow-free.
+func NewGraph(n int) *Graph { return &Graph{n: n} }
+
+// MinCostFlow mirrors the solver entry point.
+func (g *Graph) MinCostFlow(s, t, maxFlow int) (int, int) { return 0, 0 }
+
+// Commit freezes the current flow as the new base.
+func (g *Graph) Commit() {}
+
+// Reset drops all flow.
+func (g *Graph) Reset() {}
+
+// SetCost re-prices an arc; legal only on a flow-free graph.
+func (g *Graph) SetCost(id, cost int) {}
+
+// DecomposeUnitPaths reads the unit flow left by the last solve.
+func (g *Graph) DecomposeUnitPaths(s, t int) []int { return nil }
+
+// Solver stands in for the alternative mcf entry point that takes the
+// graph as its first argument.
+type Solver struct{}
+
+// MinCostFlow mirrors Solver.MinCostFlow(g, src, dst, maxFlow).
+func (Solver) MinCostFlow(g *Graph, s, t, maxFlow int) (int, int) { return 0, 0 }
+
+// repriceDirty re-prices after a solve without Commit or Reset: the
+// residual arcs still carry the old flow.
+func repriceDirty() {
+	g := NewGraph(4)
+	g.SetCost(0, 1) // fresh graph: legal
+	g.MinCostFlow(0, 1, 1)
+	g.SetCost(0, 2) // want `SetCost re-prices a graph that may still carry flow from a MinCostFlow`
+}
+
+// decomposeUnsolved reads unit paths off a graph that has no flow on any
+// path here: the decomposition is vacuously empty.
+func decomposeUnsolved() {
+	g := NewGraph(4)
+	g.DecomposeUnitPaths(0, 1) // want `DecomposeUnitPaths on a flow-free graph`
+}
+
+// decomposeAfterCommit is the same mistake after a Commit wiped the flow.
+func decomposeAfterCommit(g *Graph) {
+	g.MinCostFlow(0, 1, 1)
+	g.Commit()
+	g.DecomposeUnitPaths(0, 1) // want `DecomposeUnitPaths on a flow-free graph`
+}
+
+// roundsOK is the repo's negotiation idiom: solve, decompose the unit
+// flow, commit it, re-price for the next round.
+func roundsOK(g *Graph, rounds int) int {
+	total := 0
+	for r := 0; r < rounds; r++ {
+		f, c := g.MinCostFlow(0, 1, 1)
+		if f == 0 {
+			break
+		}
+		total += c
+		g.DecomposeUnitPaths(0, 1)
+		g.Commit()
+		g.SetCost(0, total)
+	}
+	return total
+}
+
+// solverFormOK marks the graph solved through the Solver-first calling
+// convention, so the decomposition has flow to read.
+func solverFormOK(sv Solver) {
+	g := NewGraph(2)
+	sv.MinCostFlow(g, 0, 1, -1)
+	g.DecomposeUnitPaths(0, 1)
+}
+
+// fieldDirty tracks the graph through a single-root field path.
+func fieldDirty(w *wrap) {
+	w.graph.MinCostFlow(0, 1, 1)
+	w.graph.SetCost(0, 2) // want `SetCost re-prices a graph that may still carry flow from a MinCostFlow`
+}
+
+type wrap struct{ graph Graph }
+
+// helperSilence routes the state change through a helper the analyzer
+// does not model: both facts drop to unknown, so no claim is made.
+func helperSilence(g *Graph) {
+	g.MinCostFlow(0, 1, 1)
+	reprice(g)
+	g.SetCost(0, 1)
+}
+
+func reprice(g *Graph) { g.Reset() }
+
+// branchDirty only solves on one branch; the may-fact still flags the
+// re-price because one path reaches it carrying flow.
+func branchDirty(g *Graph, solve bool) {
+	if solve {
+		g.MinCostFlow(0, 1, 1)
+	}
+	g.SetCost(0, 1) // want `SetCost re-prices a graph that may still carry flow from a MinCostFlow`
+}

@@ -1,0 +1,119 @@
+// Package sharedcapture is a fixture for the sharedcapture analyzer: data
+// races on variables captured by spawned closures. The sync package is
+// real — the analyzer matches Mutex/WaitGroup by type name, and the
+// stdlib types carry the real ones.
+package sharedcapture
+
+import "sync"
+
+func sink(int) {}
+
+// raceWrite spawns a closure that writes total while the spawner keeps
+// using it before any barrier: a textbook captured-variable race.
+func raceWrite() int {
+	done := make(chan struct{})
+	total := 0
+	go func() { // want `captured variable total is accessed by both this goroutine and its spawner`
+		total = 42
+		close(done)
+	}()
+	total++
+	<-done
+	return total
+}
+
+// lockedOK guards both sides with the same mutex: the must-locksets
+// overlap, so no pair of accesses races.
+func lockedOK(mu *sync.Mutex) int {
+	done := make(chan struct{})
+	total := 0
+	go func() {
+		mu.Lock()
+		total = 42
+		mu.Unlock()
+		close(done)
+	}()
+	mu.Lock()
+	total++
+	mu.Unlock()
+	<-done
+	return total
+}
+
+// waitedOK only touches the captured variable after the WaitGroup barrier:
+// the spawner's concurrent window is empty.
+func waitedOK() int {
+	total := 0
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		total = 42
+	}()
+	wg.Wait()
+	total++
+	return total
+}
+
+// loopRace spawns the closure once per iteration; every instance writes
+// the same captured accumulator, so the instances race with each other
+// even though the spawner never touches it.
+func loopRace(n int) int {
+	total := 0
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() { // want `closure spawned in a loop writes captured variable total without a lock`
+			total++
+			wg.Done()
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+// loopLockedOK is the same shape with the write under a lock: concurrent
+// instances serialize on it.
+func loopLockedOK(mu *sync.Mutex, n int) int {
+	total := 0
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			mu.Lock()
+			total++
+			mu.Unlock()
+			wg.Done()
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+// perIterOK captures the Go 1.22 per-iteration loop variable: each
+// goroutine gets its own copy, so there is nothing shared to race on.
+func perIterOK(vals []int) {
+	var wg sync.WaitGroup
+	for _, v := range vals {
+		wg.Add(1)
+		go func() {
+			sink(v)
+			wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// elementWritesOK shards a slice by index across goroutines — the repo's
+// fan-out idiom. Element stores are deliberately not tracked as writes.
+func elementWritesOK(out []int) {
+	var wg sync.WaitGroup
+	for i := range out {
+		wg.Add(1)
+		go func() {
+			out[i] = i * i
+			wg.Done()
+		}()
+	}
+	wg.Wait()
+}

@@ -261,6 +261,8 @@ func (s *scheduler) nextRunnable() int {
 // advance commits every consecutive available result, validating (and where
 // necessary redoing) each against the exact sequential state. Called with mu
 // held; ws and scratch are the calling worker's (idle at this point).
+//
+//pacor:locked
 func (s *scheduler) advance(ws *Workspace, scratch *grid.ObsMap) {
 	for s.committed < len(s.tasks) {
 		i := s.committed

@@ -50,6 +50,7 @@ func NewTiling(obs *grid.ObsMap, tileSize int) *Tiling {
 // Rebuild recomputes the tiling for obs, reusing the per-tile arrays when
 // the tile-grid shape is unchanged.
 //
+//pacor:hot
 //pacor:allow hotalloc per-tile arrays (re)allocated only when the tile-grid shape changes; Rebuild reuses them across negotiation runs
 func (t *Tiling) Rebuild(obs *grid.ObsMap, tileSize int) {
 	g := obs.Grid()
@@ -169,6 +170,8 @@ func (t *Tiling) maskWords() int { return (t.tw*t.th + 63) / 64 }
 // fillMask populates a mask over bits (len maskWords, pre-cleared) with the
 // corridor tiles dilated by halo tiles in every direction (Chebyshev, so
 // diagonal neighbors are included — a detailed path may hug a tile corner).
+//
+//pacor:hot
 func (t *Tiling) fillMask(m *TileMask, bits []uint64, tiles []int32, halo int) {
 	m.shift = t.shift
 	m.tw = t.tw
@@ -194,6 +197,7 @@ func (t *Tiling) fillMask(m *TileMask, bits []uint64, tiles []int32, halo int) {
 // halo tiles (the escape stage builds a handful per run; the negotiation
 // stage uses workspace-resident slabs via fillMask instead).
 //
+//pacor:hot
 //pacor:allow hotalloc one mask per corridor on the escape control path, not per search step
 func (t *Tiling) BuildMask(tiles []int32, halo int) *TileMask {
 	m := &TileMask{}
