@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/bench"
+	"repro/internal/designcache"
 	"repro/internal/detour"
 	"repro/internal/dme"
 	"repro/internal/escape"
@@ -560,6 +561,123 @@ func BenchmarkFlowS5Parallel(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkFlowEditLoop models an interactive editing session on the largest
+// paper benchmark: a designer routes S5, then repeatedly moves one valve and
+// re-routes. Cold is the per-step cost without the cross-run cache; ExactHit
+// replays an unchanged design from the cache store; NearHit routes each
+// edited variant warm-seeded by the most similar cached run (byte-identical
+// output; the searches/op, replays/op, candreplay/op, and selreplay/op
+// metrics prove the skipped work). NearHit moves ordinary (non-LM) valves —
+// the edit class whose candidate construction and MWCP selection replay
+// wholesale from the parent; NearHitLM moves length-matching valves, which
+// invalidate their own cluster's candidates and force the ILP to re-run, so
+// its speedup is bounded by the negotiation-layer replays alone. Each
+// iteration visits a distinct variant so the cache cannot degenerate into
+// exact replays; exacthits/op reports any wrap-around when b.N outruns the
+// variant pool.
+func BenchmarkFlowEditLoop(b *testing.B) {
+	d, err := bench.Generate("S5")
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := pacor.DefaultParams()
+
+	b.Run("Cold", func(b *testing.B) {
+		var searches int
+		for i := 0; i < b.N; i++ {
+			res, err := pacor.Route(d, params)
+			if err != nil {
+				b.Fatal(err)
+			}
+			searches = res.Negotiate.Searches
+		}
+		b.ReportMetric(float64(searches), "searches/op")
+	})
+
+	b.Run("ExactHit", func(b *testing.B) {
+		r := designcache.New(designcache.Options{})
+		if _, err := r.Route(d, params); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := r.Route(d, params); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if s := r.Snapshot(); s.Hits != b.N {
+			b.Fatalf("expected %d exact hits, got %+v", b.N, s)
+		}
+	})
+
+	nearHit := func(b *testing.B, variants []*valve.Design) {
+		// Parent plus last-routed variant only: the parent is touched on
+		// every seed pick so it stays resident while routed variants are
+		// evicted, keeping every iteration a genuine near hit even after
+		// b.N wraps the variant list.
+		r := designcache.New(designcache.Options{MaxEntries: 2})
+		if _, err := r.Route(d, params); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		var searches int
+		for i := 0; i < b.N; i++ {
+			res, err := r.Route(variants[i%len(variants)], params)
+			if err != nil {
+				b.Fatal(err)
+			}
+			searches = res.Negotiate.Searches
+		}
+		b.StopTimer()
+		s := r.Snapshot()
+		if s.NearHits == 0 || s.SeededEdges == 0 || s.SeededHits == 0 {
+			b.Fatalf("edit loop never warm-seeded: %+v", s)
+		}
+		if s.Hits != 0 {
+			b.Fatalf("edit loop served %d exact hits — revisited variants leaked into the cache: %+v", s.Hits, s)
+		}
+		b.ReportMetric(float64(searches), "searches/op")
+		b.ReportMetric(float64(s.SeededHits)/float64(s.NearHits), "replays/op")
+		b.ReportMetric(float64(s.CandReplayed)/float64(s.NearHits), "candreplay/op")
+		b.ReportMetric(float64(s.SelReplayed)/float64(s.NearHits), "selreplay/op")
+	}
+
+	ordinary, lm := editVariants(b, d)
+	b.Run("NearHit", func(b *testing.B) { nearHit(b, ordinary) })
+	b.Run("NearHitLM", func(b *testing.B) { nearHit(b, lm) })
+}
+
+// editVariants enumerates every valid single-valve unit nudge of d — the
+// space of one-step edits the session benchmark draws from — split into
+// nudges of ordinary valves and nudges of length-matching-cluster members.
+func editVariants(b *testing.B, d *valve.Design) (ordinary, lm []*valve.Design) {
+	inLM := make(map[int]bool)
+	for _, c := range d.LMClusters {
+		for _, id := range c {
+			inLM[id] = true
+		}
+	}
+	dirs := [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}}
+	for id := range d.Valves {
+		for _, dir := range dirs {
+			nd, err := bench.Nudge(d, id, dir[0], dir[1])
+			if err != nil {
+				continue
+			}
+			if inLM[d.Valves[id].ID] {
+				lm = append(lm, nd)
+			} else {
+				ordinary = append(ordinary, nd)
+			}
+		}
+	}
+	if len(ordinary) == 0 || len(lm) == 0 {
+		b.Fatalf("nudge variants: %d ordinary, %d lm — need both", len(ordinary), len(lm))
+	}
+	return ordinary, lm
 }
 
 // BenchmarkBaselineVsPACOR compares the prior-art-style direct router

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	benchgen [-out DIR] [NAME ...]
+//	benchgen [-out DIR] [-nudge] [NAME ...]
 //	benchgen [-out DIR] -xl [-size N] [-valves N] [-density F]
 //
 // With no names, all seven designs are generated. It also prints the
@@ -42,6 +42,7 @@ func run(args []string, stdout io.Writer) error {
 	size := fs.Int("size", 1000, "grid side length of the -xl design")
 	valves := fs.Int("valves", 2400, "total valve count of the -xl design")
 	density := fs.Float64("density", 0.02, "obstacle density (fraction of cells) of the -xl design")
+	nudge := fs.Bool("nudge", false, "also emit a one-valve-nudged variant of each design (near-hit probe for the design cache)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -64,6 +65,15 @@ func run(args []string, stdout io.Writer) error {
 		}
 		if err := write(stdout, *out, d); err != nil {
 			return err
+		}
+		if *nudge {
+			nd, err := bench.NudgeAny(d)
+			if err != nil {
+				return err
+			}
+			if err := write(stdout, *out, nd); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

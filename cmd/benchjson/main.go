@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
@@ -37,10 +38,12 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/designcache"
 	"repro/internal/geom"
 	"repro/internal/grid"
 	"repro/internal/pacor"
 	"repro/internal/route"
+	"repro/internal/valve"
 )
 
 // Measurement is one benchmark result in the snapshot.
@@ -87,9 +90,9 @@ type Snapshot struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR8.json", "output file")
-	pr := flag.Int("pr", 8, "PR number stamped into the snapshot")
-	baseline := flag.String("baseline", "BENCH_PR6.json", "prior snapshot to diff against (empty = none)")
+	out := flag.String("out", "BENCH_PR10.json", "output file")
+	pr := flag.Int("pr", 10, "PR number stamped into the snapshot")
+	baseline := flag.String("baseline", "BENCH_PR8.json", "prior snapshot to diff against (empty = none)")
 	designs := flag.String("designs", "S1,S3,S5", "designs for the full-flow benchmarks")
 	sweep := flag.String("sweep", "S1,S2,S3,S4,S5", "designs for the sequential-vs-parallel sweep timing")
 	flag.Parse()
@@ -244,6 +247,94 @@ func main() {
 		fatal(err)
 	}
 
+	// The cross-run design cache on the interactive edit loop (route S5, move
+	// one valve, re-route): ColdMiss is the uncached per-step cost, ExactHit
+	// replays an unchanged design from the store, NearHit routes ordinary-
+	// valve nudges warm-seeded by the cached parent (byte-identical output),
+	// and NearHitLM nudges a length-matching valve — the edit class that
+	// invalidates its own cluster's candidates and re-runs the MWCP ILP, so
+	// its speedup is bounded by the negotiation replays alone.
+	if d5, err := bench.Generate("S5"); err == nil {
+		params := pacor.DefaultParams()
+		record("EditLoopColdMiss", bestOf(3, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := pacor.Route(d5, params); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}), "S5 edit-loop step without the design cache")
+		tag("EditLoopColdMiss", "auto", "S", "flat")
+
+		record("EditLoopExactHit", bestOf(3, func(b *testing.B) {
+			r := designcache.New(designcache.Options{})
+			if _, err := r.Route(d5, params); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := r.Route(d5, params); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if s := r.Snapshot(); s.Hits != b.N {
+				b.Fatalf("expected %d exact hits, got %+v", b.N, s)
+			}
+		}), "unchanged S5 replayed from the cache store (raw-key exact hit)")
+		tag("EditLoopExactHit", "auto", "S", "flat")
+
+		ordinary, lmNudges := editVariants(d5)
+		nearRow := func(variants []*valve.Design) func(b *testing.B) {
+			return func(b *testing.B) {
+				// Two entries: the parent plus the last-routed variant.
+				// The parent is touched on every seed pick so it stays
+				// resident while each routed variant is evicted — every
+				// iteration is a genuine near hit even after b.N wraps
+				// the variant list (a bigger cache would silently turn
+				// revisited variants into exact hits).
+				r := designcache.New(designcache.Options{MaxEntries: 2})
+				if _, err := r.Route(d5, params); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := r.Route(variants[i%len(variants)], params); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				s := r.Snapshot()
+				if s.NearHits == 0 || s.SeededHits == 0 {
+					b.Fatalf("edit loop never warm-seeded: %+v", s)
+				}
+				if s.Hits != 0 {
+					b.Fatalf("edit loop served %d exact hits — revisited variants leaked into the cache: %+v", s.Hits, s)
+				}
+			}
+		}
+		record("EditLoopNearHit", bestOf(3, nearRow(ordinary)),
+			"ordinary-valve nudges of S5 warm-seeded by the cached parent (negotiation replay + LM candidate/selection replay, byte-identical output)")
+		tag("EditLoopNearHit", "auto", "S", "flat")
+		record("EditLoopNearHitLM", bestOf(3, nearRow(lmNudges)),
+			"LM-valve nudges of S5: the moved cluster re-runs candidates and the ILP, only negotiation replays (byte-identical output)")
+		tag("EditLoopNearHitLM", "auto", "S", "flat")
+
+		chainTo := func(name string) {
+			m := snap.Benchmarks[name]
+			m.SpeedupVs = "EditLoopColdMiss"
+			m.Speedup = float64(snap.Benchmarks["EditLoopColdMiss"].NsPerOp) / float64(m.NsPerOp)
+			snap.Benchmarks[name] = m
+		}
+		chainTo("EditLoopExactHit")
+		chainTo("EditLoopNearHit")
+		chainTo("EditLoopNearHitLM")
+	} else {
+		fatal(err)
+	}
+
 	// Sequential vs parallel sweep: one pass over designs x modes each way.
 	names := strings.Split(*sweep, ",")
 	seq := sweepOnce(names, 1)
@@ -391,7 +482,7 @@ func main() {
 	snap.Notes = strings.Join(notes, " | ")
 	if *baseline != "" {
 		if err := annotateBaseline(&snap, *baseline); err != nil {
-			fmt.Fprintln(os.Stderr, "benchjson: baseline:", err)
+			fatal(err)
 		}
 	}
 
@@ -416,6 +507,20 @@ func annotateBaseline(snap *Snapshot, path string) error {
 	var base Snapshot
 	if err := json.Unmarshal(data, &base); err != nil {
 		return err
+	}
+	// Chain validation: a snapshot must diff against a genuinely older link.
+	// A baseline with no pr field, or one at or ahead of this snapshot's PR,
+	// means the chain is miswired (wrong file, or a copy edited by hand) and
+	// every speedup_vs_baseline it would produce is meaningless — fail loudly
+	// instead of emitting a plausible-looking snapshot.
+	if base.PR == 0 {
+		return fmt.Errorf("baseline %s has no pr field — not a benchjson snapshot", path)
+	}
+	if base.PR >= snap.PR {
+		return fmt.Errorf("baseline %s is PR %d, not older than this snapshot's PR %d — chain broken", path, base.PR, snap.PR)
+	}
+	if want := fmt.Sprintf("BENCH_PR%d.json", base.PR); filepath.Base(path) != want {
+		return fmt.Errorf("baseline %s carries pr=%d but is not named %s — chain broken", path, base.PR, want)
 	}
 	snap.Baseline = path
 	names := make([]string, 0, len(snap.Benchmarks))
@@ -476,6 +581,36 @@ func sweepOnce(names []string, workers int) time.Duration {
 	close(next)
 	wg.Wait()
 	return time.Since(start)
+}
+
+// editVariants enumerates every valid single-valve unit nudge of d, split
+// into ordinary-valve and LM-cluster-valve moves (mirrors the
+// BenchmarkFlowEditLoop split in bench_test.go).
+func editVariants(d *valve.Design) (ordinary, lm []*valve.Design) {
+	inLM := make(map[int]bool)
+	for _, c := range d.LMClusters {
+		for _, id := range c {
+			inLM[id] = true
+		}
+	}
+	dirs := [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}}
+	for i := range d.Valves {
+		for _, dir := range dirs {
+			nd, err := bench.Nudge(d, i, dir[0], dir[1])
+			if err != nil {
+				continue
+			}
+			if inLM[d.Valves[i].ID] {
+				lm = append(lm, nd)
+			} else {
+				ordinary = append(ordinary, nd)
+			}
+		}
+	}
+	if len(ordinary) == 0 || len(lm) == 0 {
+		fatal(fmt.Errorf("edit variants: %d ordinary, %d lm — need both", len(ordinary), len(lm)))
+	}
+	return ordinary, lm
 }
 
 // title upper-cases the first letter of a queue-mode name for row naming.

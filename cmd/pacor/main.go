@@ -6,9 +6,16 @@
 //	pacor [-mode pacor|wosel|detourfirst] [-j N] [-queue auto|heap|bucket] [-hier auto|on|off] [-stats] [-nocache] [-checkcache] [-render] [-clusters] design.json
 //	pacor -bench S3 [-mode ...] [-render] [-svg out.svg] [-skew] [-json out.json]
 //	pacor -bench S5 -cpuprofile cpu.pprof -memprofile mem.pprof
+//	pacor -bench S3 -cachedir .pacor-cache [-cache-entries N] [-cache-bytes B] [-stable] [-stats]
 //
 // -j sizes the worker pool of the parallel routing stages; every worker
 // count produces byte-identical routing (see route.RunScheduled).
+//
+// -cachedir enables the cross-run design cache (internal/designcache): a
+// repeated design replays its stored result, a similar design warm-seeds
+// negotiation from the most similar cached run. Both route byte-identically
+// to a cold run; -stable omits wall-clock fields so two runs can be
+// compared with a plain diff.
 //
 // The design is a JSON file (see internal/valve); -bench routes one of the
 // built-in Table 1 benchmarks instead. Exit status 1 indicates a routing or
@@ -25,6 +32,7 @@ import (
 	"sort"
 
 	"repro/internal/bench"
+	"repro/internal/designcache"
 	"repro/internal/pacor"
 	"repro/internal/pressure"
 	"repro/internal/render"
@@ -56,6 +64,10 @@ func run(args []string, stdout io.Writer) error {
 	checkCache := fs.Bool("checkcache", false, "re-search every negotiation cache hit and fail loudly on divergence")
 	queueFlag := fs.String("queue", "auto", "open-list implementation: auto, heap, bucket (routes identically, wall-clock only)")
 	hierFlag := fs.String("hier", "auto", "hierarchical two-stage routing: auto (on above the Table 1 scale), on, off")
+	cacheDir := fs.String("cachedir", "", "cross-run design cache directory: exact hits replay the stored result, near hits warm-seed negotiation (routes identically)")
+	cacheEntries := fs.Int("cache-entries", 0, "design-cache resident entry bound (0 = default, negative = unbounded)")
+	cacheBytes := fs.Int64("cache-bytes", 0, "design-cache resident byte bound (0 = default, negative = unbounded)")
+	stableFlag := fs.Bool("stable", false, "omit wall-clock fields from the summary (for byte-comparing runs)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -129,19 +141,51 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	params.Hier.Mode = hier
-	res, err := pacor.Route(d, params)
+	var res *pacor.Result
+	var cacheStats *designcache.Stats
+	if *cacheDir != "" {
+		cr := designcache.New(designcache.Options{
+			Dir:        *cacheDir,
+			MaxEntries: *cacheEntries,
+			MaxBytes:   *cacheBytes,
+		})
+		res, err = cr.Route(d, params)
+		if err == nil {
+			s := cr.Snapshot()
+			cacheStats = &s
+		}
+	} else {
+		res, err = pacor.Route(d, params)
+	}
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(stdout, "design %s (%dx%d, %d valves): mode %s\n", d.Name, d.W, d.H, len(d.Valves), mode)
 	fmt.Fprintf(stdout, "  clusters (>=2 valves): %d, matched: %d\n", res.MultiClusters, res.MatchedClusters)
 	fmt.Fprintf(stdout, "  matched channel length: %d, total channel length: %d\n", res.MatchedLen, res.TotalLen)
-	fmt.Fprintf(stdout, "  routing completion: %.1f%% (%d/%d valves), runtime %v\n",
-		100*res.CompletionRate(), res.RoutedValves, res.TotalValves, res.Runtime)
+	if *stableFlag {
+		fmt.Fprintf(stdout, "  routing completion: %.1f%% (%d/%d valves)\n",
+			100*res.CompletionRate(), res.RoutedValves, res.TotalValves)
+	} else {
+		fmt.Fprintf(stdout, "  routing completion: %.1f%% (%d/%d valves), runtime %v\n",
+			100*res.CompletionRate(), res.RoutedValves, res.TotalValves, res.Runtime)
+	}
 	if *statsFlag {
 		ns := res.Negotiate
 		fmt.Fprintf(stdout, "  negotiation: %d rounds, %d searches, cache %d hits / %d misses (%d invalidated)\n",
 			ns.Rounds, ns.Searches, ns.CacheHits, ns.CacheMisses, ns.Invalidated)
+		if ns.SeededEdges > 0 || ns.SeededHits > 0 {
+			fmt.Fprintf(stdout, "  negotiation cross-run: %d seeded edges, %d replays\n", ns.SeededEdges, ns.SeededHits)
+		}
+		if lr := res.LMReuse; lr.CandReplayed > 0 || lr.SelectionReplayed {
+			fmt.Fprintf(stdout, "  lm stage cross-run: %d/%d candidate sets replayed, selection replayed=%t\n",
+				lr.CandReplayed, lr.CandClusters, lr.SelectionReplayed)
+		}
+		if cacheStats != nil {
+			s := cacheStats
+			fmt.Fprintf(stdout, "  design cache: %d exact (%d mem / %d disk), %d near, %d miss, %d dedup, %d evicted, %d disk errors\n",
+				s.Hits+s.DiskHits, s.Hits, s.DiskHits, s.NearHits, s.Misses, s.Dedup, s.Evictions, s.DiskErrors)
+		}
 		if len(ns.FailedIDs) > 0 {
 			fmt.Fprintf(stdout, "  negotiation failed edges: %v\n", ns.FailedIDs)
 		}

@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/valve"
+)
+
+// Nudge returns a deep copy of d with valve valveID moved by (dx, dy) — the
+// canonical interactive-editing step (a designer drags one valve and
+// re-routes) that the cross-run design cache turns into a near-hit. The move
+// must land on-grid, off every obstacle, and off every other valve; the
+// design is otherwise untouched, so the child differs from the parent by
+// exactly two cells of geometry.
+func Nudge(d *valve.Design, valveID, dx, dy int) (*valve.Design, error) {
+	if valveID < 0 || valveID >= len(d.Valves) {
+		return nil, fmt.Errorf("bench: nudge of unknown valve %d (design has %d)", valveID, len(d.Valves))
+	}
+	to := d.Valves[valveID].Pos.Add(geom.Pt{X: dx, Y: dy})
+	if to.X < 0 || to.X >= d.W || to.Y < 0 || to.Y >= d.H {
+		return nil, fmt.Errorf("bench: nudge moves valve %d off-grid to %v", valveID, to)
+	}
+	for _, o := range d.Obstacles {
+		if o == to {
+			return nil, fmt.Errorf("bench: nudge moves valve %d onto obstacle %v", valveID, to)
+		}
+	}
+	for i := range d.Valves {
+		if i != valveID && d.Valves[i].Pos == to {
+			return nil, fmt.Errorf("bench: nudge moves valve %d onto valve %d at %v", valveID, i, to)
+		}
+	}
+
+	nd := &valve.Design{
+		Name:       d.Name + "-nudged",
+		W:          d.W,
+		H:          d.H,
+		Delta:      d.Delta,
+		Valves:     make([]valve.Valve, len(d.Valves)),
+		Obstacles:  append([]geom.Pt(nil), d.Obstacles...),
+		Pins:       append([]geom.Pt(nil), d.Pins...),
+		LMClusters: make([][]int, len(d.LMClusters)),
+	}
+	for i, v := range d.Valves {
+		nd.Valves[i] = valve.Valve{ID: v.ID, Pos: v.Pos, Seq: append(valve.Seq(nil), v.Seq...)}
+	}
+	nd.Valves[valveID].Pos = to
+	for i, c := range d.LMClusters {
+		nd.LMClusters[i] = append([]int(nil), c...)
+	}
+	if err := nd.Validate(); err != nil {
+		return nil, fmt.Errorf("bench: nudged design invalid: %w", err)
+	}
+	return nd, nil
+}
+
+// NudgeAny nudges the first valve that admits a unit move, scanning valves
+// in ID order and the four directions in deterministic order. It is the
+// convenience form for benchmarks and CI, where *which* valve moves is
+// immaterial but determinism is not.
+func NudgeAny(d *valve.Design) (*valve.Design, error) {
+	dirs := [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}}
+	for id := range d.Valves {
+		for _, dir := range dirs {
+			if nd, err := Nudge(d, id, dir[0], dir[1]); err == nil {
+				return nd, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("bench: no valve of %s admits a unit nudge", d.Name)
+}

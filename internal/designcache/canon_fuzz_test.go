@@ -1,0 +1,156 @@
+package designcache
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/pacor"
+	"repro/internal/valve"
+)
+
+// randomDesign builds a small syntactically valid design deterministically
+// from seed: unique valve positions, a few obstacles and pins (duplicates
+// allowed — they hash as sets/sequences, not geometry), and LM clusters over
+// a prefix of the valves.
+func randomDesign(seed uint64) *valve.Design {
+	rng := rand.New(rand.NewSource(int64(seed)))
+	w, h := 8+rng.Intn(32), 8+rng.Intn(32)
+	nv := 2 + rng.Intn(10)
+	d := &valve.Design{Name: "fuzz", W: w, H: h, Delta: rng.Intn(4)}
+	used := map[geom.Pt]bool{}
+	for i := 0; i < nv; i++ {
+		var p geom.Pt
+		for {
+			p = geom.Pt{X: rng.Intn(w), Y: rng.Intn(h)}
+			if !used[p] {
+				break
+			}
+		}
+		used[p] = true
+		seq := make(valve.Seq, 1+rng.Intn(4))
+		statuses := []valve.Status{valve.Open, valve.Closed, valve.DontC}
+		for j := range seq {
+			seq[j] = statuses[rng.Intn(len(statuses))]
+		}
+		d.Valves = append(d.Valves, valve.Valve{ID: i, Pos: p, Seq: seq})
+	}
+	for i := rng.Intn(6); i > 0; i-- {
+		d.Obstacles = append(d.Obstacles, geom.Pt{X: rng.Intn(w), Y: rng.Intn(h)})
+	}
+	for i := 1 + rng.Intn(6); i > 0; i-- {
+		d.Pins = append(d.Pins, geom.Pt{X: rng.Intn(w), Y: 0})
+	}
+	for id := 0; id+1 < nv && rng.Intn(2) == 0; {
+		size := 2 + rng.Intn(3)
+		if id+size > nv {
+			size = nv - id
+		}
+		c := make([]int, size)
+		for i := range c {
+			c[i] = id + i
+		}
+		d.LMClusters = append(d.LMClusters, c)
+		id += size
+	}
+	return d
+}
+
+// shuffledPresentation returns d with valves (IDs re-densified, LM clusters
+// remapped), obstacles, pins, and cluster order all permuted — a different
+// JSON presentation of the same chip.
+func shuffledPresentation(d *valve.Design, seed uint64) *valve.Design {
+	rng := rand.New(rand.NewSource(int64(seed)))
+	n := len(d.Valves)
+	perm := rng.Perm(n) // perm[newIndex] = oldIndex
+	newID := make([]int, n)
+	p := &valve.Design{Name: d.Name + "-shuffled", W: d.W, H: d.H, Delta: d.Delta}
+	for ni, oi := range perm {
+		newID[oi] = ni
+		v := d.Valves[oi]
+		p.Valves = append(p.Valves, valve.Valve{ID: ni, Pos: v.Pos, Seq: v.Seq})
+	}
+	p.Obstacles = append([]geom.Pt(nil), d.Obstacles...)
+	rng.Shuffle(len(p.Obstacles), func(i, j int) {
+		p.Obstacles[i], p.Obstacles[j] = p.Obstacles[j], p.Obstacles[i]
+	})
+	p.Pins = append([]geom.Pt(nil), d.Pins...)
+	rng.Shuffle(len(p.Pins), func(i, j int) {
+		p.Pins[i], p.Pins[j] = p.Pins[j], p.Pins[i]
+	})
+	for _, c := range d.LMClusters {
+		cc := make([]int, len(c))
+		for i, id := range c {
+			cc[i] = newID[id]
+		}
+		rng.Shuffle(len(cc), func(i, j int) { cc[i], cc[j] = cc[j], cc[i] })
+		p.LMClusters = append(p.LMClusters, cc)
+	}
+	rng.Shuffle(len(p.LMClusters), func(i, j int) {
+		p.LMClusters[i], p.LMClusters[j] = p.LMClusters[j], p.LMClusters[i]
+	})
+	return p
+}
+
+// FuzzCanonKey: the canonical key is invariant under every presentation
+// permutation (valve order with ID re-densification, obstacle order, pin
+// order, LM cluster order and internal order) and sensitive to a semantic
+// change (one valve moved to a free cell). The raw key is sensitive to valve
+// order whenever the permutation is not the identity.
+func FuzzCanonKey(f *testing.F) {
+	f.Add(uint64(1), uint64(2))
+	f.Add(uint64(42), uint64(7))
+	f.Add(uint64(0), uint64(0))
+	f.Add(uint64(987654321), uint64(123456789))
+	f.Fuzz(func(t *testing.T, seed, permSeed uint64) {
+		d := randomDesign(seed)
+		sig := ParamsSig(pacor.DefaultParams())
+		canon, raw := CanonKey(d, sig), RawKey(d, sig)
+
+		p := shuffledPresentation(d, permSeed)
+		if got := CanonKey(p, sig); got != canon {
+			t.Fatalf("canonical key not permutation-invariant:\n orig %v\n perm %v", canon, got)
+		}
+		permuted := false
+		for i := range p.Valves {
+			if p.Valves[i].Pos != d.Valves[i].Pos {
+				permuted = true
+				break
+			}
+		}
+		if permuted && RawKey(p, sig) == raw {
+			t.Fatal("raw key ignored a valve reordering")
+		}
+
+		// Semantic change: move valve 0 to any free cell — both keys shift.
+		occupied := map[geom.Pt]bool{}
+		for i := range d.Valves {
+			occupied[d.Valves[i].Pos] = true
+		}
+		moved := *d
+		moved.Valves = append([]valve.Valve(nil), d.Valves...)
+		for y := 0; y < d.H; y++ {
+			for x := 0; x < d.W; x++ {
+				if !occupied[geom.Pt{X: x, Y: y}] {
+					moved.Valves[0].Pos = geom.Pt{X: x, Y: y}
+					y = d.H
+					break
+				}
+			}
+		}
+		if moved.Valves[0].Pos == d.Valves[0].Pos {
+			return // grid fully occupied — nothing to move to
+		}
+		if CanonKey(&moved, sig) == canon {
+			t.Fatal("canonical key missed a moved valve")
+		}
+		if RawKey(&moved, sig) == raw {
+			t.Fatal("raw key missed a moved valve")
+		}
+
+		// A different parameter signature partitions the key space.
+		if CanonKey(d, sig+";x") == canon {
+			t.Fatal("canonical key ignored the parameter signature")
+		}
+	})
+}

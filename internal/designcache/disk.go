@@ -1,0 +1,135 @@
+package designcache
+
+import (
+	"encoding/gob"
+	"encoding/hex"
+	"errors"
+	"os"
+	"path/filepath"
+
+	"repro/internal/pacor"
+	"repro/internal/route"
+)
+
+// On-disk layout: one gob file per canonical key, named by the key's hex,
+// written atomically (temp file + rename) so a crashed run never leaves a
+// truncated record a later run would choke on. Records are keyed
+// canonically — the broadest identity — and carry the raw key inside, so a
+// load can distinguish an exact hit (raw match: serve the stored result)
+// from a canonical sibling (different valve order: usable only as a warm
+// near-hit parent). The layout mirrors pacorvet's content-addressed fact
+// cache: content-hashed file names make invalidation automatic — a changed
+// design or parameter set simply hashes elsewhere.
+
+// diskVersion stamps the record layout; mismatched records are ignored (and
+// re-routed), never misread.
+const diskVersion = 1
+
+type diskRecord struct {
+	Version int
+	Raw     Key
+	Sig     string
+	W, H    int
+	Bits    []uint64
+	Res     *pacor.Result
+	Seed    *route.NegotiationSeed
+	LM      *pacor.LMSeed
+}
+
+// storeDisk persists e into the cache directory.
+func (r *Router) storeDisk(e *entry) error {
+	if err := os.MkdirAll(r.opts.Dir, 0o755); err != nil {
+		return err
+	}
+	final := filepath.Join(r.opts.Dir, e.canon.String())
+	tmp, err := os.CreateTemp(r.opts.Dir, "tmp-*")
+	if err != nil {
+		return err
+	}
+	rec := diskRecord{
+		Version: diskVersion,
+		Raw:     e.raw,
+		Sig:     e.sig,
+		W:       e.w,
+		H:       e.h,
+		Bits:    e.bits,
+		Res:     e.res,
+		Seed:    e.seed,
+		LM:      e.lm,
+	}
+	encErr := gob.NewEncoder(tmp).Encode(&rec)
+	closeErr := tmp.Close()
+	if err := errors.Join(encErr, closeErr); err != nil {
+		return errors.Join(err, os.Remove(tmp.Name()))
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return errors.Join(err, os.Remove(tmp.Name()))
+	}
+	return nil
+}
+
+// loadDisk loads the record for canonKey, if present and well-formed, as a
+// resident entry. A failed read or a stale format returns nil — the caller
+// routes as on a miss. Decode errors count as DiskErrors; a plain missing
+// file does not.
+func (r *Router) loadDisk(canonKey Key, sig string) *entry {
+	f, err := os.Open(filepath.Join(r.opts.Dir, canonKey.String()))
+	if err != nil {
+		return nil
+	}
+	var rec diskRecord
+	decErr := gob.NewDecoder(f).Decode(&rec)
+	closeErr := f.Close()
+	if err := errors.Join(decErr, closeErr); err != nil {
+		r.mu.Lock()
+		r.stats.DiskErrors++
+		r.mu.Unlock()
+		return nil
+	}
+	if rec.Version != diskVersion || rec.Sig != sig || rec.Res == nil || rec.Seed == nil ||
+		rec.W <= 0 || rec.H <= 0 || len(rec.Bits) != (rec.W*rec.H+63)/64 {
+		return nil
+	}
+	return &entry{
+		canon: canonKey,
+		raw:   rec.Raw,
+		sig:   rec.Sig,
+		w:     rec.W,
+		h:     rec.H,
+		bits:  rec.Bits,
+		res:   rec.Res,
+		seed:  rec.Seed,
+		lm:    rec.LM,
+		size:  entrySize(rec.Bits, rec.Res, rec.Seed, rec.LM),
+	}
+}
+
+// diskParent scans the cache directory for the best warm parent of a design
+// the memory store could not serve — the cross-process near-hit path (a
+// fresh CLI invocation has an empty memory LRU; its parent lives only on
+// disk). Records are visited in sorted file-name order so ties resolve
+// deterministically; malformed records count DiskErrors and are skipped.
+func (r *Router) diskParent(bits []uint64, w, h int, sig string) *entry {
+	names, err := os.ReadDir(r.opts.Dir)
+	if err != nil {
+		return nil
+	}
+	var best *entry
+	bestScore := 0.0
+	for _, de := range names {
+		raw, err := hex.DecodeString(de.Name())
+		if err != nil || len(raw) != len(Key{}) {
+			continue // temp files and strangers
+		}
+		var canonKey Key
+		copy(canonKey[:], raw)
+		e := r.loadDisk(canonKey, sig)
+		if e == nil || e.w != w || e.h != h || e.seed == nil || len(e.seed.Rounds) == 0 {
+			continue
+		}
+		if score := jaccard(bits, e.bits); score > bestScore && score >= r.opts.Jaccard {
+			best, bestScore = e, score
+		}
+	}
+	return best
+}

@@ -10,6 +10,7 @@ package grid
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/geom"
 )
@@ -194,6 +195,46 @@ func (m *ObsMap) SetRect(r geom.Rect, blocked bool) {
 				m.record(i, m.block[i])
 				m.block[i] = blocked
 			}
+		}
+	}
+}
+
+// Bits serializes the blocked set into dst as a bitmap of ceil(cells/64)
+// words (bit i set iff cell i is blocked) and returns it, reusing dst's
+// capacity. The bitmap is a portable value snapshot: unlike the map itself it
+// can be diffed word-wise (DiffBits) and persisted, which is how the
+// cross-run negotiation seeding turns an obstacle-set delta into dirty cells.
+//
+//pacor:allow hotalloc grows the caller's snapshot buffer once; steady-state captures reuse it
+func (m *ObsMap) Bits(dst []uint64) []uint64 {
+	n := (len(m.block) + 63) / 64
+	if cap(dst) < n {
+		dst = make([]uint64, n)
+	} else {
+		dst = dst[:n]
+		clear(dst)
+	}
+	for i, b := range m.block {
+		if b {
+			dst[i>>6] |= 1 << (uint(i) & 63)
+		}
+	}
+	return dst
+}
+
+// DiffBits calls mark for every cell index whose bit differs between a and b,
+// in ascending cell order. The bitmaps must be the same length (it panics
+// otherwise — a silent truncation would drop diff cells and unsoundly skip
+// invalidation downstream).
+func DiffBits(a, b []uint64, mark func(cell int)) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("grid: DiffBits length mismatch %d != %d", len(a), len(b)))
+	}
+	for wi := range a {
+		d := a[wi] ^ b[wi]
+		for d != 0 {
+			mark(wi<<6 + bits.TrailingZeros64(d))
+			d &= d - 1
 		}
 	}
 }

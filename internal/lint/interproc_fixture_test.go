@@ -25,6 +25,21 @@ func TestJournalPairFixture(t *testing.T) {
 	runFixture(t, AnalyzerJournalPair, "testdata/src/journalpair")
 }
 
+// TestSeedWorkspaceFixture covers the cache-seeding workspace shapes: the
+// seed-hit fast path that skips the pooled release, a capture that reads
+// the workspace after a releasing helper, and obligations discharged
+// through a replay helper's summary.
+func TestSeedWorkspaceFixture(t *testing.T) {
+	runFixture(t, AnalyzerWsAliasing, "testdata/src/seedworkspace")
+}
+
+// TestSeedJournalFixture covers the journal obligation across the
+// seed/restore boundary: rewinding to the pre-seed mark never closes the
+// journal, and a restore helper's summary can.
+func TestSeedJournalFixture(t *testing.T) {
+	runFixture(t, AnalyzerJournalPair, "testdata/src/seedjournal")
+}
+
 // TestParseErrorFixture pins the parse-failure contract: a broken file
 // yields positioned findings under the "parse" analyzer, suppresses every
 // other analyzer for the package, and does not abort the run.

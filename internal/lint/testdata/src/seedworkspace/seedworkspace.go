@@ -1,0 +1,101 @@
+// Package seedworkspace is a fixture for the wsaliasing analyzer over the
+// cross-run cache-seeding shapes: a workspace warm-seeded from a captured
+// parent run still carries the pooled-release obligation, a capture that
+// stores the workspace into a seed transfers ownership, and a seed-hit
+// fast path that returns early must not skip the release.
+package seedworkspace
+
+//pacor:pkgpath fixture/internal/search
+
+// Grid stands in for grid.Grid.
+type Grid struct{ W, H int }
+
+// Cells mirrors the real grid API.
+func (g Grid) Cells() int { return g.W * g.H }
+
+// Workspace stands in for route.Workspace.
+type Workspace struct{ cells int }
+
+// Search stands in for a workspace-backed search.
+func (w *Workspace) Search(from, to int) int { return from + to + w.cells }
+
+// Replay stands in for serving a captured outcome through the workspace.
+func (w *Workspace) Replay(round int) int { return round + w.cells }
+
+// AcquireWorkspace stands in for the pooled acquire.
+func AcquireWorkspace(g Grid) *Workspace { return &Workspace{cells: g.Cells()} }
+
+// ReleaseWorkspace stands in for the pooled release.
+func ReleaseWorkspace(*Workspace) {}
+
+// Seed stands in for a captured negotiation transcript.
+type Seed struct {
+	rounds int
+	ws     *Workspace
+}
+
+// usable mirrors the seed validity gate.
+func (s *Seed) usable() bool { return s != nil && s.rounds > 0 }
+
+// replayAll serves every captured round and releases on all paths:
+// callers that hand their workspace to it have discharged the obligation.
+func replayAll(ws *Workspace, s *Seed) int {
+	n := 0
+	for r := 0; r < s.rounds; r++ {
+		n += ws.Replay(r)
+	}
+	ReleaseWorkspace(ws)
+	return n
+}
+
+// seededBalanced is the blessed seeded-run shape: acquire, replay or
+// search depending on the seed, release on the single exit.
+func seededBalanced(g Grid, s *Seed) int {
+	ws := AcquireWorkspace(g)
+	n := 0
+	if s.usable() {
+		n = ws.Replay(0)
+	} else {
+		n = ws.Search(0, 1)
+	}
+	ReleaseWorkspace(ws)
+	return n
+}
+
+// seedHitLeak returns early on the seed-hit fast path without releasing:
+// every warm run shrinks the pool by one workspace.
+func seedHitLeak(g Grid, s *Seed) int {
+	ws := AcquireWorkspace(g) // want `workspace ws does not reach ReleaseWorkspace on every path`
+	if s.usable() {
+		return ws.Replay(0)
+	}
+	n := ws.Search(0, 1)
+	ReleaseWorkspace(ws)
+	return n
+}
+
+// dischargedThroughReplay is clean interprocedurally: replayAll's summary
+// releases on every path.
+func dischargedThroughReplay(g Grid, s *Seed) int {
+	ws := AcquireWorkspace(g)
+	if !s.usable() {
+		ReleaseWorkspace(ws)
+		return 0
+	}
+	return replayAll(ws, s)
+}
+
+// captureUseAfterRelease re-reads the workspace after replayAll released
+// it — the capture must deep-copy before the release, not after.
+func captureUseAfterRelease(g Grid, s *Seed) int {
+	ws := AcquireWorkspace(g)
+	n := replayAll(ws, s)
+	return n + ws.Replay(1) // want `workspace ws is used after ReleaseWorkspace`
+}
+
+// capturedIntoSeed escapes: the seed now owns the workspace and its
+// obligations, so the local check stays silent.
+func capturedIntoSeed(g Grid) *Seed {
+	ws := AcquireWorkspace(g)
+	return &Seed{rounds: 1, ws: ws}
+}

@@ -146,8 +146,9 @@ func Route(d *valve.Design, params Params) (*Result, error) {
 	// Stage 2: length-matching cluster routing. Every negotiation call of the
 	// run accumulates its work counters into one stats record.
 	var negStats route.NegotiateStats
+	var lmStats LMReuseStats
 	t0 = time.Now()
-	routeLMClusters(ws, d, obs, fcs, params, &negStats)
+	routeLMClusters(ws, d, obs, fcs, params, &negStats, &lmStats)
 
 	// Repair pass: re-realize badly routed trees (the paper reconstructs the
 	// DME tree when negotiation exceeds its iteration bound; congested
@@ -183,6 +184,7 @@ func Route(d *valve.Design, params Params) (*Result, error) {
 	res := assemble(d, fcs, params.Mode, time.Since(start))
 	res.StageTimes = stageTimes
 	res.Negotiate = negStats
+	res.LMReuse = lmStats
 	res.EscapeHier = escHier
 	return res, nil
 }
@@ -190,7 +192,7 @@ func Route(d *valve.Design, params Params) (*Result, error) {
 // routeLMClusters computes candidate trees, selects one per cluster (per
 // mode), and routes all LM clusters jointly with negotiation. Clusters whose
 // edges cannot all be routed are demoted to ordinary MST routing.
-func routeLMClusters(ws *route.Workspace, d *valve.Design, obs *grid.ObsMap, fcs []*flowCluster, params Params, negStats *route.NegotiateStats) {
+func routeLMClusters(ws *route.Workspace, d *valve.Design, obs *grid.ObsMap, fcs []*flowCluster, params Params, negStats *route.NegotiateStats, lmStats *LMReuseStats) {
 	// Candidate construction per cluster is independent (read-only over the
 	// static obstacle map), so it fans out across goroutines; results are
 	// collected by index, keeping the flow deterministic.
@@ -200,18 +202,78 @@ func routeLMClusters(ws *route.Workspace, d *valve.Design, obs *grid.ObsMap, fcs
 			pending = append(pending, fc)
 		}
 	}
+
+	// Cross-run seeding of this sub-stage (lmseed.go): a usable seed replays
+	// candidate construction per cluster (sink sequence match + clean read
+	// cone) and the MWCP selection as a whole (instance fingerprint match).
+	sig := lmParamsSig(params)
+	seed := params.LMSeed
+	if !seed.usable(d.W, d.H, sig) {
+		seed = nil
+	}
+	capt := params.LMCapture
+	var bits, diff []uint64
+	if seed != nil || capt != nil {
+		bits = obs.Bits(nil)
+	}
+	if seed != nil {
+		diff = diffBitmaps(bits, seed.Bits)
+	}
+	if capt != nil {
+		*capt = LMSeed{W: d.W, H: d.H, Sig: sig, Bits: bits}
+	}
+
 	candsByIdx := make([][]*dme.Tree, len(pending))
+	hashes := make([]uint64, len(pending))
+	cones := make([][]int32, len(pending))
+	replayed := make([]bool, len(pending))
 	var wg sync.WaitGroup
 	for i, fc := range pending {
 		wg.Add(1)
 		go func(i int, fc *flowCluster) {
 			defer wg.Done()
-			candsByIdx[i] = dme.Candidates(obs, fc.positions(d), params.MaxCandidates)
+			sinks := fc.positions(d)
+			if seed != nil {
+				if ps := seed.lookup(sinks); ps != nil && coneClean(ps.Cone, diff) {
+					candsByIdx[i] = ps.Cands
+					hashes[i] = ps.Hash
+					cones[i] = ps.Cone
+					replayed[i] = true
+					return
+				}
+			}
+			if seed == nil && capt == nil {
+				candsByIdx[i] = dme.Candidates(obs, sinks, params.MaxCandidates)
+				return
+			}
+			var probe func(geom.Pt)
+			if capt != nil {
+				g := obs.Grid()
+				probe = func(p geom.Pt) { cones[i] = append(cones[i], conePt(g, p)) }
+			}
+			candsByIdx[i] = dme.CandidatesTraced(obs, sinks, params.MaxCandidates, probe)
+			hashes[i] = dme.Fingerprint(candsByIdx[i])
 		}(i, fc)
 	}
 	wg.Wait()
+	lmStats.CandClusters = len(pending)
+	for _, r := range replayed {
+		if r {
+			lmStats.CandReplayed++
+		}
+	}
+	if capt != nil {
+		capt.Clusters = make([]LMClusterSeed, len(pending))
+		for i, fc := range pending {
+			capt.Clusters[i] = LMClusterSeed{
+				Sinks: fc.positions(d), Cone: cones[i],
+				Cands: candsByIdx[i], Hash: hashes[i],
+			}
+		}
+	}
 	var treeClusters []*flowCluster
 	var cands [][]*dme.Tree
+	var treeHashes []uint64
 	for i, fc := range pending {
 		if len(candsByIdx[i]) == 0 {
 			fc.demoted = true
@@ -220,17 +282,33 @@ func routeLMClusters(ws *route.Workspace, d *valve.Design, obs *grid.ObsMap, fcs
 		}
 		treeClusters = append(treeClusters, fc)
 		cands = append(cands, candsByIdx[i])
+		treeHashes = append(treeHashes, hashes[i])
 	}
 
 	// Candidate selection (Section 4.2). "w/o Sel" takes the first.
 	picks := make([]int, len(cands))
-	if params.Mode != ModeWithoutSelection && len(cands) > 0 {
-		cfg := seltree.DefaultConfig()
-		cfg.Lambda = params.Lambda
-		cfg.Solver = params.Solver
-		if p, err := seltree.Select(cands, cfg); err == nil {
-			picks = p
+	selects := params.Mode != ModeWithoutSelection && len(cands) > 0
+	var selKey uint64
+	if selects && (seed != nil || capt != nil) {
+		selKey = selInstanceKey(treeHashes)
+	}
+	if selects {
+		if seed != nil && seed.HavePicks && seed.SelKey == selKey && len(seed.Picks) == len(picks) {
+			copy(picks, seed.Picks)
+			lmStats.SelectionReplayed = true
+		} else {
+			cfg := seltree.DefaultConfig()
+			cfg.Lambda = params.Lambda
+			cfg.Solver = params.Solver
+			if p, err := seltree.Select(cands, cfg); err == nil {
+				picks = p
+			}
 		}
+	}
+	if capt != nil && selects {
+		capt.SelKey = selKey
+		capt.Picks = append([]int(nil), picks...)
+		capt.HavePicks = true
 	}
 	for i, fc := range treeClusters {
 		fc.cands = cands[i]
@@ -263,7 +341,13 @@ func routeLMClusters(ws *route.Workspace, d *valve.Design, obs *grid.ObsMap, fcs
 	if len(edges) == 0 {
 		return
 	}
-	paths, _ := ws.NegotiateTracked(obs, edges, params.Negotiate, negStats)
+	// Only the main negotiation call carries the cross-run seed and capture:
+	// rescue and refinement route different edge sets on different base maps,
+	// where a parent transcript can't align.
+	np := params.Negotiate
+	np.Seed = params.NegSeed
+	np.Capture = params.NegCapture
+	paths, _ := ws.NegotiateTracked(obs, edges, np, negStats)
 
 	// First pass: commit every completely routed cluster, so the rescue
 	// pass below sees the full environment.

@@ -82,6 +82,27 @@ type Params struct {
 	// never writes to process stdout (the nostdout invariant): callers that
 	// want tracing inject the destination here.
 	Trace io.Writer
+	// NegSeed, when non-nil, warm-starts the flow's main length-matching
+	// negotiation from a previous run's captured transcript
+	// (route.NegotiationSeed; designcache feeds this on a near-hit). Seeding
+	// never changes routed output — see seed.go's cone-disjointness gate —
+	// and only the main call consumes it: rescue and refinement negotiate
+	// different edge sets against different base maps, where the parent
+	// transcript does not apply.
+	NegSeed *route.NegotiationSeed
+	// NegCapture, when non-nil, receives the main negotiation call's full
+	// transcript for use as a later run's NegSeed.
+	NegCapture *route.NegotiationSeed
+	// LMSeed, when non-nil, warm-starts the candidate-generation and MWCP
+	// selection sub-stage from a previous run's capture (see lmseed.go):
+	// clusters whose sink sequence matches and whose construction read cone
+	// avoids every changed cell replay their candidates, and the selection
+	// replays when the whole instance fingerprint matches. Like NegSeed it
+	// never changes routed output.
+	LMSeed *LMSeed
+	// LMCapture, when non-nil, receives this run's candidate/selection
+	// capture for use as a later run's LMSeed.
+	LMCapture *LMSeed
 }
 
 // DefaultParams returns the paper's settings.

@@ -73,6 +73,9 @@ type Result struct {
 	// cache-independent, while a cache hit replaces exactly one search
 	// (Searches with the cache off equals Searches + CacheHits with it on).
 	Negotiate route.NegotiateStats
+	// LMReuse reports what the cross-run LM-stage seed replayed (zero when
+	// the run was not seeded; see Params.LMSeed).
+	LMReuse LMReuseStats
 	// EscapeHier aggregates the hierarchical escape router's per-stage work
 	// across the escape retries (zero when the hierarchy is off or the grid
 	// is below its auto threshold; see Params.Hier). The negotiation

@@ -51,6 +51,15 @@ type NegotiateStats struct {
 	// Invalidated counts the subset of CacheMisses whose entry existed but
 	// had a dirty cell inside its cone.
 	Invalidated int
+	// SeededEdges counts child edges aligned to a cross-run seed's transcript
+	// (seed.go) — the edges *eligible* for cross-run replay this run.
+	SeededEdges int
+	// SeededHits counts cross-run replays actually taken: (round, edge)
+	// outcomes copied from the parent transcript instead of searched. Each
+	// one is a search a cold run would have executed, so
+	// Searches_cold = Searches_seeded + SeededHits whenever fresh-search
+	// cones are deterministic (always, for flat negotiation).
+	SeededHits int
 	// Hier counts the hierarchical router's work (zero when the hierarchy is
 	// off or below its auto threshold).
 	Hier HierStats
@@ -66,6 +75,8 @@ func (s *NegotiateStats) Add(o NegotiateStats) {
 	s.CacheHits += o.CacheHits
 	s.CacheMisses += o.CacheMisses
 	s.Invalidated += o.Invalidated
+	s.SeededEdges += o.SeededEdges
+	s.SeededHits += o.SeededHits
 	s.Hier.Add(o.Hier)
 	s.FailedIDs = append(s.FailedIDs, o.FailedIDs...) //pacor:allow hotalloc stats aggregation runs once per flow stage, not per search
 }

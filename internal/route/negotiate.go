@@ -47,6 +47,20 @@ type NegotiateParams struct {
 	// Workers, the cache, and Queue, it never changes routed output, only
 	// wall-clock. The zero value is auto: on only above the cell threshold.
 	Hier HierParams
+	// Seed, when non-nil, warm-starts the run from a previous run's captured
+	// transcript (cross-run incremental routing, seed.go): aligned edges
+	// whose recorded cones avoid every cross-run divergence cell replay the
+	// parent's per-round outcomes instead of searching. Like the within-run
+	// cache it never changes routed output — replay is gated on the same
+	// cone-disjointness proof — and a seed whose grid, parameters, or shape
+	// don't match is ignored. Inert under NoCache.
+	Seed *NegotiationSeed
+	// Capture, when non-nil, records the run's full per-round transcript
+	// (outcomes and visit cones, delta-encoded) into the pointed-to seed for
+	// later use as Seed. Capture forces round 0 to run tracked (it needs the
+	// cones), which changes wall-clock but never output or the Searches
+	// counter. Inert under NoCache.
+	Capture *NegotiationSeed
 }
 
 // DefaultNegotiateParams mirrors the paper's settings.
@@ -96,7 +110,8 @@ func (w *Workspace) NegotiateTracked(obs *grid.ObsMap, edges []Edge, params Nego
 	hist := make([]float64, g.Cells()) // Step 1: initialize history cost
 	//pacor:allow hotalloc result map returned to the caller, sized up front
 	paths := make(map[int]grid.Path, len(edges))
-	useCache := !params.NoCache && params.Gamma > 1 && len(edges) > 0
+	useCache := !params.NoCache && len(edges) > 0 &&
+		(params.Gamma > 1 || params.Seed != nil || params.Capture != nil)
 	if useCache {
 		w.negReset(g, len(edges))
 	}
@@ -121,6 +136,21 @@ func (w *Workspace) NegotiateTracked(obs *grid.ObsMap, edges []Edge, params Nego
 	}
 	mark := work.JournalLen()
 	w.negFailed = w.negFailed[:0]
+
+	// Cross-run seeding and capture (seed.go) initialize against the
+	// round-start state just journaled above: the seed's start bitmap must
+	// diff against the same blocked set (base map plus terminals) a capture
+	// of this run would record. Both are inert under NoCache so the cache-off
+	// byte-identity sweeps exercise the plain path.
+	w.negSeedOn, w.negCapOn, w.negParentLive = false, false, false
+	if useCache {
+		if params.Seed != nil {
+			w.negSeedOn = w.negSeedStart(g, work, edges, params, stats)
+		}
+		if params.Capture != nil {
+			w.negCapOn = w.negCaptureStart(g, work, edges, params)
+		}
+	}
 
 	// Hierarchical global stage: coarsen the round-start work map (terminals
 	// included as obstacles) once per run; corridors are reassigned per round
@@ -159,6 +189,15 @@ func (w *Workspace) NegotiateTracked(obs *grid.ObsMap, edges []Edge, params Nego
 		if stats != nil {
 			stats.Rounds++
 		}
+		if w.negSeedOn {
+			w.negParentLive = r < len(w.negSeed.Rounds)
+			if w.negParentLive {
+				w.negParentApply(r)
+			}
+		}
+		if w.negCapOn {
+			w.negCaptureRound()
+		}
 		caching := useCache && r > 0
 		var done bool
 		if params.Workers > 1 && len(edges) > 1 {
@@ -190,6 +229,9 @@ func (w *Workspace) NegotiateTracked(obs *grid.ObsMap, edges []Edge, params Nego
 		}
 	}
 	w.negJournal = work.StopJournal()
+	if w.negSeedOn || w.negCapOn {
+		w.negSeedFinish()
+	}
 	if stats != nil && !routed {
 		stats.FailedIDs = append(stats.FailedIDs, w.negFailed...) //pacor:allow hotalloc failure-path diagnostic, grows the caller's stats slice once
 	}
@@ -208,11 +250,14 @@ func (w *Workspace) negReq(e *Edge, work *grid.ObsMap, hist []float64) Request {
 }
 
 // negRoundSeq routes one round's edges sequentially (Steps 7-13), replaying
-// valid cache entries when caching is on. It reports whether every edge
-// routed.
+// valid within-run cache entries when caching is on and valid cross-run seed
+// entries whenever the parent transcript covers the round. It reports
+// whether every edge routed.
 func (w *Workspace) negRoundSeq(g grid.Grid, work *grid.ObsMap, edges []Edge, hist []float64,
 	paths map[int]grid.Path, params NegotiateParams, caching bool, stats *NegotiateStats) bool {
 	done := true
+	seedLive := w.negSeedOn && w.negParentLive
+	capOn := w.negCapOn
 	for ei := range edges {
 		e := &edges[ei]
 		req := w.negReq(e, work, hist)
@@ -220,13 +265,10 @@ func (w *Workspace) negRoundSeq(g grid.Grid, work *grid.ObsMap, edges []Edge, hi
 		var ok bool
 		var lvl hierLevel
 		switch {
-		case !caching:
-			p, ok, lvl = w.negSearch(g, req, ei)
-			if stats != nil {
-				stats.Searches++
-				stats.Hier.count(lvl)
-			}
-		case w.negEntryValid(&w.negEntries[ei]):
+		case caching && w.negEntryValid(&w.negEntries[ei]):
+			// Within-run hit. Checked before the seed so a seeded run replays
+			// exactly the hits a cold run would, keeping the hit/miss pattern
+			// — and so the counters — identical.
 			ent := &w.negEntries[ei]
 			if params.CheckCache {
 				w.negCheck(g, req, e.ID, ent)
@@ -235,13 +277,53 @@ func (w *Workspace) negRoundSeq(g grid.Grid, work *grid.ObsMap, edges []Edge, hi
 				stats.CacheHits++
 			}
 			p, ok = ent.path, ent.ok
-		default:
-			ent := &w.negEntries[ei]
+			if seedLive {
+				w.negCrossCompare(g, ei, p, ok)
+			}
+			if capOn {
+				w.negCaptureRecord(ei, p, ok, ent.visits)
+			}
+		case seedLive && w.negParentValid(ei):
+			// Cross-run replay: copy the parent's outcome for this round. The
+			// bookkeeping mirrors the fresh search it replaced — negRecord
+			// with the parent's cone, which cone-disjointness proves equal to
+			// the cone the fresh search would have produced — so the
+			// within-run cache state stays identical to a cold run's.
+			pe := &w.negParent[w.negAlign[ei]]
+			if params.CheckCache {
+				w.negCheck(g, req, e.ID, &negEntry{recorded: true, ok: pe.ok, path: pe.path}) //pacor:allow hotalloc CheckCache verification mode only, off on production runs
+			}
+			if stats != nil {
+				stats.SeededHits++
+			}
+			p, ok = pe.path, pe.ok
+			if caching {
+				w.negRecord(g, &w.negEntries[ei], p, ok, pe.visits)
+			}
+			if capOn {
+				w.negCaptureRecord(ei, p, ok, pe.visits)
+			}
+		case !caching && !capOn:
+			// Plain untracked search (cold round 0). Cross-run comparison
+			// needs only the committed path, so a live seed costs no tracking.
+			p, ok, lvl = w.negSearch(g, req, ei)
 			if stats != nil {
 				stats.Searches++
-				stats.CacheMisses++
-				if ent.recorded {
-					stats.Invalidated++
+				stats.Hier.count(lvl)
+			}
+			if seedLive {
+				w.negCrossCompare(g, ei, p, ok)
+			}
+		default:
+			if stats != nil {
+				stats.Searches++
+				if caching {
+					// Round 0 under capture runs tracked but is not a cache
+					// miss — cold stats must match the capture-free run.
+					stats.CacheMisses++
+					if w.negEntries[ei].recorded {
+						stats.Invalidated++
+					}
 				}
 			}
 			// The whole ladder runs tracked: its recorded cone is the union of
@@ -254,7 +336,15 @@ func (w *Workspace) negRoundSeq(g grid.Grid, work *grid.ObsMap, edges []Edge, hi
 				stats.Hier.count(lvl)
 			}
 			w.negVisits = w.CopyVisits(w.negVisits[:0])
-			w.negRecord(g, ent, p, ok, w.negVisits)
+			if caching {
+				w.negRecord(g, &w.negEntries[ei], p, ok, w.negVisits)
+			}
+			if seedLive {
+				w.negCrossCompare(g, ei, p, ok)
+			}
+			if capOn {
+				w.negCaptureRecord(ei, p, ok, w.negVisits)
+			}
 		}
 		if ok {
 			paths[e.ID] = p
@@ -269,19 +359,24 @@ func (w *Workspace) negRoundSeq(g grid.Grid, work *grid.ObsMap, edges []Edge, hi
 
 // negRoundParallel routes one round's edges, in slice order, through the
 // spatial-dependency scheduler: routed paths commit onto work in edge order,
-// exactly as the sequential Steps 7-13 loop does. With caching on, cache
-// hits replay inline and skip task dispatch entirely; only maximal blocks of
-// consecutive cache misses go through the scheduler. An edge's entry is
-// (re)examined only after everything before it has committed, because a
-// block's changed outcomes can dirty a later edge's cone. It reports whether
-// every edge routed.
+// exactly as the sequential Steps 7-13 loop does. With caching or seeding
+// on, within-run and cross-run replays happen inline and skip task dispatch
+// entirely; only maximal blocks of consecutive replay-ineligible edges go
+// through the scheduler. An edge's eligibility is (re)examined only after
+// everything before it has committed, because a block's changed outcomes can
+// dirty a later edge's cone — within-run via the dirty clock, cross-run via
+// the divergence bitmap; both are monotone, so an edge ineligible at
+// block-forming time is still ineligible at its sequential turn, which is
+// what makes batching sound. It reports whether every edge routed.
 //
 //pacor:hot
 //pacor:allow hotalloc per-round task construction, amortized over the round's searches
 func (w *Workspace) negRoundParallel(g grid.Grid, work *grid.ObsMap, edges []Edge, hist []float64,
 	paths map[int]grid.Path, params NegotiateParams, caching bool, stats *NegotiateStats) bool {
 	done := true
-	if !caching {
+	seedLive := w.negSeedOn && w.negParentLive
+	capOn := w.negCapOn
+	if !caching && !capOn && !seedLive {
 		tasks := make([]ScheduledTask, len(edges))
 		for i := range edges {
 			tasks[i] = w.negTask(g, w.negReq(&edges[i], work, hist), i)
@@ -302,32 +397,63 @@ func (w *Workspace) negRoundParallel(g grid.Grid, work *grid.ObsMap, edges []Edg
 		})
 		return done
 	}
+	commitInline := func(ei int, p grid.Path, ok bool) {
+		if ok {
+			paths[edges[ei].ID] = p
+			work.SetPath(p, true)
+		} else {
+			done = false
+			w.negFailed = append(w.negFailed, edges[ei].ID)
+		}
+	}
+	needVisits := caching || capOn
 	ei := 0
 	for ei < len(edges) {
-		if ent := &w.negEntries[ei]; w.negEntryValid(ent) {
+		if caching && w.negEntryValid(&w.negEntries[ei]) {
 			e := &edges[ei]
+			ent := &w.negEntries[ei]
 			if params.CheckCache {
 				w.negCheck(g, w.negReq(e, work, hist), e.ID, ent)
 			}
 			if stats != nil {
 				stats.CacheHits++
 			}
-			if ent.ok {
-				paths[e.ID] = ent.path
-				work.SetPath(ent.path, true)
-			} else {
-				done = false
-				w.negFailed = append(w.negFailed, e.ID)
+			if seedLive {
+				w.negCrossCompare(g, ei, ent.path, ent.ok)
 			}
+			if capOn {
+				w.negCaptureRecord(ei, ent.path, ent.ok, ent.visits)
+			}
+			commitInline(ei, ent.path, ent.ok)
 			ei++
 			continue
 		}
-		// Maximal block of consecutive misses. Entries already invalid stay
-		// invalid (the dirty clock only grows), so batching them is sound;
-		// the first currently-valid entry ends the block and is re-checked
-		// once the block's outcomes — and their dirty marks — have landed.
+		if seedLive && w.negParentValid(ei) {
+			e := &edges[ei]
+			pe := &w.negParent[w.negAlign[ei]]
+			if params.CheckCache {
+				w.negCheck(g, w.negReq(e, work, hist), e.ID, &negEntry{recorded: true, ok: pe.ok, path: pe.path})
+			}
+			if stats != nil {
+				stats.SeededHits++
+			}
+			if caching {
+				w.negRecord(g, &w.negEntries[ei], pe.path, pe.ok, pe.visits)
+			}
+			if capOn {
+				w.negCaptureRecord(ei, pe.path, pe.ok, pe.visits)
+			}
+			commitInline(ei, pe.path, pe.ok)
+			ei++
+			continue
+		}
+		// Maximal block of consecutive replay-ineligible edges; the first
+		// eligible edge ends the block and is re-checked once the block's
+		// outcomes — and their dirty marks — have landed.
 		m := ei + 1
-		for m < len(edges) && !w.negEntryValid(&w.negEntries[m]) {
+		for m < len(edges) &&
+			!(caching && w.negEntryValid(&w.negEntries[m])) &&
+			!(seedLive && w.negParentValid(m)) {
 			m++
 		}
 		base := ei
@@ -336,13 +462,14 @@ func (w *Workspace) negRoundParallel(g grid.Grid, work *grid.ObsMap, edges []Edg
 		for i := range block {
 			tasks[i] = w.negTask(g, w.negReq(&block[i], work, hist), base+i)
 		}
-		RunScheduledVisits(work, tasks, params.Workers, func(i int, out TaskOutcome, visits []uint64) {
-			ent := &w.negEntries[base+i]
+		commitTask := func(i int, out TaskOutcome, visits []uint64) {
 			if stats != nil {
 				stats.Searches++
-				stats.CacheMisses++
-				if ent.recorded {
-					stats.Invalidated++
+				if caching {
+					stats.CacheMisses++
+					if w.negEntries[base+i].recorded {
+						stats.Invalidated++
+					}
 				}
 				if lvl, isHier := out.Payload.(hierLevel); isHier {
 					stats.Hier.count(lvl)
@@ -352,14 +479,29 @@ func (w *Workspace) negRoundParallel(g grid.Grid, work *grid.ObsMap, edges []Edg
 			if out.OK {
 				p = out.Paths[0]
 			}
-			w.negRecord(g, ent, p, out.OK, visits)
+			if caching {
+				w.negRecord(g, &w.negEntries[base+i], p, out.OK, visits)
+			}
+			if seedLive {
+				w.negCrossCompare(g, base+i, p, out.OK)
+			}
+			if capOn {
+				w.negCaptureRecord(base+i, p, out.OK, visits)
+			}
 			if out.OK {
 				paths[block[i].ID] = p
 			} else {
 				done = false
 				w.negFailed = append(w.negFailed, block[i].ID)
 			}
-		})
+		}
+		if needVisits {
+			RunScheduledVisits(work, tasks, params.Workers, commitTask)
+		} else {
+			RunScheduled(work, tasks, params.Workers, func(i int, out TaskOutcome) {
+				commitTask(i, out, nil)
+			})
+		}
 		ei = m
 	}
 	return done

@@ -86,6 +86,21 @@ type Workspace struct {
 	negScale   int64        // current round's HistQuant certificate (0 = none)
 	negMaxStep int64
 
+	// Cross-run seeding state (seed.go): the parent transcript being
+	// replayed, the capture being recorded, the monotone cross-run dirty
+	// bitmap, and the child→parent edge alignment. Live only during a run
+	// (negSeedFinish clears the pointers so the pool never pins a seed).
+	negSeedOn     bool             // params.Seed accepted for this run
+	negCapOn      bool             // params.Capture active for this run
+	negParentLive bool             // parent transcript still covers the current round
+	negSeed       *NegotiationSeed // accepted seed (immutable, aliased)
+	negCap        *NegotiationSeed // capture under construction
+	negCross      []uint64         // cross-run dirty bitmap (monotone)
+	negStart      []uint64         // round-start bitmap scratch for the diff
+	negAlign      []int            // child edge index -> parent edge index or -1
+	negParent     []seedSlot       // parent edges' current-round state
+	negShadow     []seedSlot       // capture delta-encoding shadow table
+
 	// Sequential-scheduler scratch (runSequential): the snapshot map and its
 	// journal, reused across rounds so per-task state restoration costs
 	// O(task changes) instead of O(cells).
